@@ -1,0 +1,38 @@
+//! Micro-benchmark: the im2col + GEMM convolution forward pass at the
+//! host models' layer geometries (Model A's 5×5 stages).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mp_nn::layers::Conv2d;
+use mp_nn::{Layer, Mode};
+use mp_tensor::init::TensorRng;
+use mp_tensor::{Shape, Tensor};
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(0);
+    let mut group = c.benchmark_group("conv2d_forward");
+    // (in_ch, out_ch, k, size): Model A's three conv stages.
+    for (ic, oc, k, size) in [
+        (3usize, 32usize, 5usize, 32usize),
+        (32, 32, 5, 15),
+        (32, 64, 5, 7),
+    ] {
+        let mut conv = Conv2d::new(ic, oc, k, 1, 2, &mut rng).unwrap();
+        let x = rng.normal(Shape::nchw(1, ic, size, size), 0.0, 1.0);
+        group.bench_function(format!("{ic}->{oc}@{size}x{size}"), |b| {
+            b.iter(|| conv.forward(black_box(&x), Mode::Infer).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    use mp_tensor::conv::{im2col, ConvGeometry};
+    let img = Tensor::from_fn(Shape::nchw(1, 64, 30, 30), |i| i as f32 * 1e-3);
+    c.bench_function("im2col_64ch_30x30_3x3", |b| {
+        b.iter(|| im2col(black_box(&img), ConvGeometry::new(3, 1, 0)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_conv_forward, bench_im2col);
+criterion_main!(benches);

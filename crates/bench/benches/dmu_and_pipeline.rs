@@ -1,0 +1,49 @@
+//! Micro-benchmark: the DMU's per-image cost — the paper stresses it is
+//! "light-weight" (ten multiplications, a sum, a bias, a sigmoid) — and
+//! the analytic pipeline models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mp_core::model;
+use mp_core::Dmu;
+use mp_tensor::Tensor;
+
+fn bench_dmu(c: &mut Criterion) {
+    let dmu = Dmu::with_weights(vec![0.3; 10], -0.5);
+    let scores = [3.0f32, -1.0, 0.5, 7.0, -2.0, 0.0, 1.5, -4.0, 2.0, -0.5];
+    c.bench_function("dmu_predict_single", |b| {
+        b.iter(|| dmu.predict(black_box(&scores)))
+    });
+    let batch = Tensor::from_fn([1000, 10], |i| ((i * 37) % 19) as f32 - 9.0);
+    c.bench_function("dmu_predict_1000", |b| {
+        b.iter(|| dmu.predict_batch(black_box(&batch)).unwrap())
+    });
+    c.bench_function("dmu_threshold_1000", |b| {
+        b.iter(|| dmu.estimate_batch(black_box(&batch), 0.84).unwrap())
+    });
+}
+
+fn bench_analytic_models(c: &mut Criterion) {
+    c.bench_function("eq1_interval", |b| {
+        b.iter(|| {
+            model::interval_per_image(
+                black_box(1.0 / 29.68),
+                black_box(1.0 / 430.15),
+                black_box(0.251),
+            )
+        })
+    });
+    c.bench_function("eq2_accuracy", |b| {
+        b.iter(|| {
+            model::accuracy_eq2(
+                black_box(0.785),
+                black_box(0.814),
+                black_box(0.251),
+                black_box(0.123),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_dmu, bench_analytic_models);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Micro-benchmark: one image through the folded XNOR-popcount hardware
+//! model (the functional FPGA path) at the scaled topology the `Fast`
+//! experiments use.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mp_bnn::{BnnClassifier, FinnTopology, HardwareBnn};
+use mp_nn::train::Model;
+use mp_nn::Mode;
+use mp_tensor::init::TensorRng;
+use mp_tensor::Shape;
+
+fn bench_hardware(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(3);
+    for (edge, div) in [(8usize, 8usize), (16, 2)] {
+        let mut bnn = BnnClassifier::new(FinnTopology::scaled(edge, edge, div), &mut rng).unwrap();
+        // Populate batch-norm statistics so the thresholds are realistic.
+        for _ in 0..2 {
+            let x = rng.normal(Shape::nchw(4, 3, edge, edge), 0.0, 1.0);
+            bnn.forward_mode(&x, Mode::Train).unwrap();
+        }
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let img = rng.normal(Shape::nchw(1, 3, edge, edge), 0.0, 1.0);
+        c.bench_function(&format!("hw_infer_{edge}px_div{div}"), |b| {
+            b.iter(|| hw.infer_image(black_box(&img)).unwrap())
+        });
+        let mut float_view = bnn;
+        c.bench_function(&format!("float_infer_{edge}px_div{div}"), |b| {
+            b.iter(|| float_view.infer(black_box(&img)).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_hardware);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Micro-benchmark: the discrete-event streaming pipeline simulator at
+//! the paper's 9-engine FINN configuration across batch sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mp_bnn::FinnTopology;
+use mp_fpga::{device::Device, folding::FoldingSearch, stream_sim::StreamSim};
+
+fn bench_stream_sim(c: &mut Criterion) {
+    let engines = FinnTopology::paper().engines();
+    let device = Device::zc702();
+    let folding = FoldingSearch::new(&engines).balanced(232_558);
+    let cycles = folding.cycles(&engines);
+    let sim = StreamSim::from_cycles(&cycles, device.clock_hz, 2)
+        .with_source_interval(device.io_overhead_s);
+    for batch in [16usize, 256, 4096] {
+        c.bench_function(&format!("stream_sim_batch_{batch}"), |b| {
+            b.iter(|| black_box(&sim).run(black_box(batch)))
+        });
+    }
+}
+
+fn bench_folding_search(c: &mut Criterion) {
+    let engines = FinnTopology::paper().engines();
+    c.bench_function("folding_balanced_430fps", |b| {
+        b.iter(|| FoldingSearch::new(black_box(&engines)).balanced(black_box(232_558)))
+    });
+    c.bench_function("folding_sweep_16pts", |b| {
+        b.iter(|| FoldingSearch::new(black_box(&engines)).sweep(25_000, 1_000_000, 16))
+    });
+}
+
+criterion_group!(benches, bench_stream_sim, bench_folding_search);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Micro-benchmark: the XNOR–popcount matrix–vector kernel against the
+//! float GEMV it replaces, at the paper's FINN layer sizes. The ~2
+//! orders of magnitude between them is the entire premise of putting
+//! the binarised network on the throughput side of the system.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mp_bnn::bits::{BitMatrix, BitVec};
+use mp_tensor::{linalg, Tensor};
+
+/// FC-64 over 256 inputs (engine 7 of Table I) and one conv tile.
+const SIZES: [(usize, usize); 3] = [(64, 256), (64, 576), (128, 1152)];
+
+fn bench_xnor_vs_float(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec");
+    for (rows, cols) in SIZES {
+        let float_w = Tensor::from_fn([rows, cols], |i| if i % 3 == 0 { 1.0 } else { -1.0 });
+        let float_x = Tensor::from_fn([cols], |i| if i % 5 == 0 { 1.0 } else { -1.0 });
+        let bit_w = BitMatrix::from_signs(rows, cols, float_w.as_slice());
+        let bit_x = BitVec::from_signs(float_x.as_slice());
+        group.bench_function(format!("f32_{rows}x{cols}"), |b| {
+            b.iter(|| linalg::matvec(black_box(&float_w), black_box(&float_x)).unwrap())
+        });
+        group.bench_function(format!("xnor_{rows}x{cols}"), |b| {
+            b.iter(|| black_box(&bit_w).xnor_matvec(black_box(&bit_x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xnor_vs_float);
+criterion_main!(benches);

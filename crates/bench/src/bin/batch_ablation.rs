@@ -1,0 +1,88 @@
+//! Ablation for the paper's §III claim that "changing batch size does
+//! not have a significant effect on multi-precision features … but the
+//! latency of an image to pass through the multi-precision system
+//! increases": sweeps the FPGA batch size at fixed rerun behaviour and
+//! reports throughput and first/mean image latency, plus the FINN
+//! streaming simulator's ramp behaviour.
+
+use mp_bench::TextTable;
+use mp_bnn::FinnTopology;
+use mp_core::PipelineTiming;
+use mp_fpga::{device::Device, folding::FoldingSearch, stream_sim::StreamSim};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BatchPoint {
+    batch_size: usize,
+    pipeline_images_per_sec: f64,
+    finn_stream_images_per_sec: f64,
+    finn_first_latency_ms: f64,
+    finn_mean_latency_ms: f64,
+}
+
+fn main() {
+    // Fixed workload: 10 000 images, 25.1 % rerun (the paper's Table II
+    // operating point), Model A host timing.
+    let n = 10_000usize;
+    let rerun = 0.251;
+    let kept: Vec<bool> = (0..n)
+        .map(|i| ((i as f64 * rerun) % 1.0) + rerun <= 1.0)
+        .collect();
+
+    // FINN pipeline for the stream-level view: the ~430 img/s design.
+    let engines = FinnTopology::paper().engines();
+    let device = Device::zc702();
+    let folding = FoldingSearch::new(&engines).balanced((device.clock_hz / 430.0) as u64);
+    let cycles = folding.cycles(&engines);
+
+    let mut table = TextTable::new(&[
+        "batch",
+        "pipeline img/s",
+        "FINN stream img/s",
+        "first latency (ms)",
+        "mean latency (ms)",
+    ]);
+    let mut records = Vec::new();
+    for batch in [10usize, 50, 100, 500, 1000, 5000] {
+        let timing = PipelineTiming::new(1.0 / 430.15, 1.0 / 29.68, batch);
+        let pipeline_fps = overlap_throughput(&kept, &timing);
+        let sim = StreamSim::from_cycles(&cycles, device.clock_hz, 2)
+            .with_source_interval(device.io_overhead_s)
+            .run(batch);
+        table.row(&[
+            batch.to_string(),
+            format!("{pipeline_fps:.2}"),
+            format!("{:.1}", sim.throughput_fps),
+            format!("{:.2}", 1e3 * sim.first_latency_s),
+            format!("{:.2}", 1e3 * sim.mean_latency_s),
+        ]);
+        records.push(BatchPoint {
+            batch_size: batch,
+            pipeline_images_per_sec: pipeline_fps,
+            finn_stream_images_per_sec: sim.throughput_fps,
+            finn_first_latency_ms: 1e3 * sim.first_latency_s,
+            finn_mean_latency_ms: 1e3 * sim.mean_latency_s,
+        });
+    }
+    table.print("Batch-size ablation (paper §III: throughput ~flat, latency grows)");
+    mp_bench::write_record("batch_ablation", &records);
+}
+
+fn overlap_throughput(kept: &[bool], timing: &PipelineTiming) -> f64 {
+    let batch = timing.batch_size;
+    let flagged: Vec<usize> = kept
+        .chunks(batch)
+        .map(|c| c.iter().filter(|&&k| !k).count())
+        .collect();
+    let mut total = 0.0;
+    for (i, chunk) in kept.chunks(batch).enumerate() {
+        let host = if i > 0 {
+            flagged[i - 1] as f64 * timing.t_fp_img_s
+        } else {
+            0.0
+        };
+        total += (chunk.len() as f64 * timing.t_bnn_img_s).max(host);
+    }
+    total += *flagged.last().expect("non-empty") as f64 * timing.t_fp_img_s;
+    kept.len() as f64 / total
+}

@@ -1,0 +1,106 @@
+//! Ablation: is the paper's *trained* Softmax DMU worth it over
+//! training-free confidence rules (max-softmax, margin, entropy)?
+//!
+//! For each rule we sweep its threshold and report the best operating
+//! point under the multi-precision objective: the highest achievable
+//! accuracy cap (1 − F̄S) at a rerun budget ≤ 30 % (roughly the paper's
+//! 25.1 % operating load), plus the rule's raw estimator accuracy.
+
+use mp_bench::{pct, CliOptions, TextTable};
+use mp_core::dmu::{baselines, ConfusionQuadrants};
+use mp_core::experiment::TrainedSystem;
+use mp_tensor::Tensor;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    rule: String,
+    best_threshold: f32,
+    estimator_accuracy: f64,
+    rerun_ratio: f64,
+    accuracy_cap: f64,
+}
+
+fn best_point(confidences: &[f32], correct: &[bool], budget: f64) -> (f32, ConfusionQuadrants) {
+    let mut best: Option<(f32, ConfusionQuadrants)> = None;
+    for i in 0..=100 {
+        let t = i as f32 / 100.0;
+        let est: Vec<bool> = confidences.iter().map(|&c| c >= t).collect();
+        let q = ConfusionQuadrants::tally(correct, &est);
+        if q.rerun_ratio() <= budget {
+            let better = match &best {
+                None => true,
+                Some((_, b)) => q.max_achievable_accuracy() > b.max_achievable_accuracy(),
+            };
+            if better {
+                best = Some((t, q));
+            }
+        }
+    }
+    best.unwrap_or((
+        1.0,
+        ConfusionQuadrants::tally(correct, &vec![false; correct.len()]),
+    ))
+}
+
+fn main() {
+    let opts = CliOptions::parse();
+    let config = opts.experiment_config();
+    eprintln!("training system (seed {})…", opts.seed);
+    let system = TrainedSystem::prepare(&config).expect("system trains");
+    let scores: &Tensor = &system.bnn_test_scores;
+    let correct = &system.bnn_test_correct;
+    let budget = 0.30;
+
+    let mut table = TextTable::new(&[
+        "confidence rule",
+        "best thr",
+        "estimator acc",
+        "rerun %",
+        "accuracy cap (1−F̄S)",
+    ]);
+    let mut rows = Vec::new();
+    let add =
+        |name: &str, confidences: Vec<f32>, table: &mut TextTable, rows: &mut Vec<AblationRow>| {
+            let (t, q) = best_point(&confidences, correct, budget);
+            table.row(&[
+                name.into(),
+                format!("{t:.2}"),
+                pct(q.softmax_accuracy()),
+                pct(q.rerun_ratio()),
+                pct(q.max_achievable_accuracy()),
+            ]);
+            rows.push(AblationRow {
+                rule: name.into(),
+                best_threshold: t,
+                estimator_accuracy: q.softmax_accuracy(),
+                rerun_ratio: q.rerun_ratio(),
+                accuracy_cap: q.max_achievable_accuracy(),
+            });
+        };
+
+    let trained = system.dmu.predict_batch(scores).expect("dmu predicts");
+    add(
+        "trained Softmax DMU (paper)",
+        trained,
+        &mut table,
+        &mut rows,
+    );
+    for (name, rule) in [
+        (
+            "max-softmax (untrained)",
+            baselines::max_softmax as fn(&[f32]) -> f32,
+        ),
+        ("margin top1−top2", baselines::margin),
+        ("1 − entropy", baselines::negative_entropy),
+    ] {
+        let conf = baselines::confidence_batch(scores, rule).expect("confidence");
+        add(name, conf, &mut table, &mut rows);
+    }
+    table.print(&format!(
+        "DMU ablation: best accuracy cap at rerun ≤ {} (test set, BNN acc {})",
+        pct(budget),
+        pct(system.bnn_test_accuracy),
+    ));
+    mp_bench::write_record("dmu_ablation", &rows);
+}

@@ -1,0 +1,16 @@
+//! Regenerates **Fig. 3**: performance (expected vs obtained img/s) and
+//! BRAM/LUT utilisation for FINN configurations of increasing
+//! parallelism on the ZC702, with the naive Vivado HLS memory
+//! allocation.
+
+use mp_bench::figures::{print_figure, sweep, FigRecord};
+
+fn main() {
+    let points = sweep(false);
+    print_figure(
+        "Fig. 3: performance and area vs total PE count (naive BRAM allocation)",
+        &points,
+    );
+    let records: Vec<&FigRecord> = points.iter().map(|(_, r)| r).collect();
+    mp_bench::write_record("fig3", &records);
+}

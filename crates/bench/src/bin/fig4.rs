@@ -1,0 +1,31 @@
+//! Regenerates **Fig. 4**: the Fig. 3 sweep with block `array_partition`
+//! applied to the parameter memories. BRAM utilisation drops 10–18 %;
+//! low-parallelism configurations slow down slightly while
+//! high-parallelism ones retain their obtained performance (paper
+//! §III-A).
+
+use mp_bench::figures::{print_figure, sweep, FigRecord};
+use mp_bench::TextTable;
+
+fn main() {
+    let naive = sweep(false);
+    let part = sweep(true);
+    print_figure(
+        "Fig. 4: performance and area vs total PE count (block array partitioning)",
+        &part,
+    );
+    // The headline delta the paper reports.
+    let mut delta = TextTable::new(&["total PE", "BRAM % (fig3)", "BRAM % (fig4)", "drop %"]);
+    for ((_, n), (_, p)) in naive.iter().zip(&part) {
+        let drop = 100.0 * (n.bram_pct - p.bram_pct) / n.bram_pct.max(1e-9);
+        delta.row(&[
+            p.total_pe.to_string(),
+            format!("{:.0}", n.bram_pct),
+            format!("{:.0}", p.bram_pct),
+            format!("{:.1}", drop),
+        ]);
+    }
+    delta.print("BRAM reduction from block array partitioning");
+    let records: Vec<&FigRecord> = part.iter().map(|(_, r)| r).collect();
+    mp_bench::write_record("fig4", &records);
+}

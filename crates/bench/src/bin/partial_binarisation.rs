@@ -1,0 +1,122 @@
+//! Extension bench: the cost of **partial binarisation** (paper §II:
+//! "non-binarised operations can also be extended to handle inputs and
+//! outputs in inner layers resulting in a partially-binarised network",
+//! and the future-work note on mixed precision in the FPGA).
+//!
+//! Holds the paper's ~430 img/s folding fixed and widens the inner-layer
+//! activations from 1 to 8 bits, reporting the growth in stream-buffer
+//! BRAM and (with an n-bit MAC costing ≈ n× an XNOR lane) datapath LUTs
+//! — the area price of the accuracy a partially-binarised network would
+//! recover.
+
+use mp_bench::TextTable;
+use mp_bnn::{BnnClassifier, FinnTopology};
+use mp_fpga::datapath::DatapathModel;
+use mp_fpga::folding::FoldingSearch;
+use mp_fpga::memory::{EngineMemory, MemoryModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PartialRow {
+    inner_activation_bits: usize,
+    buffer_bram_18k: u64,
+    parameter_bram_18k: u64,
+    total_bram_18k: u64,
+    datapath_luts: u64,
+}
+
+fn main() {
+    let train_accuracy = std::env::args().any(|a| a == "--train");
+    let topology = FinnTopology::paper();
+    let base_engines = topology.engines();
+    let folding = FoldingSearch::new(&base_engines).balanced(232_558);
+    let model = MemoryModel::partitioned();
+
+    let datapath = DatapathModel::default();
+    let mut table = TextTable::new(&[
+        "inner act bits",
+        "buffer BRAM",
+        "param BRAM",
+        "total BRAM",
+        "datapath LUTs",
+    ]);
+    let mut rows = Vec::new();
+    for bits in [1usize, 2, 4, 8] {
+        let engines = topology.engines_partially_binarised(bits);
+        let memories: Vec<EngineMemory> = engines
+            .iter()
+            .zip(folding.engines())
+            .map(|(spec, &f)| model.allocate_engine(spec, f))
+            .collect();
+        let buffers: u64 = memories.iter().map(|m| m.buffers.bram_18k).sum();
+        let params: u64 = memories
+            .iter()
+            .map(|m| m.weights.bram_18k + m.thresholds.bram_18k)
+            .sum();
+        let luts = datapath.network_luts(&engines, folding.engines());
+        table.row(&[
+            bits.to_string(),
+            buffers.to_string(),
+            params.to_string(),
+            (buffers + params).to_string(),
+            luts.to_string(),
+        ]);
+        rows.push(PartialRow {
+            inner_activation_bits: bits,
+            buffer_bram_18k: buffers,
+            parameter_bram_18k: params,
+            total_bram_18k: buffers + params,
+            datapath_luts: luts,
+        });
+    }
+    table.print("Partial binarisation: area vs inner activation width (430 img/s folding)");
+    println!(
+        "\nweights stay single-bit, so parameter BRAM is constant; the stream \
+         buffers and the compute datapath pay for wider activations — the \
+         trade the paper defers to future work."
+    );
+    mp_bench::write_record("partial_binarisation", &rows);
+
+    if train_accuracy {
+        accuracy_recovery();
+    } else {
+        println!("\n(pass --train to also measure the accuracy each extra bit recovers)");
+    }
+}
+
+/// Trains fully- and partially-binarised classifiers on the synthetic
+/// dataset and reports the accuracy each extra activation bit recovers.
+fn accuracy_recovery() {
+    use mp_dataset::SynthSpec;
+    use mp_nn::train::{evaluate, Adam, Trainer};
+    use mp_tensor::init::TensorRng;
+
+    let spec = SynthSpec::fast();
+    let mut gen = spec.build().expect("spec valid");
+    let train = gen.generate(1500).expect("generation");
+    let test = gen.generate(500).expect("generation");
+    let mut table = TextTable::new(&["activation bits", "test accuracy"]);
+    let mut rows = Vec::new();
+    for bits in [1usize, 2, 4] {
+        let mut rng = TensorRng::seed_from(2018);
+        let mut bnn = BnnClassifier::with_activation_bits(
+            FinnTopology::scaled(16, 16, 2),
+            bits,
+            &mut rng,
+        )
+        .expect("classifier builds");
+        let mut trainer = Trainer::new(Adam::new(0.003), 32);
+        let mut trng = TensorRng::seed_from(1);
+        for _ in 0..10 {
+            trainer
+                .train_epoch(&mut bnn, train.images(), train.labels(), &mut trng)
+                .expect("epoch");
+        }
+        let acc = evaluate(&mut bnn, test.images(), test.labels(), 100).expect("eval");
+        table.row(&[bits.to_string(), format!("{:.1}%", 100.0 * acc)]);
+        rows.push((bits, acc));
+        eprintln!("trained {bits}-bit variant: {acc:.3}");
+    }
+    table.print("Accuracy recovered by partial binarisation (same budget, same seed)");
+    mp_bench::write_record("partial_binarisation_accuracy", &rows);
+}

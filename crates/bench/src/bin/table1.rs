@@ -1,0 +1,79 @@
+//! Regenerates **Table I**: the FINN engines of the CIFAR-10 network,
+//! extended with the §III-A feature sizes (total weight size, threshold
+//! memory width, per-image binary MACs).
+
+use mp_bench::TextTable;
+use mp_bnn::FinnTopology;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct EngineRecord {
+    name: String,
+    input: String,
+    output: String,
+    weight_rows: usize,
+    weight_cols: usize,
+    total_weight_bits: u64,
+    threshold_bits: usize,
+    macs_per_image: u64,
+    pool_after: bool,
+}
+
+fn main() {
+    let topology = FinnTopology::paper();
+    let engines = topology.engines();
+    let mut table = TextTable::new(&[
+        "engine",
+        "input (ID×IH×IW)",
+        "output (OD×OH×OW)",
+        "weight size (OD×K·K·ID)",
+        "thr bits",
+        "MACs/image",
+        "pool",
+    ]);
+    let mut records = Vec::new();
+    for e in &engines {
+        let input = format!("{}×{}×{}", e.in_channels, e.in_height, e.in_width);
+        let output = format!("{}×{}×{}", e.out_channels, e.out_height, e.out_width);
+        table.row(&[
+            e.name.clone(),
+            input.clone(),
+            output.clone(),
+            format!(
+                "{}×{} = {}",
+                e.weight_rows(),
+                e.weight_cols(),
+                e.total_weight_bits()
+            ),
+            e.threshold_bits.to_string(),
+            e.macs_per_image().to_string(),
+            if e.pool_after {
+                "2×2".into()
+            } else {
+                "-".into()
+            },
+        ]);
+        records.push(EngineRecord {
+            name: e.name.clone(),
+            input,
+            output,
+            weight_rows: e.weight_rows(),
+            weight_cols: e.weight_cols(),
+            total_weight_bits: e.total_weight_bits(),
+            threshold_bits: e.threshold_bits,
+            macs_per_image: e.macs_per_image(),
+            pool_after: e.pool_after,
+        });
+    }
+    table.print("Table I: FINN engines for CIFAR-10 (32×32 RGB input, no zero padding)");
+    println!(
+        "\ntotal single-bit weights: {} bits ({:.2} Mbit)",
+        topology.total_weight_bits(),
+        topology.total_weight_bits() as f64 / 1e6
+    );
+    println!(
+        "total binary MACs per image: {}",
+        engines.iter().map(|e| e.macs_per_image()).sum::<u64>()
+    );
+    mp_bench::write_record("table1", &records);
+}

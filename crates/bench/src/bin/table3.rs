@@ -1,0 +1,45 @@
+//! Regenerates **Table III**: the three host networks (Model A =
+//! cuda-convnet, Model B = Network in Network, Model C = All-CNN),
+//! extended with parameter and multiply–accumulate counts per layer.
+
+use mp_bench::TextTable;
+use mp_host::zoo::{self, ModelId};
+use mp_tensor::init::TensorRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ModelRecord {
+    model: String,
+    layers: Vec<(String, u64, u64)>,
+    total_macs: u64,
+    total_params: u64,
+}
+
+fn main() {
+    let mut rng = TensorRng::seed_from(0);
+    let mut records = Vec::new();
+    for id in ModelId::ALL {
+        let net = zoo::build_paper(id, &mut rng).expect("zoo model builds");
+        let costs = net.layer_costs().expect("costs computable");
+        let mut table = TextTable::new(&["layer", "MACs", "params"]);
+        let mut layers = Vec::new();
+        for (name, cost) in &costs {
+            table.row(&[name.clone(), cost.macs.to_string(), cost.params.to_string()]);
+            layers.push((name.clone(), cost.macs, cost.params));
+        }
+        let total = net.total_cost().expect("costs computable");
+        table.row(&[
+            "TOTAL".into(),
+            total.macs.to_string(),
+            total.params.to_string(),
+        ]);
+        table.print(&format!("Table III: {}", id.name()));
+        records.push(ModelRecord {
+            model: id.name().to_string(),
+            layers,
+            total_macs: total.macs,
+            total_params: total.params,
+        });
+    }
+    mp_bench::write_record("table3", &records);
+}

@@ -1,0 +1,90 @@
+//! Regenerates **Table IV**: standalone accuracy and images/second of
+//! Models A, B, C on the ARM host and FINN on the FPGA.
+//!
+//! Accuracy comes from networks trained on the synthetic dataset (the
+//! `Fast` profile topologies); images/second comes from the calibrated
+//! ARM cost model over the *paper-size* topologies and the FPGA cycle
+//! model's selected ~430 img/s design — see DESIGN.md §2 for the
+//! substitution rationale.
+
+use mp_bench::{CliOptions, TextTable};
+use mp_bnn::FinnTopology;
+use mp_core::experiment::TrainedSystem;
+use mp_fpga::{design::DesignPoint, device::Device, folding::FoldingSearch};
+use mp_host::zoo::{self, ModelId};
+use mp_host::ArmHost;
+use mp_tensor::init::TensorRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table4Row {
+    system: String,
+    measured_accuracy: f64,
+    paper_accuracy: f64,
+    images_per_sec: f64,
+    paper_images_per_sec: f64,
+}
+
+fn main() {
+    let opts = CliOptions::parse();
+    let config = opts.experiment_config();
+    eprintln!("training system (seed {})…", opts.seed);
+    let system = TrainedSystem::prepare(&config).expect("system trains");
+    let arm = ArmHost::calibrated_zc702().expect("calibration");
+    let mut rng = TensorRng::seed_from(0);
+
+    // FINN: the selected 430 img/s partitioned design on the ZC702.
+    let engines = FinnTopology::paper().engines();
+    let device = Device::zc702();
+    let folding = FoldingSearch::new(&engines).balanced((device.clock_hz / 430.0) as u64);
+    let finn = DesignPoint::evaluate(&engines, &folding, &device, true);
+
+    let mut table = TextTable::new(&[
+        "system",
+        "accuracy (measured)",
+        "accuracy (paper)",
+        "img/s (model)",
+        "img/s (paper)",
+    ]);
+    let mut rows = Vec::new();
+    for id in ModelId::ALL {
+        let cost = zoo::build_paper(id, &mut rng)
+            .expect("zoo model builds")
+            .total_cost()
+            .expect("costs computable");
+        let fps = arm.images_per_sec(&cost);
+        let row = Table4Row {
+            system: id.name().to_string(),
+            measured_accuracy: system.host_accuracy(id),
+            paper_accuracy: id.paper_accuracy() as f64,
+            images_per_sec: fps,
+            paper_images_per_sec: id.paper_images_per_sec(),
+        };
+        table.row(&[
+            row.system.clone(),
+            format!("{:.1}%", 100.0 * row.measured_accuracy),
+            format!("{:.1}%", 100.0 * row.paper_accuracy),
+            format!("{:.2}", row.images_per_sec),
+            format!("{:.2}", row.paper_images_per_sec),
+        ]);
+        rows.push(row);
+    }
+    let finn_row = Table4Row {
+        system: "FINN (FPGA)".into(),
+        measured_accuracy: system.bnn_test_accuracy,
+        paper_accuracy: 0.785,
+        images_per_sec: finn.obtained_fps,
+        paper_images_per_sec: 430.15,
+    };
+    table.row(&[
+        finn_row.system.clone(),
+        format!("{:.1}%", 100.0 * finn_row.measured_accuracy),
+        "78.5%".into(),
+        format!("{:.2}", finn_row.images_per_sec),
+        "430.15".into(),
+    ]);
+    rows.push(finn_row);
+    table.print("Table IV: non-heterogeneous classification (host models vs FINN)");
+    println!("\nshape check: FINN ≫ A ≫ B ≈ C in throughput; BNN < A < B ≤ C in accuracy");
+    mp_bench::write_record("table4", &rows);
+}

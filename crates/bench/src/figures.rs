@@ -1,0 +1,110 @@
+//! Shared sweep machinery for Figs. 3 and 4.
+
+use serde::Serialize;
+
+use mp_bnn::FinnTopology;
+use mp_fpga::{design::DesignPoint, device::Device, folding::FoldingSearch};
+
+use crate::TextTable;
+
+/// One x-axis point of Fig. 3/4.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigRecord {
+    /// Total PE count (x-axis).
+    pub total_pe: usize,
+    /// Analytic throughput, eqs. (3)–(5).
+    pub expected_fps: f64,
+    /// Throughput after transfer overhead (and partition penalty).
+    pub obtained_fps: f64,
+    /// BRAM-18K blocks.
+    pub bram_18k: u64,
+    /// BRAM utilisation of the ZC702, percent.
+    pub bram_pct: f64,
+    /// LUT utilisation, percent.
+    pub lut_pct: f64,
+    /// Parameter-memory storage efficiency.
+    pub parameter_bram_efficiency: f64,
+    /// Whether the design fits the ZC702.
+    pub fits_device: bool,
+}
+
+/// Runs the Fig. 3/4 folding sweep over the paper's network.
+pub fn sweep(partitioned: bool) -> Vec<(DesignPoint, FigRecord)> {
+    let engines = FinnTopology::paper().engines();
+    let device = Device::zc702();
+    // Latency targets from ~25 kcycles (aggressive) to ~1 Mcycle (minimal
+    // parallelism), covering the paper's 20–100 total-PE span.
+    let foldings = FoldingSearch::new(&engines).sweep(25_000, 1_000_000, 16);
+    foldings
+        .into_iter()
+        .map(|folding| {
+            let p = DesignPoint::evaluate(&engines, &folding, &device, partitioned);
+            let r = FigRecord {
+                total_pe: p.total_pe,
+                expected_fps: p.expected_fps,
+                obtained_fps: p.obtained_fps,
+                bram_18k: p.bram_18k,
+                bram_pct: p.bram_pct,
+                lut_pct: p.lut_pct,
+                parameter_bram_efficiency: p.parameter_bram_efficiency,
+                fits_device: p.fits(&device),
+            };
+            (p, r)
+        })
+        .collect()
+}
+
+/// Prints a Fig. 3/4 sweep as the figure's two panels in table form.
+pub fn print_figure(title: &str, points: &[(DesignPoint, FigRecord)]) {
+    let mut table = TextTable::new(&[
+        "total PE",
+        "expected img/s",
+        "obtained img/s",
+        "BRAM_18K",
+        "BRAM %",
+        "LUT %",
+        "param BRAM eff",
+        "fits ZC702",
+    ]);
+    for (_, r) in points {
+        table.row(&[
+            r.total_pe.to_string(),
+            format!("{:.0}", r.expected_fps),
+            format!("{:.0}", r.obtained_fps),
+            r.bram_18k.to_string(),
+            format!("{:.0}", r.bram_pct),
+            format!("{:.0}", r.lut_pct),
+            format!("{:.2}", r.parameter_bram_efficiency),
+            if r.fits_device {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    table.print(title);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_multiple_points() {
+        let pts = sweep(false);
+        assert!(pts.len() >= 5);
+        // PE counts ascend.
+        for pair in pts.windows(2) {
+            assert!(pair[0].1.total_pe <= pair[1].1.total_pe);
+        }
+    }
+
+    #[test]
+    fn partitioned_sweep_uses_less_bram() {
+        let naive = sweep(false);
+        let part = sweep(true);
+        let naive_total: u64 = naive.iter().map(|(_, r)| r.bram_18k).sum();
+        let part_total: u64 = part.iter().map(|(_, r)| r.bram_18k).sum();
+        assert!(part_total < naive_total);
+    }
+}

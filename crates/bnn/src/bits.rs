@@ -1,0 +1,302 @@
+//! Bit-packed ±1 vectors and matrices with XNOR–popcount arithmetic.
+//!
+//! A binarised value `+1` is stored as bit `1`, `−1` as bit `0`. The dot
+//! product of two ±1 vectors of length `n` is then
+//!
+//! ```text
+//! a·b = 2·popcount(XNOR(a, b)) − n
+//! ```
+//!
+//! which is the arithmetic FINN's processing elements implement with
+//! LUT-based XNOR gates and popcount trees. [`BitVec::xnor_dot`] is the
+//! software equivalent, operating on 64-bit words.
+
+use serde::{Deserialize, Serialize};
+
+/// A bit-packed vector of ±1 values.
+///
+/// # Example
+///
+/// ```
+/// use mp_bnn::bits::BitVec;
+///
+/// let a = BitVec::from_signs(&[1.0, -1.0, 1.0]);
+/// let b = BitVec::from_signs(&[1.0, 1.0, -1.0]);
+/// // (+1·+1) + (−1·+1) + (+1·−1) = −1
+/// assert_eq!(a.xnor_dot(&b), -1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all `−1` (all-zero-bit) vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Packs the signs of a float slice (`x >= 0` maps to `+1`).
+    ///
+    /// The `sign(0) = +1` convention follows BinaryNet.
+    pub fn from_signs(values: &[f32]) -> Self {
+        let mut v = Self::zeros(values.len());
+        for (i, &x) in values.iter().enumerate() {
+            if x >= 0.0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Packs a boolean slice (`true` maps to `+1`).
+    pub fn from_bools(values: &[bool]) -> Self {
+        let mut v = Self::zeros(values.len());
+        for (i, &b) in values.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of ±1 entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i` (`true` = `+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds for {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i` (`true` = `+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of bounds for {}", self.len);
+        let word = &mut self.words[i / 64];
+        if value {
+            *word |= 1 << (i % 64);
+        } else {
+            *word &= !(1 << (i % 64));
+        }
+    }
+
+    /// Unpacks into ±1 floats.
+    pub fn to_signs(&self) -> Vec<f32> {
+        (0..self.len)
+            .map(|i| if self.get(i) { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    /// Number of `+1` entries.
+    pub fn count_ones(&self) -> u32 {
+        // Trailing bits beyond `len` are maintained zero by `set`.
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// ±1 dot product via XNOR–popcount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xnor_dot(&self, other: &BitVec) -> i32 {
+        assert_eq!(self.len, other.len, "xnor_dot length mismatch");
+        let mut matches = 0u32;
+        let full_words = self.len / 64;
+        for w in 0..full_words {
+            matches += (!(self.words[w] ^ other.words[w])).count_ones();
+        }
+        let tail = self.len % 64;
+        if tail > 0 {
+            let mask = (1u64 << tail) - 1;
+            matches += ((!(self.words[full_words] ^ other.words[full_words])) & mask).count_ones();
+        }
+        2 * matches as i32 - self.len as i32
+    }
+
+    /// Popcount of the XNOR (number of agreeing positions).
+    ///
+    /// This is the raw quantity a FINN PE accumulates before its
+    /// threshold comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xnor_popcount(&self, other: &BitVec) -> u32 {
+        let dot = self.xnor_dot(other);
+        ((dot + self.len as i32) / 2) as u32
+    }
+}
+
+/// A bit-packed matrix of ±1 values, one [`BitVec`] per row.
+///
+/// Used for binarised weight matrices (`[outputs, fan_in]`, matching the
+/// FINN weight memory layout where each PE holds full rows).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    rows: Vec<BitVec>,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// Packs the signs of a row-major float matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols`.
+    pub fn from_signs(rows: usize, cols: usize, values: &[f32]) -> Self {
+        assert_eq!(values.len(), rows * cols, "matrix size mismatch");
+        Self {
+            rows: (0..rows)
+                .map(|r| BitVec::from_signs(&values[r * cols..(r + 1) * cols]))
+                .collect(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &BitVec {
+        &self.rows[r]
+    }
+
+    /// Matrix–vector product against a packed ±1 vector, one integer
+    /// accumulation per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_cols()`.
+    pub fn xnor_matvec(&self, x: &BitVec) -> Vec<i32> {
+        self.rows.iter().map(|row| row.xnor_dot(x)).collect()
+    }
+
+    /// Total storage bits (the quantity FINN places in on-chip memory).
+    pub fn weight_bits(&self) -> u64 {
+        (self.num_rows() * self.cols) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let signs = [1.0, -1.0, -1.0, 1.0, 1.0];
+        let v = BitVec::from_signs(&signs);
+        assert_eq!(v.to_signs(), signs);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn sign_zero_is_positive() {
+        let v = BitVec::from_signs(&[0.0]);
+        assert!(v.get(0));
+    }
+
+    #[test]
+    fn xnor_dot_matches_float_dot() {
+        let a = [1.0f32, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0];
+        let b = [-1.0f32, -1.0, 1.0, -1.0, -1.0, 1.0, 1.0];
+        let expect: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        let dot = BitVec::from_signs(&a).xnor_dot(&BitVec::from_signs(&b));
+        assert_eq!(dot, expect as i32);
+    }
+
+    #[test]
+    fn xnor_dot_spans_word_boundaries() {
+        // 130 entries crosses two u64 words.
+        let a: Vec<f32> = (0..130)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let b: Vec<f32> = (0..130)
+            .map(|i| if i % 5 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let expect: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        let dot = BitVec::from_signs(&a).xnor_dot(&BitVec::from_signs(&b));
+        assert_eq!(dot, expect as i32);
+    }
+
+    #[test]
+    fn popcount_relation_holds() {
+        let a = BitVec::from_signs(&[1.0, -1.0, 1.0, -1.0]);
+        let b = BitVec::from_signs(&[1.0, 1.0, 1.0, -1.0]);
+        let pc = a.xnor_popcount(&b);
+        assert_eq!(2 * pc as i32 - 4, a.xnor_dot(&b));
+        assert_eq!(pc, 3);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut v = BitVec::zeros(70);
+        v.set(69, true);
+        assert!(v.get(69));
+        assert!(!v.get(68));
+        v.set(69, false);
+        assert!(!v.get(69));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        let v = BitVec::zeros(3);
+        let _ = v.get(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_checked() {
+        let _ = BitVec::zeros(3).xnor_dot(&BitVec::zeros(4));
+    }
+
+    #[test]
+    fn matrix_matvec_matches_rowwise() {
+        let w = [1.0f32, -1.0, 1.0, /* row 2 */ -1.0, -1.0, 1.0];
+        let m = BitMatrix::from_signs(2, 3, &w);
+        let x = BitVec::from_signs(&[1.0, 1.0, -1.0]);
+        let y = m.xnor_matvec(&x);
+        assert_eq!(y, vec![1 - 1 - 1, -1 - 1 - 1]);
+        assert_eq!(m.weight_bits(), 6);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.num_cols(), 3);
+    }
+
+    #[test]
+    fn from_bools_matches_from_signs() {
+        let bools = [true, false, true];
+        let signs = [1.0, -1.0, 1.0];
+        assert_eq!(BitVec::from_bools(&bools), BitVec::from_signs(&signs));
+    }
+}

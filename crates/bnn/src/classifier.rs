@@ -1,0 +1,447 @@
+use mp_nn::layers::{BatchNorm, MaxPool2d};
+use mp_nn::train::Model;
+use mp_nn::{Layer, Mode};
+use mp_tensor::init::TensorRng;
+use mp_tensor::{Shape, ShapeError, Tensor};
+
+use crate::ste::{BinConv2d, BinLinear, QuantActivation};
+use crate::FinnTopology;
+
+/// One trainable stage of the binarised classifier.
+///
+/// Stages keep their concrete layer types (instead of `Box<dyn Layer>`)
+/// because hardware export needs the latent weights and the batch-norm
+/// statistics of each block.
+#[derive(Debug)]
+pub(crate) enum Stage {
+    /// `BinConv → BatchNorm → Quant/Sign [→ MaxPool]`.
+    Conv {
+        conv: BinConv2d,
+        bn: BatchNorm,
+        sign: QuantActivation,
+        pool: Option<MaxPool2d>,
+    },
+    /// Reshape `[N,C,H,W] → [N,C·H·W]` between conv and FC stages.
+    Flatten { cached_shape: Option<Shape> },
+    /// `BinLinear → BatchNorm → Quant/Sign`.
+    Fc {
+        fc: BinLinear,
+        bn: BatchNorm,
+        sign: QuantActivation,
+    },
+    /// Final `BinLinear`, producing scaled integer scores, no activation.
+    Output { fc: BinLinear, scale: f32 },
+}
+
+/// The trainable binarised classifier in the FINN topology of Table I.
+///
+/// Implements [`Model`] so it trains with the shared
+/// [`Trainer`](mp_nn::train::Trainer); after training, call
+/// [`HardwareBnn::from_classifier`](crate::HardwareBnn::from_classifier)
+/// to fold batch-norms into thresholds and pack weights into bits.
+///
+/// # Example
+///
+/// ```
+/// use mp_bnn::{BnnClassifier, FinnTopology};
+/// use mp_tensor::{init::TensorRng, Shape, Tensor};
+///
+/// # fn main() -> Result<(), mp_tensor::ShapeError> {
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut bnn = BnnClassifier::new(FinnTopology::scaled(8, 8, 8), &mut rng)?;
+/// let scores = bnn.infer(&Tensor::zeros(Shape::nchw(2, 3, 8, 8)))?;
+/// assert_eq!(scores.shape().dims(), &[2, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BnnClassifier {
+    topology: FinnTopology,
+    activation_bits: usize,
+    pub(crate) stages: Vec<Stage>,
+}
+
+impl BnnClassifier {
+    /// Builds an untrained, fully-binarised classifier for `topology`
+    /// (single-bit inner activations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the topology's engines cannot be
+    /// instantiated (e.g. zero-sized layers).
+    pub fn new(topology: FinnTopology, rng: &mut TensorRng) -> Result<Self, ShapeError> {
+        Self::with_activation_bits(topology, 1, rng)
+    }
+
+    /// Builds a **partially-binarised** classifier: binary weights but
+    /// `activation_bits`-wide inner activations (paper §II and future
+    /// work). `activation_bits = 1` is the fully-binarised network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `activation_bits` is invalid or the
+    /// topology's engines cannot be instantiated.
+    pub fn with_activation_bits(
+        topology: FinnTopology,
+        activation_bits: usize,
+        rng: &mut TensorRng,
+    ) -> Result<Self, ShapeError> {
+        let mut stages = Vec::new();
+        let mut c = topology.channels();
+        for (&oc, &pool) in topology.conv_channels().iter().zip(topology.pool_flags()) {
+            stages.push(Stage::Conv {
+                conv: BinConv2d::new(c, oc, 3, 1, 0, rng)?,
+                bn: BatchNorm::new(oc, 0.9, 1e-4)?,
+                sign: QuantActivation::new(activation_bits)?,
+                pool: pool.then(|| MaxPool2d::new(2, 2)).transpose()?,
+            });
+            c = oc;
+        }
+        stages.push(Stage::Flatten { cached_shape: None });
+        // Flattened feature count comes from the engine derivation.
+        let engines = topology.engines();
+        let first_fc = engines
+            .iter()
+            .find(|e| e.kind == crate::EngineKind::Fc)
+            .expect("topology always has FC engines");
+        let mut features = first_fc.in_channels;
+        let fc_sizes = topology.fc_sizes();
+        for (i, &of) in fc_sizes.iter().enumerate() {
+            if i + 1 == fc_sizes.len() {
+                stages.push(Stage::Output {
+                    fc: BinLinear::new(features, of, rng)?,
+                    // Scale logits to keep cross-entropy gradients sane;
+                    // monotone per-image, so hardware argmax is unchanged.
+                    scale: 1.0 / (features as f32).sqrt(),
+                });
+            } else {
+                stages.push(Stage::Fc {
+                    fc: BinLinear::new(features, of, rng)?,
+                    bn: BatchNorm::new(of, 0.9, 1e-4)?,
+                    sign: QuantActivation::new(activation_bits)?,
+                });
+            }
+            features = of;
+        }
+        Ok(Self {
+            topology,
+            activation_bits,
+            stages,
+        })
+    }
+
+    /// The classifier's topology.
+    pub fn topology(&self) -> &FinnTopology {
+        &self.topology
+    }
+
+    /// Inner activation width in bits (1 = fully binarised).
+    pub fn activation_bits(&self) -> usize {
+        self.activation_bits
+    }
+
+    /// Inference: returns `[N, classes]` scores (the first
+    /// `classes` outputs of the padded final engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `images` does not match the topology.
+    pub fn infer(&mut self, images: &Tensor) -> Result<Tensor, ShapeError> {
+        self.forward_mode(images, Mode::Infer)
+    }
+
+    fn slice_classes(&self, padded: Tensor) -> Result<Tensor, ShapeError> {
+        let n = padded.shape().dim(0);
+        let width = padded.shape().dim(1);
+        let classes = self.topology.classes();
+        if width == classes {
+            return Ok(padded);
+        }
+        let mut data = Vec::with_capacity(n * classes);
+        for row in 0..n {
+            data.extend_from_slice(&padded.as_slice()[row * width..row * width + classes]);
+        }
+        Tensor::from_vec(Shape::matrix(n, classes), data)
+    }
+
+    fn unslice_grad(&self, grad: &Tensor, width: usize) -> Result<Tensor, ShapeError> {
+        let n = grad.shape().dim(0);
+        let classes = self.topology.classes();
+        if width == classes {
+            return Ok(grad.clone());
+        }
+        let mut full = Tensor::zeros(Shape::matrix(n, width));
+        for row in 0..n {
+            full.as_mut_slice()[row * width..row * width + classes]
+                .copy_from_slice(&grad.as_slice()[row * classes..(row + 1) * classes]);
+        }
+        Ok(full)
+    }
+
+    fn final_width(&self) -> usize {
+        *self
+            .topology
+            .fc_sizes()
+            .last()
+            .expect("topology always has FC engines")
+    }
+}
+
+impl Model for BnnClassifier {
+    fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, ShapeError> {
+        let mut x = input.clone();
+        for stage in &mut self.stages {
+            x = match stage {
+                Stage::Conv {
+                    conv,
+                    bn,
+                    sign,
+                    pool,
+                } => {
+                    let mut y = conv.forward(&x, mode)?;
+                    y = bn.forward(&y, mode)?;
+                    y = sign.forward(&y, mode)?;
+                    if let Some(pool) = pool {
+                        y = pool.forward(&y, mode)?;
+                    }
+                    y
+                }
+                Stage::Flatten { cached_shape } => {
+                    if mode.is_train() {
+                        *cached_shape = Some(x.shape().clone());
+                    }
+                    let n = x.shape().dim(0);
+                    let features = x.len() / n.max(1);
+                    x.reshape([n, features])?
+                }
+                Stage::Fc { fc, bn, sign } => {
+                    let mut y = fc.forward(&x, mode)?;
+                    y = bn.forward(&y, mode)?;
+                    sign.forward(&y, mode)?
+                }
+                Stage::Output { fc, scale } => {
+                    let mut y = fc.forward(&x, mode)?;
+                    y.scale(*scale);
+                    y
+                }
+            };
+        }
+        self.slice_classes(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {
+        let mut g = self.unslice_grad(grad_output, self.final_width())?;
+        for stage in self.stages.iter_mut().rev() {
+            g = match stage {
+                Stage::Conv {
+                    conv,
+                    bn,
+                    sign,
+                    pool,
+                } => {
+                    let mut d = g;
+                    if let Some(pool) = pool {
+                        d = pool.backward(&d)?;
+                    }
+                    d = sign.backward(&d)?;
+                    d = bn.backward(&d)?;
+                    conv.backward(&d)?
+                }
+                Stage::Flatten { cached_shape } => {
+                    let shape = cached_shape.take().ok_or_else(|| {
+                        ShapeError::new(
+                            "BnnClassifier",
+                            "backward called without a preceding training-mode forward",
+                        )
+                    })?;
+                    g.reshape(shape)?
+                }
+                Stage::Fc { fc, bn, sign } => {
+                    let d = sign.backward(&g)?;
+                    let d = bn.backward(&d)?;
+                    fc.backward(&d)?
+                }
+                Stage::Output { fc, scale } => {
+                    let mut d = g.clone();
+                    d.scale(*scale);
+                    fc.backward(&d)?
+                }
+            };
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for stage in &mut self.stages {
+            match stage {
+                Stage::Conv { conv, bn, .. } => {
+                    conv.visit_params(visitor);
+                    bn.visit_params(visitor);
+                }
+                Stage::Fc { fc, bn, .. } => {
+                    fc.visit_params(visitor);
+                    bn.visit_params(visitor);
+                }
+                Stage::Output { fc, .. } => fc.visit_params(visitor),
+                Stage::Flatten { .. } => {}
+            }
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        for stage in &mut self.stages {
+            match stage {
+                Stage::Conv { conv, bn, .. } => {
+                    conv.zero_grads();
+                    bn.zero_grads();
+                }
+                Stage::Fc { fc, bn, .. } => {
+                    fc.zero_grads();
+                    bn.zero_grads();
+                }
+                Stage::Output { fc, .. } => fc.zero_grads(),
+                Stage::Flatten { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_nn::train::{Sgd, Trainer};
+    use mp_tensor::init::TensorRng;
+
+    fn tiny_classifier(seed: u64) -> BnnClassifier {
+        let mut rng = TensorRng::seed_from(seed);
+        BnnClassifier::new(FinnTopology::scaled(8, 8, 8), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn infer_produces_class_scores() {
+        let mut bnn = tiny_classifier(60);
+        let mut rng = TensorRng::seed_from(61);
+        let x = rng.normal(Shape::nchw(3, 3, 8, 8), 0.0, 1.0);
+        let scores = bnn.infer(&x).unwrap();
+        assert_eq!(scores.shape().dims(), &[3, 10]);
+        assert!(scores.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_backward_round_trip() {
+        let mut bnn = tiny_classifier(62);
+        let mut rng = TensorRng::seed_from(63);
+        let x = rng.normal(Shape::nchw(2, 3, 8, 8), 0.0, 1.0);
+        let y = bnn.forward_mode(&x, Mode::Train).unwrap();
+        let dx = bnn.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn params_include_all_stages() {
+        let mut bnn = tiny_classifier(64);
+        let mut count = 0;
+        bnn.visit_params(&mut |_, _| count += 1);
+        // 2 conv stages: (w + γ + β) ×2 = 6; 2 FC stages: 6; output: 1.
+        assert_eq!(count, 13);
+    }
+
+    #[test]
+    fn training_improves_over_initialisation() {
+        // A 2-class separable toy problem in image form.
+        let mut rng = TensorRng::seed_from(65);
+        let n = 60;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let level: f32 = if class == 0 { -0.8 } else { 0.8 };
+            for _ in 0..(3 * 8 * 8) {
+                data.push(level + rng.next_gaussian(0.0, 0.4));
+            }
+            labels.push(class);
+        }
+        let x = Tensor::from_vec(Shape::nchw(n, 3, 8, 8), data).unwrap();
+        let mut bnn = tiny_classifier(66);
+        let mut trainer = Trainer::new(Sgd::new(0.01).momentum(0.9), 10);
+        let before = trainer.evaluate(&mut bnn, &x, &labels).unwrap();
+        for _ in 0..12 {
+            trainer
+                .train_epoch(&mut bnn, &x, &labels, &mut rng)
+                .unwrap();
+        }
+        let after = trainer.evaluate(&mut bnn, &x, &labels).unwrap();
+        assert!(
+            after > before.max(0.75),
+            "training did not help: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn inner_activations_are_binary() {
+        let mut bnn = tiny_classifier(67);
+        let mut rng = TensorRng::seed_from(68);
+        let x = rng.normal(Shape::nchw(1, 3, 8, 8), 0.0, 1.0);
+        // Run the first conv stage manually and inspect the sign output.
+        if let Stage::Conv { conv, bn, sign, .. } = &mut bnn.stages[0] {
+            let y = conv.forward(&x, Mode::Infer).unwrap();
+            let y = bn.forward(&y, Mode::Infer).unwrap();
+            let y = sign.forward(&y, Mode::Infer).unwrap();
+            assert!(y.iter().all(|&v| v == 1.0 || v == -1.0));
+        } else {
+            panic!("first stage must be conv");
+        }
+    }
+
+    #[test]
+    fn partially_binarised_classifier_trains_and_rejects_export() {
+        use crate::HardwareBnn;
+        let mut rng = TensorRng::seed_from(200);
+        let mut bnn =
+            BnnClassifier::with_activation_bits(FinnTopology::scaled(8, 8, 8), 2, &mut rng)
+                .unwrap();
+        assert_eq!(bnn.activation_bits(), 2);
+        let x = rng.normal(Shape::nchw(2, 3, 8, 8), 0.0, 1.0);
+        let y = bnn.forward_mode(&x, Mode::Train).unwrap();
+        bnn.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        // Inner activations now take 4 levels, not 2.
+        if let Stage::Conv { conv, bn, sign, .. } = &mut bnn.stages[0] {
+            let a = conv.forward(&x, Mode::Infer).unwrap();
+            let a = bn.forward(&a, Mode::Infer).unwrap();
+            let a = sign.forward(&a, Mode::Infer).unwrap();
+            let third = 1.0 / 3.0;
+            assert!(a.iter().all(|&v| {
+                (v - 1.0).abs() < 1e-6
+                    || (v + 1.0).abs() < 1e-6
+                    || (v - third).abs() < 1e-6
+                    || (v + third).abs() < 1e-6
+            }));
+            assert!(a.iter().any(|&v| v.abs() < 0.5), "mid levels used");
+        } else {
+            panic!("first stage must be conv");
+        }
+        // The XNOR hardware fold only exists for 1-bit activations.
+        assert!(HardwareBnn::from_classifier(&bnn).is_err());
+    }
+
+    #[test]
+    fn one_bit_constructor_matches_default() {
+        let mut a = BnnClassifier::new(FinnTopology::scaled(8, 8, 8), &mut TensorRng::seed_from(7))
+            .unwrap();
+        let mut b = BnnClassifier::with_activation_bits(
+            FinnTopology::scaled(8, 8, 8),
+            1,
+            &mut TensorRng::seed_from(7),
+        )
+        .unwrap();
+        let mut rng = TensorRng::seed_from(8);
+        let x = rng.normal(Shape::nchw(2, 3, 8, 8), 0.0, 1.0);
+        assert_eq!(a.infer(&x).unwrap(), b.infer(&x).unwrap());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut bnn = tiny_classifier(69);
+        assert!(bnn.backward(&Tensor::zeros([1, 10])).is_err());
+    }
+}

@@ -1,0 +1,572 @@
+//! The folded hardware view of a trained BNN.
+//!
+//! [`HardwareBnn`] is functionally what FINN synthesises onto the FPGA:
+//! bit-packed ±1 weight memories, integer threshold memories (each
+//! batch-norm + sign pair folded into one comparison, paper §II), an
+//! 8-bit fixed-point first stage, OR-based max-pooling over binary
+//! activations, and a final accumulate-only engine whose integer scores
+//! feed the DMU. `mp-fpga` attaches timing and memory models to this
+//! structure; here it executes functionally, bit-exactly.
+
+use serde::{Deserialize, Serialize};
+
+use mp_tensor::{Shape, ShapeError, Tensor};
+
+use crate::bits::{BitMatrix, BitVec};
+use crate::classifier::{BnnClassifier, Stage};
+use crate::{EngineSpec, FinnTopology};
+
+/// Fixed-point scale of the first engine's pixel inputs (Q2.6: range ±2,
+/// 1/64 resolution — the paper's first stage uses wider 24-bit threshold
+/// words to absorb this scaling).
+pub const INPUT_QUANT_SCALE: f32 = 64.0;
+
+/// Clamp range of first-stage pixel inputs.
+pub const INPUT_QUANT_RANGE: f32 = 2.0;
+
+/// A folded threshold: the integer comparison that replaces
+/// `sign(batch_norm(acc))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwThreshold {
+    /// Comparison bound on the integer accumulation.
+    pub bound: i64,
+    /// `false`: activation fires when `acc >= bound` (positive γ);
+    /// `true`: fires when `acc <= bound` (negative γ).
+    pub negate: bool,
+}
+
+impl HwThreshold {
+    /// Folds a float threshold `(t, negate)` at integer `scale`.
+    pub fn fold(t: f32, negate: bool, scale: f32) -> Self {
+        let scaled = t * scale;
+        if scaled.is_infinite() || scaled.is_nan() {
+            // Degenerate batch-norm (γ = 0): constant activation.
+            let bound = if (scaled < 0.0) != negate {
+                i64::MIN // always fires for >=; never for <=
+            } else {
+                i64::MAX
+            };
+            return Self { bound, negate };
+        }
+        let bound = if negate {
+            scaled.floor() as i64
+        } else {
+            scaled.ceil() as i64
+        };
+        Self { bound, negate }
+    }
+
+    /// Evaluates the activation for an integer accumulation.
+    pub fn fires(&self, acc: i64) -> bool {
+        if self.negate {
+            acc <= self.bound
+        } else {
+            acc >= self.bound
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum HwStage {
+    /// First engine: fixed-point pixels × binary weights.
+    FirstConv {
+        weights: BitMatrix,
+        thresholds: Vec<HwThreshold>,
+        in_channels: usize,
+        kernel: usize,
+        pool: bool,
+    },
+    /// Inner binary convolution engine.
+    BinConv {
+        weights: BitMatrix,
+        thresholds: Vec<HwThreshold>,
+        in_channels: usize,
+        kernel: usize,
+        pool: bool,
+    },
+    /// Inner binary FC engine.
+    BinFc {
+        weights: BitMatrix,
+        thresholds: Vec<HwThreshold>,
+    },
+    /// Final accumulate-only FC engine.
+    OutputFc { weights: BitMatrix },
+}
+
+/// Bit-exact functional model of the synthesised FINN accelerator.
+///
+/// # Example
+///
+/// ```
+/// use mp_bnn::{BnnClassifier, FinnTopology, HardwareBnn};
+/// use mp_tensor::{init::TensorRng, Shape, Tensor};
+///
+/// # fn main() -> Result<(), mp_tensor::ShapeError> {
+/// let mut rng = TensorRng::seed_from(0);
+/// let bnn = BnnClassifier::new(FinnTopology::scaled(8, 8, 8), &mut rng)?;
+/// let hw = HardwareBnn::from_classifier(&bnn)?;
+/// let scores = hw.infer_image(&Tensor::zeros(Shape::nchw(1, 3, 8, 8)))?;
+/// assert_eq!(scores.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HardwareBnn {
+    topology: FinnTopology,
+    stages: Vec<HwStage>,
+}
+
+impl HardwareBnn {
+    /// Folds a trained [`BnnClassifier`] into its hardware form.
+    ///
+    /// Batch-norm running statistics become integer thresholds; latent
+    /// weights become bit-packed signs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the classifier is structurally
+    /// inconsistent (which indicates a bug).
+    pub fn from_classifier(classifier: &BnnClassifier) -> Result<Self, ShapeError> {
+        if classifier.activation_bits() != 1 {
+            return Err(ShapeError::new(
+                "HardwareBnn::from_classifier",
+                format!(
+                    "only fully-binarised classifiers fold to the XNOR datapath; \
+                     this one has {}-bit activations (the area of wider datapaths \
+                     is modelled by mp-fpga's partial-binarisation support)",
+                    classifier.activation_bits()
+                ),
+            ));
+        }
+        let mut stages = Vec::new();
+        let mut first = true;
+        for stage in &classifier.stages {
+            match stage {
+                Stage::Conv { conv, bn, pool, .. } => {
+                    let wb = conv.binary_weight();
+                    let weights = BitMatrix::from_signs(
+                        conv.out_channels(),
+                        wb.shape().dim(1),
+                        wb.as_slice(),
+                    );
+                    let scale = if first { INPUT_QUANT_SCALE } else { 1.0 };
+                    let thresholds = bn
+                        .fold_threshold()
+                        .into_iter()
+                        .map(|(t, neg)| HwThreshold::fold(t, neg, scale))
+                        .collect();
+                    stages.push(if first {
+                        HwStage::FirstConv {
+                            weights,
+                            thresholds,
+                            in_channels: conv.in_channels(),
+                            kernel: conv.geometry().kernel,
+                            pool: pool.is_some(),
+                        }
+                    } else {
+                        HwStage::BinConv {
+                            weights,
+                            thresholds,
+                            in_channels: conv.in_channels(),
+                            kernel: conv.geometry().kernel,
+                            pool: pool.is_some(),
+                        }
+                    });
+                    first = false;
+                }
+                Stage::Fc { fc, bn, .. } => {
+                    let wb = fc.binary_weight();
+                    let weights =
+                        BitMatrix::from_signs(fc.out_features(), fc.in_features(), wb.as_slice());
+                    let thresholds = bn
+                        .fold_threshold()
+                        .into_iter()
+                        .map(|(t, neg)| HwThreshold::fold(t, neg, 1.0))
+                        .collect();
+                    stages.push(HwStage::BinFc {
+                        weights,
+                        thresholds,
+                    });
+                }
+                Stage::Output { fc, .. } => {
+                    let wb = fc.binary_weight();
+                    let weights =
+                        BitMatrix::from_signs(fc.out_features(), fc.in_features(), wb.as_slice());
+                    stages.push(HwStage::OutputFc { weights });
+                }
+                Stage::Flatten { .. } => {}
+            }
+        }
+        Ok(Self {
+            topology: classifier.topology().clone(),
+            stages,
+        })
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &FinnTopology {
+        &self.topology
+    }
+
+    /// Engine dimension records (for the FPGA timing/memory model).
+    pub fn engines(&self) -> Vec<EngineSpec> {
+        self.topology.engines()
+    }
+
+    /// Quantises one pixel to the first engine's fixed-point grid.
+    pub fn quantize_pixel(x: f32) -> i64 {
+        (x.clamp(-INPUT_QUANT_RANGE, INPUT_QUANT_RANGE) * INPUT_QUANT_SCALE).round() as i64
+    }
+
+    /// Runs one `[1, C, H, W]` image through the accelerator, returning
+    /// the `classes` integer scores of the final engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the image does not match the topology.
+    pub fn infer_image(&self, image: &Tensor) -> Result<Vec<i64>, ShapeError> {
+        let want = Shape::nchw(
+            1,
+            self.topology.channels(),
+            self.topology.height(),
+            self.topology.width(),
+        );
+        if image.shape() != &want {
+            return Err(ShapeError::new(
+                "HardwareBnn::infer_image",
+                format!("expected {want}, got {}", image.shape()),
+            ));
+        }
+        let mut bits: Vec<bool> = Vec::new();
+        let mut dims = (
+            self.topology.channels(),
+            self.topology.height(),
+            self.topology.width(),
+        );
+        let mut scores: Option<Vec<i64>> = None;
+        for stage in &self.stages {
+            match stage {
+                HwStage::FirstConv {
+                    weights,
+                    thresholds,
+                    in_channels,
+                    kernel,
+                    pool,
+                } => {
+                    let (c, h, w) = dims;
+                    debug_assert_eq!(c, *in_channels);
+                    let k = *kernel;
+                    let (oh, ow) = (h - k + 1, w - k + 1);
+                    let od = weights.num_rows();
+                    // Quantise pixels once.
+                    let q: Vec<i64> = image.iter().map(|&x| Self::quantize_pixel(x)).collect();
+                    let mut out = vec![false; od * oh * ow];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            // Gather the fixed-point patch in im2col row order.
+                            let mut patch = Vec::with_capacity(c * k * k);
+                            for ch in 0..c {
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        patch.push(q[(ch * h + oy + ky) * w + ox + kx]);
+                                    }
+                                }
+                            }
+                            for oc in 0..od {
+                                let row = weights.row(oc);
+                                let mut acc = 0i64;
+                                for (i, &x) in patch.iter().enumerate() {
+                                    acc += if row.get(i) { x } else { -x };
+                                }
+                                out[(oc * oh + oy) * ow + ox] = thresholds[oc].fires(acc);
+                            }
+                        }
+                    }
+                    dims = (od, oh, ow);
+                    bits = out;
+                    if *pool {
+                        let (nb, nd) = or_pool(&bits, dims);
+                        bits = nb;
+                        dims = nd;
+                    }
+                }
+                HwStage::BinConv {
+                    weights,
+                    thresholds,
+                    in_channels,
+                    kernel,
+                    pool,
+                } => {
+                    let (c, h, w) = dims;
+                    debug_assert_eq!(c, *in_channels);
+                    let k = *kernel;
+                    let (oh, ow) = (h - k + 1, w - k + 1);
+                    let od = weights.num_rows();
+                    let mut out = vec![false; od * oh * ow];
+                    let mut patch = BitVec::zeros(c * k * k);
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut idx = 0;
+                            for ch in 0..c {
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        patch.set(idx, bits[(ch * h + oy + ky) * w + ox + kx]);
+                                        idx += 1;
+                                    }
+                                }
+                            }
+                            for oc in 0..od {
+                                let acc = weights.row(oc).xnor_dot(&patch) as i64;
+                                out[(oc * oh + oy) * ow + ox] = thresholds[oc].fires(acc);
+                            }
+                        }
+                    }
+                    dims = (od, oh, ow);
+                    bits = out;
+                    if *pool {
+                        let (nb, nd) = or_pool(&bits, dims);
+                        bits = nb;
+                        dims = nd;
+                    }
+                }
+                HwStage::BinFc {
+                    weights,
+                    thresholds,
+                } => {
+                    let x = BitVec::from_bools(&bits);
+                    let acc = weights.xnor_matvec(&x);
+                    bits = acc
+                        .iter()
+                        .zip(thresholds)
+                        .map(|(&a, t)| t.fires(a as i64))
+                        .collect();
+                    dims = (bits.len(), 1, 1);
+                }
+                HwStage::OutputFc { weights } => {
+                    let x = BitVec::from_bools(&bits);
+                    let acc = weights.xnor_matvec(&x);
+                    scores = Some(
+                        acc.into_iter()
+                            .take(self.topology.classes())
+                            .map(i64::from)
+                            .collect(),
+                    );
+                }
+            }
+        }
+        scores.ok_or_else(|| ShapeError::new("HardwareBnn::infer_image", "no output engine"))
+    }
+
+    /// Classifies one image (argmax of the integer scores, first index
+    /// on ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the image does not match the topology.
+    pub fn classify(&self, image: &Tensor) -> Result<usize, ShapeError> {
+        let scores = self.infer_image(image)?;
+        let mut best = 0;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Runs a `[N, C, H, W]` batch, returning `[N, classes]` scores as
+    /// floats (for the DMU, which consumes BNN class scores).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the batch does not match the topology.
+    pub fn infer_batch(&self, images: &Tensor) -> Result<Tensor, ShapeError> {
+        let n = images.shape().dim(0);
+        let classes = self.topology.classes();
+        let mut data = Vec::with_capacity(n * classes);
+        for i in 0..n {
+            let img = images.batch_item(i)?;
+            let scores = self.infer_image(&img)?;
+            data.extend(scores.into_iter().map(|s| s as f32));
+        }
+        Tensor::from_vec(Shape::matrix(n, classes), data)
+    }
+}
+
+/// 2×2 OR pooling over binary activations (`max` of ±1 values).
+fn or_pool(bits: &[bool], (c, h, w): (usize, usize, usize)) -> (Vec<bool>, (usize, usize, usize)) {
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![false; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut v = false;
+                for ky in 0..2 {
+                    for kx in 0..2 {
+                        v |= bits[(ch * h + 2 * oy + ky) * w + 2 * ox + kx];
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = v;
+            }
+        }
+    }
+    (out, (c, oh, ow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_nn::train::Model;
+    use mp_tensor::init::TensorRng;
+
+    fn trained_tiny(seed: u64) -> BnnClassifier {
+        use mp_nn::Mode;
+        let mut rng = TensorRng::seed_from(seed);
+        let mut bnn = BnnClassifier::new(FinnTopology::scaled(8, 8, 8), &mut rng).unwrap();
+        // A few training-mode forwards to populate batch-norm statistics.
+        for _ in 0..4 {
+            let x = rng.normal(Shape::nchw(8, 3, 8, 8), 0.0, 1.0);
+            bnn.forward_mode(&x, Mode::Train).unwrap();
+        }
+        bnn
+    }
+
+    #[test]
+    fn threshold_fold_semantics() {
+        // Positive gamma: fires when acc >= ceil(t).
+        let t = HwThreshold::fold(2.3, false, 1.0);
+        assert!(!t.fires(2));
+        assert!(t.fires(3));
+        // Negative gamma: fires when acc <= floor(t).
+        let t = HwThreshold::fold(2.3, true, 1.0);
+        assert!(t.fires(2));
+        assert!(!t.fires(3));
+        // Integer threshold boundary is inclusive for >=.
+        let t = HwThreshold::fold(2.0, false, 1.0);
+        assert!(t.fires(2));
+    }
+
+    #[test]
+    fn threshold_fold_handles_degenerate_gamma() {
+        let always = HwThreshold::fold(f32::NEG_INFINITY, false, 1.0);
+        assert!(always.fires(i64::MIN + 1) && always.fires(0));
+        let never = HwThreshold::fold(f32::INFINITY, false, 1.0);
+        assert!(!never.fires(i64::MAX - 1) && !never.fires(0));
+    }
+
+    #[test]
+    fn quantize_pixel_grid() {
+        assert_eq!(HardwareBnn::quantize_pixel(0.0), 0);
+        assert_eq!(HardwareBnn::quantize_pixel(1.0), 64);
+        assert_eq!(HardwareBnn::quantize_pixel(-1.0), -64);
+        assert_eq!(HardwareBnn::quantize_pixel(100.0), 128); // clamped to ±2
+        assert_eq!(HardwareBnn::quantize_pixel(-100.0), -128);
+    }
+
+    #[test]
+    fn or_pool_is_max_of_signs() {
+        let bits = vec![
+            false, false, true, false, // 2×4 plane, channel 0
+            false, false, false, false,
+        ];
+        let (out, dims) = or_pool(&bits, (1, 2, 4));
+        assert_eq!(dims, (1, 1, 2));
+        assert_eq!(out, vec![false, true]);
+    }
+
+    #[test]
+    fn export_and_infer_shapes() {
+        let bnn = trained_tiny(70);
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let mut rng = TensorRng::seed_from(71);
+        let img = rng.normal(Shape::nchw(1, 3, 8, 8), 0.0, 1.0);
+        let scores = hw.infer_image(&img).unwrap();
+        assert_eq!(scores.len(), 10);
+        let batch = rng.normal(Shape::nchw(3, 3, 8, 8), 0.0, 1.0);
+        let t = hw.infer_batch(&batch).unwrap();
+        assert_eq!(t.shape().dims(), &[3, 10]);
+    }
+
+    #[test]
+    fn hardware_matches_float_classifier() {
+        // On inputs already on the fixed-point grid, the first stage is
+        // exact, so hardware and float paths must agree (up to f32
+        // borderline rounding in thresholds, which is measure-zero here).
+        let mut bnn = trained_tiny(72);
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let mut rng = TensorRng::seed_from(73);
+        let n = 24;
+        let raw = rng.normal(Shape::nchw(n, 3, 8, 8), 0.0, 1.0);
+        let quantised = raw.map(|x| HardwareBnn::quantize_pixel(x) as f32 / INPUT_QUANT_SCALE);
+        let float_scores = bnn.infer(&quantised).unwrap();
+        let float_preds = mp_nn::Network::argmax_rows(&float_scores).unwrap();
+        let mut agree = 0;
+        #[allow(clippy::needless_range_loop)] // i selects both image and prediction
+        for i in 0..n {
+            let img = quantised.batch_item(i).unwrap();
+            let hw_pred = hw.classify(&img).unwrap();
+            if hw_pred == float_preds[i] {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree >= n - 1,
+            "hardware and float paths disagree on {}/{n} images",
+            n - agree
+        );
+    }
+
+    #[test]
+    fn hardware_scores_match_float_scores_exactly_on_grid_inputs() {
+        let mut bnn = trained_tiny(74);
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let mut rng = TensorRng::seed_from(75);
+        let raw = rng.normal(Shape::nchw(4, 3, 8, 8), 0.0, 1.0);
+        let quantised = raw.map(|x| HardwareBnn::quantize_pixel(x) as f32 / INPUT_QUANT_SCALE);
+        // Float classifier scores are scaled by 1/sqrt(fan_in); undo it.
+        let float_scores = bnn.infer(&quantised).unwrap();
+        let fan_in = bnn.topology().fc_sizes()[bnn.topology().fc_sizes().len() - 2] as f32;
+        let mut exact = 0;
+        let total = 4 * 10;
+        for i in 0..4 {
+            let img = quantised.batch_item(i).unwrap();
+            let hw_scores = hw.infer_image(&img).unwrap();
+            for (j, &s) in hw_scores.iter().enumerate() {
+                let f = float_scores.as_slice()[i * 10 + j] * fan_in.sqrt();
+                if (f - s as f32).abs() < 0.5 {
+                    exact += 1;
+                }
+            }
+        }
+        assert!(
+            exact as f32 >= total as f32 * 0.9,
+            "only {exact}/{total} scores match"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_image_shape() {
+        let bnn = trained_tiny(76);
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        assert!(hw
+            .infer_image(&Tensor::zeros(Shape::nchw(1, 3, 16, 16)))
+            .is_err());
+        assert!(hw
+            .infer_image(&Tensor::zeros(Shape::nchw(2, 3, 8, 8)))
+            .is_err());
+    }
+
+    #[test]
+    fn output_parity_matches_xnor_arithmetic() {
+        // Final engine scores are ±1 dots of fan_in entries: parity fixed.
+        let bnn = trained_tiny(77);
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let mut rng = TensorRng::seed_from(78);
+        let img = rng.normal(Shape::nchw(1, 3, 8, 8), 0.0, 1.0);
+        let scores = hw.infer_image(&img).unwrap();
+        let fan_in = bnn.topology().fc_sizes()[bnn.topology().fc_sizes().len() - 2] as i64;
+        for &s in &scores {
+            assert_eq!((s - fan_in).rem_euclid(2), 0, "score {s} has wrong parity");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # mp-bnn
+//!
+//! The binarised neural network: the "high-throughput" half of the
+//! paper's multi-precision system, hand-rolled from scratch.
+//!
+//! Three views of the same network live here:
+//!
+//! 1. **Training view** ([`ste`]): layers with single-bit weights and
+//!    activations trained by the straight-through estimator of
+//!    Courbariaux & Bengio (the paper's reference \[2\]) —
+//!    [`ste::BinConv2d`], [`ste::BinLinear`], [`ste::SignActivation`] —
+//!    composed by [`BnnClassifier`] into the FINN CIFAR-10 topology of
+//!    the paper's Table I.
+//! 2. **Bit view** ([`bits`]): [`bits::BitVec`] / [`bits::BitMatrix`]
+//!    pack ±1 values into machine words so inference runs on
+//!    XNOR–popcount, the datapath FINN implements in LUTs.
+//! 3. **Hardware view** ([`hardware`]): [`HardwareBnn`] is the folded
+//!    inference network — bit-packed weights plus integer thresholds
+//!    (batch-norm + sign folded per FINN) — functionally equivalent to
+//!    the FPGA bitstream. `mp-fpga` models its timing and memory.
+//!
+//! # Example
+//!
+//! ```
+//! use mp_bnn::FinnTopology;
+//!
+//! // The paper's Table I network for 32×32 RGB inputs.
+//! let topo = FinnTopology::paper();
+//! assert_eq!(topo.engines().len(), 9); // 6 conv + 3 FC engines
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+mod classifier;
+pub mod hardware;
+pub mod ste;
+mod topology;
+
+pub use classifier::BnnClassifier;
+pub use hardware::HardwareBnn;
+pub use topology::{EngineKind, EngineSpec, FinnTopology};

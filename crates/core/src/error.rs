@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use mp_dataset::DatasetError;
+use mp_tensor::ShapeError;
+
+/// Errors raised by the multi-precision experiments.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A tensor shape inconsistency bubbled up from a substrate crate.
+    Shape(ShapeError),
+    /// The dataset could not be generated or loaded.
+    Dataset(DatasetError),
+    /// Experiment configuration was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Shape(e) => write!(f, "{e}"),
+            CoreError::Dataset(e) => write!(f, "{e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid experiment config: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Shape(e) => Some(e),
+            CoreError::Dataset(e) => Some(e),
+            CoreError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<ShapeError> for CoreError {
+    fn from(e: ShapeError) -> Self {
+        CoreError::Shape(e)
+    }
+}
+
+impl From<DatasetError> for CoreError {
+    fn from(e: DatasetError) -> Self {
+        CoreError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let s: CoreError = ShapeError::new("op", "detail").into();
+        assert!(s.to_string().contains("op"));
+        assert!(s.source().is_some());
+        let c = CoreError::InvalidConfig("bad".into());
+        assert!(c.to_string().contains("bad"));
+        assert!(c.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! # mp-core
+//!
+//! The paper's primary contribution: the **multi-precision CNN** — a
+//! binarised network on the FPGA classifying every image, a
+//! floating-point network on the CPU re-classifying the hard ones, and a
+//! light-weight trained **Decision-Making Unit** in between (paper
+//! Fig. 1).
+//!
+//! - [`dmu`]: the DMU — a trained single "Softmax" unit (ten
+//!   multiplications, a bias, a sigmoid; §III-B) over the BNN's class
+//!   scores, its threshold sweep (Fig. 5), and the FS/F̄S̄/F̄S/FS̄
+//!   quadrant accounting (Table II);
+//! - [`model`]: the analytic throughput and accuracy models, eqs. (1)
+//!   and (2);
+//! - [`pipeline`]: the heterogeneous executor — both a modelled-time
+//!   batch pipeline following the paper's `async(1)`/`wait(1)`
+//!   pseudo-code and a real two-thread implementation where the FPGA
+//!   simulator and the host network run concurrently (Fig. 2);
+//! - [`experiment`]: end-to-end orchestration that trains the BNN, the
+//!   host models and the DMU on the synthetic dataset and produces the
+//!   records behind Tables II, IV and V.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mp_core::experiment::{ExperimentConfig, TrainedSystem};
+//!
+//! # fn main() -> Result<(), mp_core::CoreError> {
+//! let system = TrainedSystem::prepare(&ExperimentConfig::fast_profile(0))?;
+//! println!("BNN accuracy: {:.3}", system.bnn_test_accuracy);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod dmu;
+pub mod experiment;
+pub mod model;
+pub mod pipeline;
+
+pub use dmu::{ConfusionQuadrants, Dmu};
+pub use error::CoreError;
+pub use pipeline::{MultiPrecisionPipeline, PipelineResult, PipelineTiming};

@@ -1,0 +1,520 @@
+//! The heterogeneous multi-precision executor (paper Figs. 1–2).
+//!
+//! The FPGA (the [`HardwareBnn`] functional model) classifies every
+//! image; the DMU flags low-confidence classifications; the host network
+//! re-infers the flagged subset. Two execution modes are provided:
+//!
+//! - [`MultiPrecisionPipeline::run`] computes the functional result and
+//!   a **modelled** execution time that replays the paper's
+//!   `async(1)`/`wait(1)` batch overlap: while the FPGA processes batch
+//!   `i`, the host re-infers the images flagged in batch `i−1`;
+//! - [`MultiPrecisionPipeline::run_parallel`] actually executes the two
+//!   sides on separate threads connected by a channel, demonstrating the
+//!   concurrent structure of Fig. 2 (its wall-clock time reflects this
+//!   machine, not the ZC702).
+
+use crossbeam::channel;
+
+use mp_bnn::HardwareBnn;
+use mp_dataset::Dataset;
+use mp_nn::Network;
+use mp_tensor::{Shape, Tensor};
+
+use crate::dmu::{ConfusionQuadrants, Dmu};
+use crate::model;
+use crate::CoreError;
+
+/// Timing constants of the two heterogeneous processors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineTiming {
+    /// Seconds per image on the FPGA BNN (e.g. `1/430.15`).
+    pub t_bnn_img_s: f64,
+    /// Seconds per image on the host float network (e.g. `1/29.68`).
+    pub t_fp_img_s: f64,
+    /// Images per FPGA batch in the `async`/`wait` loop.
+    pub batch_size: usize,
+}
+
+impl PipelineTiming {
+    /// Creates a timing record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a time is non-positive or `batch_size` is zero.
+    pub fn new(t_bnn_img_s: f64, t_fp_img_s: f64, batch_size: usize) -> Self {
+        assert!(
+            t_bnn_img_s > 0.0 && t_fp_img_s > 0.0,
+            "times must be positive"
+        );
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            t_bnn_img_s,
+            t_fp_img_s,
+            batch_size,
+        }
+    }
+}
+
+/// Outcome of one multi-precision classification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineResult {
+    /// Images classified.
+    pub total_images: usize,
+    /// Final multi-precision accuracy.
+    pub accuracy: f64,
+    /// Standalone BNN accuracy on the same set.
+    pub bnn_accuracy: f64,
+    /// Host accuracy on the rerun subset (the paper reports 65/79/83 %
+    /// for Models A/B/C — lower than their global accuracies because the
+    /// subset is hard).
+    pub host_subset_accuracy: f64,
+    /// DMU quadrants at the operating threshold.
+    pub quadrants: ConfusionQuadrants,
+    /// Images re-inferred on the host.
+    pub rerun_count: usize,
+    /// Modelled execution time of the batch-overlapped pipeline.
+    pub modeled_time_s: f64,
+    /// Throughput from the modelled time.
+    pub modeled_images_per_sec: f64,
+    /// Eq. (1) prediction with the measured rerun ratio.
+    pub analytic_images_per_sec: f64,
+    /// Eq. (2) prediction with the host's *global* accuracy (the paper's
+    /// optimistic form).
+    pub analytic_accuracy_eq2: f64,
+    /// Final per-image class predictions.
+    pub predictions: Vec<usize>,
+    /// Wall-clock seconds when run with [`MultiPrecisionPipeline::run_parallel`].
+    pub wall_seconds: Option<f64>,
+}
+
+/// The multi-precision system: BNN + DMU + threshold.
+#[derive(Debug)]
+pub struct MultiPrecisionPipeline<'a> {
+    hw: &'a HardwareBnn,
+    dmu: &'a Dmu,
+    threshold: f32,
+}
+
+impl<'a> MultiPrecisionPipeline<'a> {
+    /// Creates a pipeline at a DMU confidence `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn new(hw: &'a HardwareBnn, dmu: &'a Dmu, threshold: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0,1]"
+        );
+        Self { hw, dmu, threshold }
+    }
+
+    /// The DMU confidence threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Runs the full set through BNN → DMU → host, with modelled timing.
+    ///
+    /// `host_global_accuracy` is the host model's standalone accuracy on
+    /// the full test set, used for the eq. (2) prediction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on shape inconsistencies.
+    pub fn run(
+        &self,
+        host: &mut Network,
+        data: &Dataset,
+        timing: &PipelineTiming,
+        host_global_accuracy: f64,
+    ) -> Result<PipelineResult, CoreError> {
+        let stage = self.classify_and_flag(data)?;
+        let rerun_indices: Vec<usize> = stage.flagged_indices();
+        let host_preds = infer_host_subset(host, data, &rerun_indices)?;
+        self.finish(
+            data,
+            timing,
+            host_global_accuracy,
+            stage,
+            rerun_indices,
+            host_preds,
+            None,
+        )
+    }
+
+    /// Runs with the FPGA simulator and the host network on separate
+    /// threads (Fig. 2's concurrent structure). Functionally identical
+    /// to [`run`](Self::run); additionally reports wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on shape inconsistencies; errors on the
+    /// host thread are propagated.
+    pub fn run_parallel(
+        &self,
+        host: &mut Network,
+        data: &Dataset,
+        timing: &PipelineTiming,
+        host_global_accuracy: f64,
+    ) -> Result<PipelineResult, CoreError> {
+        let start = std::time::Instant::now();
+        let n = data.len();
+        let batch = timing.batch_size;
+        let (tx, rx) = channel::unbounded::<(usize, Tensor)>();
+        // Host worker: re-infers flagged images as they arrive.
+        let host_result = std::thread::scope(
+            |scope| -> Result<(StageOutput, Vec<(usize, usize)>), CoreError> {
+                let worker = scope.spawn(move || -> Result<Vec<(usize, usize)>, CoreError> {
+                    let mut preds = Vec::new();
+                    for (index, image) in rx {
+                        let scores = host.forward(&image)?;
+                        let p = Network::argmax_rows(&scores)?;
+                        preds.push((index, p[0]));
+                    }
+                    Ok(preds)
+                });
+                // "FPGA" side: classify batch i, flag, send to the host.
+                let mut stage = StageOutput::with_capacity(n);
+                'batches: for chunk_start in (0..n).step_by(batch) {
+                    let chunk_end = (chunk_start + batch).min(n);
+                    for i in chunk_start..chunk_end {
+                        let image = data.images().batch_item(i)?;
+                        let scores = self.hw.infer_image(&image)?;
+                        let scores_f: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
+                        let pred = argmax(&scores_f);
+                        let p = self.dmu.predict(&scores_f);
+                        let keep = p >= self.threshold;
+                        stage.push(pred, keep);
+                        if !keep && tx.send((i, image)).is_err() {
+                            // The worker died (its error is joined below);
+                            // stop feeding it.
+                            break 'batches;
+                        }
+                    }
+                }
+                drop(tx);
+                let preds = worker.join().expect("host worker must not panic")?;
+                Ok((stage, preds))
+            },
+        )?;
+        let (stage, mut host_pairs) = host_result;
+        host_pairs.sort_unstable_by_key(|&(i, _)| i);
+        let rerun_indices: Vec<usize> = host_pairs.iter().map(|&(i, _)| i).collect();
+        let host_preds: Vec<usize> = host_pairs.iter().map(|&(_, p)| p).collect();
+        let wall = start.elapsed().as_secs_f64();
+        self.finish(
+            data,
+            timing,
+            host_global_accuracy,
+            stage,
+            rerun_indices,
+            host_preds,
+            Some(wall),
+        )
+    }
+
+    fn classify_and_flag(&self, data: &Dataset) -> Result<StageOutput, CoreError> {
+        let scores = self.hw.infer_batch(data.images())?;
+        let preds = Network::argmax_rows(&scores)?;
+        let keep_flags = self.dmu.estimate_batch(&scores, self.threshold)?;
+        let mut stage = StageOutput::with_capacity(data.len());
+        for (p, k) in preds.into_iter().zip(keep_flags) {
+            stage.push(p, k);
+        }
+        Ok(stage)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        data: &Dataset,
+        timing: &PipelineTiming,
+        host_global_accuracy: f64,
+        stage: StageOutput,
+        rerun_indices: Vec<usize>,
+        host_preds: Vec<usize>,
+        wall_seconds: Option<f64>,
+    ) -> Result<PipelineResult, CoreError> {
+        let n = data.len();
+        let labels = data.labels();
+        let bnn_correct: Vec<bool> = stage
+            .bnn_preds
+            .iter()
+            .zip(labels)
+            .map(|(p, l)| p == l)
+            .collect();
+        let quadrants = ConfusionQuadrants::tally(&bnn_correct, &stage.kept);
+        // Merge host predictions over BNN predictions.
+        let mut final_preds = stage.bnn_preds.clone();
+        let mut host_hits = 0usize;
+        for (&idx, &pred) in rerun_indices.iter().zip(&host_preds) {
+            final_preds[idx] = pred;
+            if pred == labels[idx] {
+                host_hits += 1;
+            }
+        }
+        let accuracy = final_preds
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count() as f64
+            / n.max(1) as f64;
+        let bnn_accuracy = bnn_correct.iter().filter(|&&c| c).count() as f64 / n.max(1) as f64;
+        let host_subset_accuracy = if rerun_indices.is_empty() {
+            0.0
+        } else {
+            host_hits as f64 / rerun_indices.len() as f64
+        };
+        let modeled_time_s = modeled_batch_time(&stage.kept, timing);
+        let rerun_ratio = quadrants.rerun_ratio();
+        Ok(PipelineResult {
+            total_images: n,
+            accuracy,
+            bnn_accuracy,
+            host_subset_accuracy,
+            quadrants,
+            rerun_count: rerun_indices.len(),
+            modeled_time_s,
+            modeled_images_per_sec: n as f64 / modeled_time_s.max(f64::MIN_POSITIVE),
+            analytic_images_per_sec: model::images_per_sec(
+                timing.t_fp_img_s,
+                timing.t_bnn_img_s,
+                rerun_ratio,
+            ),
+            analytic_accuracy_eq2: model::accuracy_eq2(
+                bnn_accuracy,
+                host_global_accuracy,
+                rerun_ratio,
+                quadrants.rerun_err_ratio(),
+            ),
+            predictions: final_preds,
+            wall_seconds,
+        })
+    }
+}
+
+/// Per-image outputs of the BNN + DMU stage.
+#[derive(Debug)]
+struct StageOutput {
+    bnn_preds: Vec<usize>,
+    kept: Vec<bool>,
+}
+
+impl StageOutput {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            bnn_preds: Vec::with_capacity(n),
+            kept: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, pred: usize, keep: bool) {
+        self.bnn_preds.push(pred);
+        self.kept.push(keep);
+    }
+
+    fn flagged_indices(&self) -> Vec<usize> {
+        self.kept
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| (!k).then_some(i))
+            .collect()
+    }
+}
+
+/// Replays the paper's `async(1)`/`wait(1)` loop: iteration `i` runs
+/// FPGA batch `i` concurrently with host re-inference of the images
+/// flagged in batch `i−1`; a final host pass drains the last batch.
+fn modeled_batch_time(kept: &[bool], timing: &PipelineTiming) -> f64 {
+    let n = kept.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let batch = timing.batch_size;
+    let flagged_per_batch: Vec<usize> = kept
+        .chunks(batch)
+        .map(|c| c.iter().filter(|&&k| !k).count())
+        .collect();
+    let fpga_time = |count: usize| count as f64 * timing.t_bnn_img_s;
+    let host_time = |flagged: usize| flagged as f64 * timing.t_fp_img_s;
+    let mut total = 0.0;
+    for (i, chunk) in kept.chunks(batch).enumerate() {
+        let host_side = if i > 0 {
+            host_time(flagged_per_batch[i - 1])
+        } else {
+            0.0
+        };
+        total += fpga_time(chunk.len()).max(host_side);
+    }
+    total += host_time(*flagged_per_batch.last().expect("non-empty"));
+    total
+}
+
+fn argmax(scores: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Re-infers `indices` of `data` on the host network, batched.
+fn infer_host_subset(
+    host: &mut Network,
+    data: &Dataset,
+    indices: &[usize],
+) -> Result<Vec<usize>, CoreError> {
+    let mut preds = Vec::with_capacity(indices.len());
+    for chunk in indices.chunks(32) {
+        let images: Vec<Tensor> = chunk
+            .iter()
+            .map(|&i| data.images().batch_item(i))
+            .collect::<Result<_, _>>()?;
+        let batch = Tensor::stack_batch(&images)?;
+        let scores = host.forward(&batch)?;
+        preds.extend(Network::argmax_rows(&scores)?);
+    }
+    Ok(preds)
+}
+
+/// Convenience: the per-image shape a dataset's host network expects.
+pub fn host_input_shape(data: &Dataset) -> Shape {
+    data.image_shape()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_bnn::{BnnClassifier, FinnTopology};
+    use mp_nn::train::Model;
+    use mp_nn::Mode;
+    use mp_tensor::init::TensorRng;
+
+    fn tiny_system() -> (HardwareBnn, Dmu, Dataset, Network) {
+        let mut rng = TensorRng::seed_from(100);
+        let mut bnn = BnnClassifier::new(FinnTopology::scaled(8, 8, 8), &mut rng).unwrap();
+        // Populate batch-norm stats.
+        for _ in 0..3 {
+            let x = rng.normal(Shape::nchw(8, 3, 8, 8), 0.0, 1.0);
+            bnn.forward_mode(&x, Mode::Train).unwrap();
+        }
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let dmu = Dmu::with_weights(vec![0.1; 10], 0.0);
+        let spec = mp_dataset::SynthSpec::tiny();
+        let data = spec.generate(40).unwrap();
+        let host = Network::builder(Shape::nchw(1, 3, 8, 8))
+            .conv2d(8, 3, 1, 1, &mut rng)
+            .unwrap()
+            .relu()
+            .global_avg_pool()
+            .linear(10, &mut rng)
+            .unwrap()
+            .build();
+        (hw, dmu, data, host)
+    }
+
+    fn timing() -> PipelineTiming {
+        PipelineTiming::new(1.0 / 430.0, 1.0 / 30.0, 10)
+    }
+
+    #[test]
+    fn run_produces_consistent_accounting() {
+        let (hw, dmu, data, mut host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.5);
+        let r = pipeline.run(&mut host, &data, &timing(), 0.5).unwrap();
+        assert_eq!(r.total_images, 40);
+        assert_eq!(r.predictions.len(), 40);
+        // Quadrants sum to 1.
+        let q = r.quadrants;
+        assert!((q.fs + q.fbar_sbar + q.fbar_s + q.fs_bar - 1.0).abs() < 1e-9);
+        // Rerun count matches the quadrants.
+        assert_eq!(r.rerun_count, (q.rerun_ratio() * 40.0).round() as usize);
+        // Accuracy bounded by the DMU cap.
+        assert!(r.accuracy <= q.max_achievable_accuracy() + 1e-9);
+        assert!(r.modeled_time_s > 0.0);
+        assert!(r.wall_seconds.is_none());
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        let (hw, dmu, data, mut host) = tiny_system();
+        // Threshold 0: nothing reruns — accuracy equals the BNN's.
+        let none = MultiPrecisionPipeline::new(&hw, &dmu, 0.0)
+            .run(&mut host, &data, &timing(), 0.5)
+            .unwrap();
+        assert_eq!(none.rerun_count, 0);
+        assert!((none.accuracy - none.bnn_accuracy).abs() < 1e-9);
+        // Threshold 1: everything reruns — accuracy equals the host's.
+        let all = MultiPrecisionPipeline::new(&hw, &dmu, 1.0)
+            .run(&mut host, &data, &timing(), 0.5)
+            .unwrap();
+        assert_eq!(all.rerun_count, 40);
+        assert!((all.accuracy - all.host_subset_accuracy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_functionally() {
+        let (hw, dmu, data, mut host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.6);
+        let seq = pipeline.run(&mut host, &data, &timing(), 0.5).unwrap();
+        let par = pipeline
+            .run_parallel(&mut host, &data, &timing(), 0.5)
+            .unwrap();
+        assert_eq!(seq.predictions, par.predictions);
+        assert_eq!(seq.rerun_count, par.rerun_count);
+        assert!((seq.accuracy - par.accuracy).abs() < 1e-12);
+        assert!(par.wall_seconds.is_some());
+    }
+
+    #[test]
+    fn modeled_time_overlaps_host_and_fpga() {
+        // 20 images, batch 10, flag everything: host work (20·t_fp)
+        // dominates; with overlap the first batch's FPGA time is the
+        // only non-overlapped FPGA contribution.
+        let t = PipelineTiming::new(0.001, 0.01, 10);
+        let kept = vec![false; 20];
+        let total = modeled_batch_time(&kept, &t);
+        // Iter 0: fpga(10) = 0.01. Iter 1: max(fpga 0.01, host 10·0.01) =
+        // 0.1. Drain: 0.1. Total 0.21.
+        assert!((total - 0.21).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    fn modeled_time_single_oversized_batch() {
+        // Batch larger than the set: one FPGA pass, then the host drain.
+        let t = PipelineTiming::new(0.001, 0.01, 100);
+        let kept = vec![false, true, false, true];
+        let total = modeled_batch_time(&kept, &t);
+        assert!((total - (4.0 * 0.001 + 2.0 * 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modeled_time_empty_set_is_zero() {
+        let t = PipelineTiming::new(0.001, 0.01, 10);
+        assert_eq!(modeled_batch_time(&[], &t), 0.0);
+    }
+
+    #[test]
+    fn modeled_time_bnn_bound_when_no_reruns() {
+        let t = PipelineTiming::new(0.002, 0.01, 10);
+        let kept = vec![true; 30];
+        let total = modeled_batch_time(&kept, &t);
+        assert!((total - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        let (hw, dmu, _, _) = tiny_system();
+        let _ = MultiPrecisionPipeline::new(&hw, &dmu, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn bad_timing_rejected() {
+        let _ = PipelineTiming::new(1.0, 1.0, 0);
+    }
+}

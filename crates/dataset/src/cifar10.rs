@@ -1,0 +1,170 @@
+//! Loader for the real CIFAR-10 binary distribution.
+//!
+//! When the standard `cifar-10-batches-bin` directory is available on
+//! disk, these functions read it into a [`Dataset`] so every experiment
+//! can run on the paper's actual data instead of [`SynthImages`]. Each
+//! record in the binary format is `1` label byte followed by `3072` pixel
+//! bytes (32×32 red plane, then green, then blue), which maps directly
+//! onto our NCHW layout.
+//!
+//! [`SynthImages`]: crate::SynthImages
+
+use std::fs;
+use std::path::Path;
+
+use mp_tensor::{Shape, Tensor};
+
+use crate::{Dataset, DatasetError};
+
+/// Image edge length.
+pub const EDGE: usize = 32;
+/// Colour channels.
+pub const CHANNELS: usize = 3;
+/// Classes.
+pub const CLASSES: usize = 10;
+/// Bytes per record: 1 label + 3·32·32 pixels.
+pub const RECORD_BYTES: usize = 1 + CHANNELS * EDGE * EDGE;
+
+/// CIFAR-10 class names, in label order.
+pub const CLASS_NAMES: [&str; CLASSES] = [
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
+];
+
+/// Parses one or more concatenated CIFAR-10 binary records.
+///
+/// Pixels are scaled from `[0, 255]` to `[-1, 1]`, the input range the
+/// binarised network's first layer expects.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Corrupt`] if `bytes` is not a whole number of
+/// records or a label is out of range.
+pub fn parse_records(bytes: &[u8]) -> Result<Dataset, DatasetError> {
+    if !bytes.len().is_multiple_of(RECORD_BYTES) {
+        return Err(DatasetError::Corrupt(format!(
+            "{} bytes is not a multiple of the {RECORD_BYTES}-byte record size",
+            bytes.len()
+        )));
+    }
+    let n = bytes.len() / RECORD_BYTES;
+    let mut labels = Vec::with_capacity(n);
+    let mut pixels = Vec::with_capacity(n * CHANNELS * EDGE * EDGE);
+    for rec in bytes.chunks_exact(RECORD_BYTES) {
+        let label = rec[0] as usize;
+        if label >= CLASSES {
+            return Err(DatasetError::Corrupt(format!(
+                "label byte {label} out of range"
+            )));
+        }
+        labels.push(label);
+        pixels.extend(rec[1..].iter().map(|&b| b as f32 / 127.5 - 1.0));
+    }
+    let images = Tensor::from_vec(Shape::nchw(n, CHANNELS, EDGE, EDGE), pixels)?;
+    Dataset::new(images, labels, CLASSES)
+}
+
+/// Loads the standard CIFAR-10 binary directory.
+///
+/// Reads `data_batch_1.bin` … `data_batch_5.bin` as the training set and
+/// `test_batch.bin` as the test set, returning `(train, test)`.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] when files are missing and
+/// [`DatasetError::Corrupt`] when their contents are malformed.
+pub fn load(dir: impl AsRef<Path>) -> Result<(Dataset, Dataset), DatasetError> {
+    let dir = dir.as_ref();
+    let mut train_bytes = Vec::new();
+    for i in 1..=5 {
+        train_bytes.extend(fs::read(dir.join(format!("data_batch_{i}.bin")))?);
+    }
+    let test_bytes = fs::read(dir.join("test_batch.bin"))?;
+    Ok((parse_records(&train_bytes)?, parse_records(&test_bytes)?))
+}
+
+/// Returns `true` when `dir` looks like a CIFAR-10 binary directory.
+pub fn is_available(dir: impl AsRef<Path>) -> bool {
+    let dir = dir.as_ref();
+    (1..=5).all(|i| dir.join(format!("data_batch_{i}.bin")).exists())
+        && dir.join("test_batch.bin").exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_record(label: u8, fill: u8) -> Vec<u8> {
+        let mut rec = vec![label];
+        rec.extend(std::iter::repeat_n(fill, RECORD_BYTES - 1));
+        rec
+    }
+
+    #[test]
+    fn parses_single_record() {
+        let rec = fake_record(3, 255);
+        let d = parse_records(&rec).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.labels(), &[3]);
+        // 255 maps to 1.0.
+        assert!(d.images().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn pixel_scaling_covers_range() {
+        let mut bytes = fake_record(0, 0);
+        bytes.extend(fake_record(1, 128));
+        let d = parse_records(&bytes).unwrap();
+        let first = d.images().as_slice()[0];
+        assert!((first + 1.0).abs() < 1e-6); // 0 → −1
+        let second = d.images().as_slice()[CHANNELS * EDGE * EDGE];
+        assert!(second.abs() < 0.01); // 128 → ≈0
+    }
+
+    #[test]
+    fn rejects_truncated_and_bad_labels() {
+        assert!(matches!(
+            parse_records(&[0u8; 100]),
+            Err(DatasetError::Corrupt(_))
+        ));
+        let rec = fake_record(10, 0);
+        assert!(matches!(parse_records(&rec), Err(DatasetError::Corrupt(_))));
+    }
+
+    #[test]
+    fn channel_planes_map_to_nchw() {
+        // Red plane = 255, green = 0, blue = 128.
+        let mut rec = vec![0u8];
+        rec.extend(std::iter::repeat_n(255u8, EDGE * EDGE));
+        rec.extend(std::iter::repeat_n(0u8, EDGE * EDGE));
+        rec.extend(std::iter::repeat_n(128u8, EDGE * EDGE));
+        let d = parse_records(&rec).unwrap();
+        assert!((d.images().at(&[0, 0, 0, 0]).unwrap() - 1.0).abs() < 1e-6);
+        assert!((d.images().at(&[0, 1, 16, 16]).unwrap() + 1.0).abs() < 1e-6);
+        assert!(d.images().at(&[0, 2, 31, 31]).unwrap().abs() < 0.01);
+    }
+
+    #[test]
+    fn missing_directory_reports_io() {
+        assert!(matches!(
+            load("/nonexistent/cifar"),
+            Err(DatasetError::Io(_))
+        ));
+        assert!(!is_available("/nonexistent/cifar"));
+    }
+
+    #[test]
+    fn class_names_cover_all_labels() {
+        assert_eq!(CLASS_NAMES.len(), CLASSES);
+        assert_eq!(CLASS_NAMES[0], "airplane");
+        assert_eq!(CLASS_NAMES[9], "truck");
+    }
+}

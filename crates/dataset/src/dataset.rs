@@ -1,0 +1,315 @@
+use mp_tensor::{Shape, ShapeError, Tensor};
+
+use crate::DatasetError;
+
+/// A labelled image classification dataset (`[N, C, H, W]` + labels).
+///
+/// # Example
+///
+/// ```
+/// use mp_dataset::Dataset;
+/// use mp_tensor::{Shape, Tensor};
+///
+/// # fn main() -> Result<(), mp_dataset::DatasetError> {
+/// let images = Tensor::zeros(Shape::nchw(4, 1, 2, 2));
+/// let data = Dataset::new(images, vec![0, 1, 0, 1], 2)?;
+/// let (train, test) = data.split(0.5)?;
+/// assert_eq!(train.len(), 2);
+/// assert_eq!(test.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an NCHW image tensor and per-image labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if the tensor is not rank-4, counts
+    /// mismatch, or a label is `>= num_classes`.
+    pub fn new(
+        images: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if images.shape().rank() != 4 {
+            return Err(ShapeError::new(
+                "Dataset::new",
+                format!("expected NCHW images, got {}", images.shape()),
+            )
+            .into());
+        }
+        if images.shape().dim(0) != labels.len() {
+            return Err(ShapeError::new(
+                "Dataset::new",
+                format!(
+                    "{} images vs {} labels",
+                    images.shape().dim(0),
+                    labels.len()
+                ),
+            )
+            .into());
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DatasetError::InvalidSpec(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Self {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The `[N, C, H, W]` image tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// Per-image class labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-image shape `[1, C, H, W]`.
+    pub fn image_shape(&self) -> Shape {
+        let s = self.images.shape();
+        Shape::nchw(1, s.dim(1), s.dim(2), s.dim(3))
+    }
+
+    /// Splits into `(first, second)` at `fraction` of the examples,
+    /// preserving order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if `fraction` is outside `[0, 1]`.
+    pub fn split(&self, fraction: f32) -> Result<(Dataset, Dataset), DatasetError> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(DatasetError::InvalidSpec(format!(
+                "split fraction {fraction} must be in [0,1]"
+            )));
+        }
+        let cut = (self.len() as f32 * fraction).round() as usize;
+        Ok((self.take_range(0..cut)?, self.take_range(cut..self.len())?))
+    }
+
+    /// Selects the first `n` examples (or all if fewer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal shape errors (which indicate a bug).
+    pub fn take(&self, n: usize) -> Result<Dataset, DatasetError> {
+        self.take_range(0..n.min(self.len()))
+    }
+
+    /// Selects a contiguous index range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if the range is out of bounds.
+    pub fn take_range(&self, range: std::ops::Range<usize>) -> Result<Dataset, DatasetError> {
+        if range.end > self.len() || range.start > range.end {
+            return Err(DatasetError::InvalidSpec(format!(
+                "range {range:?} out of bounds for {} examples",
+                self.len()
+            )));
+        }
+        let s = self.images.shape();
+        let stride = s.dim(1) * s.dim(2) * s.dim(3);
+        let data = self.images.as_slice()[range.start * stride..range.end * stride].to_vec();
+        let images =
+            Tensor::from_vec(Shape::nchw(range.len(), s.dim(1), s.dim(2), s.dim(3)), data)?;
+        Ok(Dataset {
+            images,
+            labels: self.labels[range].to_vec(),
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// Per-class example counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Iterates over contiguous minibatches of up to `batch_size`
+    /// images, yielding `(images, labels)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn iter_batches(&self, batch_size: usize) -> Batches<'_> {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batches {
+            dataset: self,
+            batch_size,
+            next: 0,
+        }
+    }
+
+    /// Per-channel mean and standard deviation over the whole set —
+    /// the statistics a normalisation layer or loader would fold in.
+    pub fn channel_stats(&self) -> Vec<(f32, f32)> {
+        let s = self.images.shape();
+        let (n, c, plane) = (s.dim(0), s.dim(1), s.dim(2) * s.dim(3));
+        let mut stats = Vec::with_capacity(c);
+        for ch in 0..c {
+            let mut sum = 0.0f64;
+            let mut sq = 0.0f64;
+            for img in 0..n {
+                let base = (img * c + ch) * plane;
+                for &x in &self.images.as_slice()[base..base + plane] {
+                    sum += x as f64;
+                    sq += (x as f64) * (x as f64);
+                }
+            }
+            let count = (n * plane).max(1) as f64;
+            let mean = sum / count;
+            let var = (sq / count - mean * mean).max(0.0);
+            stats.push((mean as f32, var.sqrt() as f32));
+        }
+        stats
+    }
+}
+
+/// Iterator over a dataset's contiguous minibatches.
+///
+/// Produced by [`Dataset::iter_batches`].
+#[derive(Debug)]
+pub struct Batches<'a> {
+    dataset: &'a Dataset,
+    batch_size: usize,
+    next: usize,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.dataset.len() {
+            return None;
+        }
+        let end = (self.next + self.batch_size).min(self.dataset.len());
+        let chunk = self
+            .dataset
+            .take_range(self.next..end)
+            .expect("in-bounds by construction");
+        self.next = end;
+        Some((chunk.images, chunk.labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor::from_fn(Shape::nchw(n, 1, 2, 2), |i| i as f32);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let images = Tensor::zeros(Shape::nchw(2, 1, 2, 2));
+        assert!(Dataset::new(images.clone(), vec![0], 2).is_err());
+        assert!(Dataset::new(images.clone(), vec![0, 5], 2).is_err());
+        assert!(Dataset::new(Tensor::zeros([2, 4]), vec![0, 1], 2).is_err());
+        assert!(Dataset::new(images, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn split_partitions_examples() {
+        let d = toy(10);
+        let (a, b) = d.split(0.7).unwrap();
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        // First image of b is image 7 of d.
+        assert_eq!(b.images().as_slice()[0], d.images().as_slice()[7 * 4]);
+        assert_eq!(b.labels()[0], d.labels()[7]);
+        assert!(d.split(1.5).is_err());
+    }
+
+    #[test]
+    fn take_clamps() {
+        let d = toy(5);
+        assert_eq!(d.take(3).unwrap().len(), 3);
+        assert_eq!(d.take(99).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn class_counts_sum_to_len() {
+        let d = toy(10);
+        let counts = d.class_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert_eq!(counts, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn image_shape_is_single_image() {
+        let d = toy(4);
+        assert_eq!(d.image_shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn batches_cover_dataset_in_order() {
+        let d = toy(7);
+        let batches: Vec<_> = d.iter_batches(3).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].1.len(), 3);
+        assert_eq!(batches[2].1.len(), 1);
+        let all_labels: Vec<usize> = batches.iter().flat_map(|(_, l)| l.clone()).collect();
+        assert_eq!(all_labels, d.labels());
+        let first_pixel = batches[1].0.as_slice()[0];
+        assert_eq!(first_pixel, d.images().as_slice()[3 * 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let d = toy(4);
+        let _ = d.iter_batches(0);
+    }
+
+    #[test]
+    fn channel_stats_match_hand_computation() {
+        let images = Tensor::from_vec(Shape::nchw(2, 1, 1, 2), vec![0.0, 2.0, 4.0, 6.0]).unwrap();
+        let d = Dataset::new(images, vec![0, 1], 2).unwrap();
+        let stats = d.channel_stats();
+        assert_eq!(stats.len(), 1);
+        assert!((stats[0].0 - 3.0).abs() < 1e-6);
+        assert!((stats[0].1 - 5.0f32.sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn take_range_bounds_checked() {
+        let d = toy(4);
+        assert!(d.take_range(2..6).is_err());
+        assert_eq!(d.take_range(1..3).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use mp_tensor::ShapeError;
+
+/// Errors raised while generating or loading datasets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// A tensor shape was inconsistent (bug or bad specification).
+    Shape(ShapeError),
+    /// An on-disk dataset could not be read.
+    Io(io::Error),
+    /// The dataset specification is invalid (e.g. zero classes).
+    InvalidSpec(String),
+    /// An on-disk dataset file had unexpected contents.
+    Corrupt(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Shape(e) => write!(f, "{e}"),
+            DatasetError::Io(e) => write!(f, "dataset io error: {e}"),
+            DatasetError::InvalidSpec(msg) => write!(f, "invalid dataset spec: {msg}"),
+            DatasetError::Corrupt(msg) => write!(f, "corrupt dataset file: {msg}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Shape(e) => Some(e),
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for DatasetError {
+    fn from(e: ShapeError) -> Self {
+        DatasetError::Shape(e)
+    }
+}
+
+impl From<io::Error> for DatasetError {
+    fn from(e: io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let variants: Vec<DatasetError> = vec![
+            ShapeError::new("x", "y").into(),
+            io::Error::new(io::ErrorKind::NotFound, "gone").into(),
+            DatasetError::InvalidSpec("zero classes".into()),
+            DatasetError::Corrupt("short file".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e: DatasetError = ShapeError::new("a", "b").into();
+        assert!(e.source().is_some());
+        assert!(DatasetError::InvalidSpec("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+}

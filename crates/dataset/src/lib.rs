@@ -1,0 +1,38 @@
+//! # mp-dataset
+//!
+//! Image classification datasets for the `multiprec` experiments.
+//!
+//! The paper evaluates on CIFAR-10 (32×32 RGB, 10 classes, 50 000 train /
+//! 10 000 test images). Real CIFAR-10 is not redistributable inside this
+//! repository, so the primary dataset is [`SynthImages`]: a deterministic
+//! synthetic 10-class image distribution with the same geometry and
+//! tunable difficulty knobs (pixel noise, class blending, spatial jitter).
+//! When the real dataset *is* available on disk in its standard binary
+//! layout, [`cifar10::load`] reads it into the same [`Dataset`] type so
+//! every downstream experiment runs unchanged on either source.
+//!
+//! # Example
+//!
+//! ```
+//! use mp_dataset::SynthSpec;
+//!
+//! # fn main() -> Result<(), mp_dataset::DatasetError> {
+//! let spec = SynthSpec::tiny(); // 8×8 images for fast tests
+//! let data = spec.generate(100)?;
+//! assert_eq!(data.len(), 100);
+//! assert_eq!(data.images().shape().dims()[1..], [3, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cifar10;
+mod dataset;
+mod error;
+mod synth;
+
+pub use dataset::{Batches, Dataset};
+pub use error::DatasetError;
+pub use synth::{SynthImages, SynthSpec};

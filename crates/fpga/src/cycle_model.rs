@@ -1,0 +1,169 @@
+//! The paper's clock-cycle model: equations (3), (4) and (5).
+//!
+//! For a convolution engine with `P` processing elements and `S` SIMD
+//! lanes (eq. 3):
+//!
+//! ```text
+//! CC_CONV = OD/P · (K·K·ID)/S · OH·OW
+//! ```
+//!
+//! for a fully-connected engine (eq. 4):
+//!
+//! ```text
+//! CC_FC = OD/P · ID/S
+//! ```
+//!
+//! and the engine's frame rate at a given clock (eq. 5):
+//!
+//! ```text
+//! FPS = clock / CC
+//! ```
+//!
+//! The paper validates these against the Vivado HLS Analysis Perspective;
+//! here they are the ground truth for the "expected" curves of Figs. 3–4,
+//! with the streaming simulator supplying the "obtained" ones.
+
+use mp_bnn::{EngineKind, EngineSpec};
+
+/// Clock cycles for one engine to produce all activations of one image.
+///
+/// Implements eq. (3) for conv engines and eq. (4) for FC engines. `P`
+/// and `S` that do not divide the weight-matrix dimensions are still
+/// accepted (the tile iteration count rounds up, matching padded weight
+/// memories); use [`valid_p`]/[`valid_s`] to enumerate the paddings-free
+/// choices the paper restricts itself to.
+///
+/// # Panics
+///
+/// Panics if `p` or `s` is zero.
+pub fn engine_cycles(spec: &EngineSpec, p: usize, s: usize) -> u64 {
+    assert!(p > 0 && s > 0, "P and S must be positive");
+    let od_tiles = spec.out_channels.div_ceil(p) as u64;
+    let col_tiles = spec.weight_cols().div_ceil(s) as u64;
+    match spec.kind {
+        EngineKind::Conv => od_tiles * col_tiles * spec.output_pixels() as u64,
+        EngineKind::Fc => od_tiles * col_tiles,
+    }
+}
+
+/// Eq. (5): frames per second of an engine (or a whole rate-balanced
+/// network, using its slowest engine's cycle count).
+///
+/// # Panics
+///
+/// Panics if `cycles` is zero.
+pub fn fps(clock_hz: f64, cycles: u64) -> f64 {
+    assert!(cycles > 0, "cycle count must be positive");
+    clock_hz / cycles as f64
+}
+
+/// Divisors of the engine's weight-matrix row count `OD`: the valid `P`
+/// values that avoid padding the weight memory (paper §III-A).
+pub fn valid_p(spec: &EngineSpec) -> Vec<usize> {
+    divisors(spec.weight_rows())
+}
+
+/// Divisors of the engine's weight-matrix column count: the valid `S`
+/// values that avoid padding the weight memory.
+pub fn valid_s(spec: &EngineSpec) -> Vec<usize> {
+    divisors(spec.weight_cols())
+}
+
+/// All divisors of `n`, ascending.
+pub fn divisors(n: usize) -> Vec<usize> {
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            small.push(d);
+            if d * d != n {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_bnn::FinnTopology;
+
+    fn paper_engines() -> Vec<EngineSpec> {
+        FinnTopology::paper().engines()
+    }
+
+    #[test]
+    fn conv_cycles_match_equation_3() {
+        let engines = paper_engines();
+        // Engine 2: OD=64, K·K·ID=576, OH·OW=28·28.
+        let e = &engines[1];
+        assert_eq!(engine_cycles(e, 1, 1), 64 * 576 * 784);
+        assert_eq!(engine_cycles(e, 8, 16), (64 / 8) * (576 / 16) * 784);
+        assert_eq!(engine_cycles(e, 64, 576), 784);
+    }
+
+    #[test]
+    fn fc_cycles_match_equation_4() {
+        let engines = paper_engines();
+        // Engine 7: FC 256→64.
+        let e = &engines[6];
+        assert_eq!(engine_cycles(e, 1, 1), 64 * 256);
+        assert_eq!(engine_cycles(e, 4, 8), 16 * 32);
+    }
+
+    #[test]
+    fn non_divisor_folding_rounds_up() {
+        let engines = paper_engines();
+        let e = &engines[6]; // 64×256
+                             // P=3 does not divide 64: 22 tiles.
+        assert_eq!(engine_cycles(e, 3, 256), 22);
+    }
+
+    #[test]
+    fn fps_is_clock_over_cycles() {
+        assert!((fps(100e6, 232_558) - 430.0).abs() < 0.5);
+        assert_eq!(fps(100e6, 100e6 as u64), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_p_rejected() {
+        let engines = paper_engines();
+        let _ = engine_cycles(&engines[0], 0, 1);
+    }
+
+    #[test]
+    fn divisors_are_complete_and_sorted() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(64), vec![1, 2, 4, 8, 16, 32, 64]);
+        assert_eq!(divisors(27), vec![1, 3, 9, 27]);
+    }
+
+    #[test]
+    fn valid_ps_divide_rows() {
+        let engines = paper_engines();
+        for e in &engines {
+            for p in valid_p(e) {
+                assert_eq!(e.weight_rows() % p, 0);
+            }
+            for s in valid_s(e) {
+                assert_eq!(e.weight_cols() % s, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn first_engine_dims_give_published_formula() {
+        let engines = paper_engines();
+        let e = &engines[0];
+        // OD/P · K·K·ID/S · OH·OW with OD=64, KKID=27, OHOW=900.
+        assert_eq!(engine_cycles(e, 64, 27,), 900);
+        assert_eq!(engine_cycles(e, 1, 27), 64 * 900);
+    }
+}

@@ -1,0 +1,133 @@
+//! Compute-datapath area model.
+//!
+//! FINN builds each engine's datapath from `P` processing elements of
+//! `S` SIMD lanes. For binary activations a lane is an XNOR gate feeding
+//! a popcount tree; for an `n`-bit partially-binarised activation the
+//! lane becomes an add/subtract of an `n`-bit operand, costing roughly
+//! `n` LUTs where the XNOR lane costs one — the area trade quantified by
+//! the `partial_binarisation` bench.
+
+use serde::{Deserialize, Serialize};
+
+use mp_bnn::EngineSpec;
+
+use crate::folding::EngineFolding;
+
+/// LUT cost model of the FINN compute fabric.
+///
+/// # Example
+///
+/// ```
+/// use mp_fpga::datapath::DatapathModel;
+///
+/// let m = DatapathModel::default();
+/// assert!(m.infra_luts > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatapathModel {
+    /// Fixed cost of the shell: AXI data movers, control, the sliding
+    /// window units' address generators.
+    pub infra_luts: u64,
+    /// Per-engine cost independent of folding.
+    pub engine_luts: u64,
+    /// LUTs per SIMD lane *per activation bit* (XNOR + popcount slice at
+    /// 1 bit; ripple partial products at `n` bits).
+    pub luts_per_lane_bit: u64,
+    /// LUTs per PE (accumulator + threshold comparator).
+    pub luts_per_pe: u64,
+}
+
+impl Default for DatapathModel {
+    fn default() -> Self {
+        Self {
+            infra_luts: 14_000,
+            engine_luts: 600,
+            luts_per_lane_bit: 6,
+            luts_per_pe: 40,
+        }
+    }
+}
+
+impl DatapathModel {
+    /// LUTs of one engine's datapath under `folding`, accounting for the
+    /// engine's activation input width.
+    pub fn engine_luts(&self, spec: &EngineSpec, folding: EngineFolding) -> u64 {
+        let lane_bits = spec.input_bits.max(1) as u64;
+        self.engine_luts
+            + folding.p as u64
+                * (folding.s as u64 * self.luts_per_lane_bit * lane_bits + self.luts_per_pe)
+    }
+
+    /// Total compute LUTs for a network of engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `foldings` has a different length than `specs`.
+    pub fn network_luts(&self, specs: &[EngineSpec], foldings: &[EngineFolding]) -> u64 {
+        assert_eq!(specs.len(), foldings.len(), "engine count mismatch");
+        self.infra_luts
+            + specs
+                .iter()
+                .zip(foldings)
+                .map(|(spec, &f)| self.engine_luts(spec, f))
+                .sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_bnn::FinnTopology;
+
+    #[test]
+    fn wider_activations_cost_more_lanes() {
+        let model = DatapathModel::default();
+        let engines = FinnTopology::paper().engines();
+        let wide = FinnTopology::paper().engines_partially_binarised(4);
+        let f = EngineFolding::new(8, 16);
+        // Inner engines grow 4× in *lane* cost; the first engine
+        // (already 8-bit) is unchanged.
+        let base = model.engine_luts(&engines[1], f);
+        let grown = model.engine_luts(&wide[1], f);
+        let lane_cost = f.lanes() as u64 * model.luts_per_lane_bit;
+        assert_eq!(grown - base, 3 * lane_cost, "extra bits cost 3 extra lanes");
+        assert!(grown > base * 2);
+        assert_eq!(
+            model.engine_luts(&wide[0], f),
+            model.engine_luts(&engines[0], f)
+        );
+    }
+
+    #[test]
+    fn network_cost_includes_infrastructure() {
+        let model = DatapathModel::default();
+        let engines = FinnTopology::paper().engines();
+        let foldings: Vec<EngineFolding> =
+            engines.iter().map(|_| EngineFolding::new(1, 1)).collect();
+        let total = model.network_luts(&engines, &foldings);
+        assert!(total > model.infra_luts);
+        let per_engine: u64 = engines
+            .iter()
+            .zip(&foldings)
+            .map(|(s, &f)| model.engine_luts(s, f))
+            .sum();
+        assert_eq!(total, model.infra_luts + per_engine);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine count mismatch")]
+    fn mismatched_lengths_panic() {
+        let model = DatapathModel::default();
+        let engines = FinnTopology::paper().engines();
+        let _ = model.network_luts(&engines, &[EngineFolding::new(1, 1)]);
+    }
+
+    #[test]
+    fn more_parallelism_more_luts() {
+        let model = DatapathModel::default();
+        let engines = FinnTopology::paper().engines();
+        let small = model.engine_luts(&engines[1], EngineFolding::new(2, 4));
+        let big = model.engine_luts(&engines[1], EngineFolding::new(8, 16));
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,233 @@
+//! Whole-design evaluation: one record per Fig. 3/Fig. 4 data point.
+
+use serde::{Deserialize, Serialize};
+
+use mp_bnn::EngineSpec;
+
+use crate::cycle_model;
+use crate::datapath::DatapathModel;
+use crate::device::Device;
+use crate::folding::Folding;
+use crate::memory::{EngineMemory, MemoryModel};
+use crate::stream_sim::StreamSim;
+
+/// Relative clock penalty block array partitioning imposes on designs
+/// with little parallelism (the paper: low-PE configurations "slow
+/// down" while high-PE ones retain their performance — partition muxes
+/// sit on the critical path only when the datapath is shallow).
+const PARTITION_SLOWDOWN: f64 = 0.93;
+
+/// Expected-throughput level below which the partitioning penalty
+/// applies (low-throughput designs have shallow datapaths, so the
+/// partition muxes land on the critical path).
+const PARTITION_SLOWDOWN_FPS: f64 = 700.0;
+
+/// One evaluated accelerator configuration: the tuple of quantities
+/// plotted per x-axis point in the paper's Figs. 3 and 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Total PE count across engines (the figures' x-axis).
+    pub total_pe: usize,
+    /// Total SIMD lanes across engines.
+    pub total_lanes: usize,
+    /// Per-engine cycle counts under the folding.
+    pub engine_cycles: Vec<u64>,
+    /// The slowest engine's cycles (initiation interval).
+    pub bottleneck_cycles: u64,
+    /// Analytic throughput from eqs. (3)–(5).
+    pub expected_fps: f64,
+    /// Throughput after transfer overhead and (when partitioned at low
+    /// parallelism) the partition clock penalty.
+    pub obtained_fps: f64,
+    /// BRAM-18K blocks used.
+    pub bram_18k: u64,
+    /// LUTs used (compute + memory).
+    pub luts: u64,
+    /// BRAM utilisation of the device, percent.
+    pub bram_pct: f64,
+    /// LUT utilisation of the device, percent.
+    pub lut_pct: f64,
+    /// Fraction of allocated parameter-BRAM storage actually used.
+    pub parameter_bram_efficiency: f64,
+    /// Whether block array partitioning was applied.
+    pub partitioned: bool,
+}
+
+impl DesignPoint {
+    /// Evaluates one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `folding` has a different engine count than `specs`.
+    pub fn evaluate(
+        specs: &[EngineSpec],
+        folding: &Folding,
+        device: &Device,
+        partitioned: bool,
+    ) -> Self {
+        let engine_cycles = folding.cycles(specs);
+        let bottleneck = engine_cycles.iter().copied().max().unwrap_or(1);
+        let expected_fps = cycle_model::fps(device.clock_hz, bottleneck);
+        // Input transfer serialises with execution on the SDSoC data
+        // movers: obtained = 1/(1/expected + overhead).
+        let mut obtained_fps = 1.0 / (1.0 / expected_fps + device.io_overhead_s);
+        if partitioned && expected_fps < PARTITION_SLOWDOWN_FPS {
+            obtained_fps *= PARTITION_SLOWDOWN;
+        }
+        let model = if partitioned {
+            MemoryModel::partitioned()
+        } else {
+            MemoryModel::naive()
+        };
+        let memories: Vec<EngineMemory> = specs
+            .iter()
+            .zip(folding.engines())
+            .map(|(spec, &f)| model.allocate_engine(spec, f))
+            .collect();
+        let bram_18k: u64 = memories.iter().map(EngineMemory::bram_18k).sum();
+        let memory_luts: u64 = memories.iter().map(EngineMemory::luts).sum();
+        let compute_luts: u64 =
+            DatapathModel::default().network_luts(specs, folding.engines());
+        let luts = compute_luts + memory_luts;
+        // Parameter efficiency: stored bits over allocated BRAM capacity
+        // across weight+threshold memories that landed in BRAM.
+        let (stored, capacity) = memories.iter().fold((0u64, 0u64), |(s, c), m| {
+            let bram = m.weights.bram_18k + m.thresholds.bram_18k;
+            if bram > 0 {
+                (
+                    s + m.weights.stored_bits + m.thresholds.stored_bits,
+                    c + bram * crate::memory::BRAM18K_BITS,
+                )
+            } else {
+                (s, c)
+            }
+        });
+        let parameter_bram_efficiency = if capacity > 0 {
+            stored as f64 / capacity as f64
+        } else {
+            1.0
+        };
+        Self {
+            total_pe: folding.total_pe(),
+            total_lanes: folding.total_lanes(),
+            engine_cycles,
+            bottleneck_cycles: bottleneck,
+            expected_fps,
+            obtained_fps,
+            bram_18k,
+            luts,
+            bram_pct: device.bram_utilisation_pct(bram_18k),
+            lut_pct: device.lut_utilisation_pct(luts),
+            parameter_bram_efficiency,
+            partitioned,
+        }
+    }
+
+    /// Simulates a batch through this design's streaming pipeline,
+    /// including the device's per-image transfer overhead as the source
+    /// interval.
+    pub fn simulate_batch(
+        &self,
+        device: &Device,
+        batch: usize,
+        fifo_capacity: usize,
+    ) -> crate::stream_sim::SimResult {
+        StreamSim::from_cycles(&self.engine_cycles, device.clock_hz, fifo_capacity)
+            .with_source_interval(device.io_overhead_s)
+            .run(batch)
+    }
+
+    /// Whether the design fits the device.
+    pub fn fits(&self, device: &Device) -> bool {
+        self.bram_18k <= device.bram_18k && self.luts <= device.luts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::folding::FoldingSearch;
+    use mp_bnn::FinnTopology;
+
+    fn point(target: u64, partitioned: bool) -> DesignPoint {
+        let engines = FinnTopology::paper().engines();
+        let folding = FoldingSearch::new(&engines).balanced(target);
+        DesignPoint::evaluate(&engines, &folding, &Device::zc702(), partitioned)
+    }
+
+    #[test]
+    fn obtained_never_exceeds_expected() {
+        for target in [50_000u64, 232_558, 1_000_000] {
+            let p = point(target, false);
+            assert!(p.obtained_fps < p.expected_fps);
+            assert!(p.obtained_fps > 0.0);
+        }
+    }
+
+    #[test]
+    fn io_overhead_calibration_matches_paper_pair() {
+        // Fastest Fig. 3 pair: expected ≈ 3051 → obtained ≈ 1741.
+        let expected = 3051.0f64;
+        let obtained = 1.0 / (1.0 / expected + Device::zc702().io_overhead_s);
+        assert!((obtained - 1741.0).abs() < 60.0, "obtained {obtained}");
+    }
+
+    #[test]
+    fn partitioning_reduces_bram() {
+        let naive = point(232_558, false);
+        let part = point(232_558, true);
+        assert!(part.bram_18k < naive.bram_18k);
+        let drop_pct = 100.0 * (naive.bram_pct - part.bram_pct) / naive.bram_pct;
+        // The paper reports 15–18 % drops; accept a generous band since
+        // the allocator is a model, not Vivado.
+        assert!(drop_pct > 5.0, "drop {drop_pct}%");
+        assert!(part.parameter_bram_efficiency >= naive.parameter_bram_efficiency);
+    }
+
+    #[test]
+    fn partition_penalty_applies_only_to_low_pe() {
+        let slow = point(1_000_000, true); // few PEs
+        let slow_naive = point(1_000_000, false);
+        assert!(slow.obtained_fps < slow_naive.obtained_fps);
+        let fast = point(30_000, true); // many PEs
+        let fast_naive = point(30_000, false);
+        assert!((fast.obtained_fps - fast_naive.obtained_fps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_pe_more_fps_more_area() {
+        let small = point(1_000_000, false);
+        let big = point(50_000, false);
+        assert!(big.total_pe > small.total_pe);
+        assert!(big.expected_fps > small.expected_fps);
+        assert!(big.luts > small.luts);
+    }
+
+    #[test]
+    fn naive_parameter_efficiency_is_poor() {
+        // The paper cites ~22 % average storage efficiency for naive
+        // allocation; our model should land clearly below 60 %.
+        let p = point(232_558, false);
+        assert!(
+            p.parameter_bram_efficiency < 0.6,
+            "efficiency {}",
+            p.parameter_bram_efficiency
+        );
+    }
+
+    #[test]
+    fn anchor_fits_zc702() {
+        let p = point(232_558, true);
+        assert!(p.fits(&Device::zc702()), "anchor design: {p:?}");
+    }
+
+    #[test]
+    fn batch_simulation_close_to_obtained_model() {
+        let p = point(232_558, false);
+        let sim = p.simulate_batch(&Device::zc702(), 256, 2);
+        // The DES pipelines transfers with compute, so it sits between
+        // the serialised "obtained" model and the analytic expectation.
+        assert!(sim.throughput_fps <= p.expected_fps * 1.01);
+        assert!(sim.throughput_fps >= p.obtained_fps * 0.9);
+    }
+}

@@ -1,0 +1,101 @@
+//! FPGA device models.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource and clock envelope of an FPGA device.
+///
+/// # Example
+///
+/// ```
+/// use mp_fpga::Device;
+///
+/// let d = Device::zc702();
+/// assert_eq!(d.bram_18k, 280);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Device name.
+    pub name: String,
+    /// Number of 18-kbit block RAMs.
+    pub bram_18k: u64,
+    /// Number of 6-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub flip_flops: u64,
+    /// Achievable hardware clock in Hz.
+    pub clock_hz: f64,
+    /// Per-image host↔fabric transfer overhead in seconds.
+    ///
+    /// On the ZC702 the SDSoC data movers serialise input transfer with
+    /// accelerator execution inside each batch, so the obtained rate is
+    /// `1/(1/expected + overhead)`; the constant is calibrated on the
+    /// paper's fastest Fig. 3 pair (expected ≈ 3051, obtained ≈ 1741).
+    pub io_overhead_s: f64,
+}
+
+impl Device {
+    /// The Xilinx Zynq-7000 XC7Z020 (ZC702 board) the paper targets:
+    /// Artix-7 fabric with 280 BRAM-18Ks, 53 200 LUTs, and FINN designs
+    /// clocked at 100 MHz.
+    pub fn zc702() -> Self {
+        Self {
+            name: "XC7Z020 (ZC702)".to_owned(),
+            bram_18k: 280,
+            luts: 53_200,
+            flip_flops: 106_400,
+            clock_hz: 100e6,
+            io_overhead_s: 2.47e-4,
+        }
+    }
+
+    /// A larger Zynq UltraScale+ style device for headroom experiments
+    /// (the paper's future-work direction of higher-end devices).
+    pub fn zu3eg() -> Self {
+        Self {
+            name: "XCZU3EG (Ultra96)".to_owned(),
+            bram_18k: 432,
+            luts: 70_560,
+            flip_flops: 141_120,
+            clock_hz: 300e6,
+            io_overhead_s: 8e-5,
+        }
+    }
+
+    /// Fraction of BRAM-18Ks consumed by `used` blocks, in percent.
+    pub fn bram_utilisation_pct(&self, used: u64) -> f64 {
+        100.0 * used as f64 / self.bram_18k as f64
+    }
+
+    /// Fraction of LUTs consumed, in percent.
+    pub fn lut_utilisation_pct(&self, used: u64) -> f64 {
+        100.0 * used as f64 / self.luts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zc702_matches_datasheet() {
+        let d = Device::zc702();
+        assert_eq!(d.bram_18k, 280);
+        assert_eq!(d.luts, 53_200);
+        assert_eq!(d.clock_hz, 100e6);
+    }
+
+    #[test]
+    fn utilisation_percentages() {
+        let d = Device::zc702();
+        assert!((d.bram_utilisation_pct(140) - 50.0).abs() < 1e-9);
+        assert!((d.lut_utilisation_pct(26_600) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ultrascale_is_bigger_and_faster() {
+        let a = Device::zc702();
+        let b = Device::zu3eg();
+        assert!(b.bram_18k > a.bram_18k);
+        assert!(b.clock_hz > a.clock_hz);
+    }
+}

@@ -1,0 +1,258 @@
+//! Rate-balancing folding search (paper §III-A).
+//!
+//! Every engine's throughput is set by its `(P, S)` pair; the slowest
+//! engine decides the network's throughput. Given a target per-image
+//! latency in clock cycles, [`FoldingSearch::balanced`] picks, for each
+//! engine, the cheapest `(P, S)` (fewest multipliers `P·S`) among the
+//! divisors of its weight-matrix dimensions that meets the target — the
+//! procedure the paper describes for producing the configurations of
+//! Fig. 3.
+
+use serde::{Deserialize, Serialize};
+
+use mp_bnn::EngineSpec;
+
+use crate::cycle_model::{engine_cycles, valid_p, valid_s};
+
+/// The `(P, S)` choice for one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EngineFolding {
+    /// Processing elements (rows of the weight tile).
+    pub p: usize,
+    /// SIMD lanes per PE (columns of the weight tile).
+    pub s: usize,
+}
+
+impl EngineFolding {
+    /// Creates a folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `s` is zero.
+    pub fn new(p: usize, s: usize) -> Self {
+        assert!(p > 0 && s > 0, "P and S must be positive");
+        Self { p, s }
+    }
+
+    /// Multiplier (XNOR-lane) count `P·S`.
+    pub fn lanes(&self) -> usize {
+        self.p * self.s
+    }
+}
+
+/// A whole-network folding: one [`EngineFolding`] per engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Folding {
+    engines: Vec<EngineFolding>,
+}
+
+impl Folding {
+    /// Creates a folding from per-engine choices.
+    pub fn new(engines: Vec<EngineFolding>) -> Self {
+        Self { engines }
+    }
+
+    /// Per-engine foldings.
+    pub fn engines(&self) -> &[EngineFolding] {
+        &self.engines
+    }
+
+    /// Total PE count across engines — the x-axis of the paper's
+    /// Figs. 3–4.
+    pub fn total_pe(&self) -> usize {
+        self.engines.iter().map(|e| e.p).sum()
+    }
+
+    /// Total SIMD lane count across engines.
+    pub fn total_lanes(&self) -> usize {
+        self.engines.iter().map(|e| e.lanes()).sum()
+    }
+
+    /// Per-image cycle count of every engine under this folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the folding has a different engine count than `specs`.
+    pub fn cycles(&self, specs: &[EngineSpec]) -> Vec<u64> {
+        assert_eq!(self.engines.len(), specs.len(), "engine count mismatch");
+        specs
+            .iter()
+            .zip(&self.engines)
+            .map(|(spec, f)| engine_cycles(spec, f.p, f.s))
+            .collect()
+    }
+
+    /// The slowest engine's cycle count: the network's per-image
+    /// initiation interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the folding has a different engine count than `specs`.
+    pub fn bottleneck_cycles(&self, specs: &[EngineSpec]) -> u64 {
+        self.cycles(specs).into_iter().max().unwrap_or(1)
+    }
+}
+
+/// Searches foldings for a set of engines.
+#[derive(Debug, Clone)]
+pub struct FoldingSearch<'a> {
+    specs: &'a [EngineSpec],
+}
+
+impl<'a> FoldingSearch<'a> {
+    /// Creates a search over `specs`.
+    pub fn new(specs: &'a [EngineSpec]) -> Self {
+        Self { specs }
+    }
+
+    /// Cheapest `(P, S)` for one engine meeting `target_cycles`, choosing
+    /// only divisors of the weight-matrix dimensions (no padding).
+    ///
+    /// Ties on the lane count `P·S` break toward a square weight tile
+    /// (`P` close to `S`), matching how FINN balances the PE count
+    /// against SIMD depth, then toward fewer PEs.
+    pub fn fold_engine(spec: &EngineSpec, target_cycles: u64) -> EngineFolding {
+        fn imbalance(f: EngineFolding) -> f64 {
+            ((f.p as f64).ln() - (f.s as f64).ln()).abs()
+        }
+        let mut best: Option<EngineFolding> = None;
+        for &p in &valid_p(spec) {
+            for &s in &valid_s(spec) {
+                if engine_cycles(spec, p, s) <= target_cycles {
+                    let cand = EngineFolding::new(p, s);
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            (cand.lanes(), imbalance(cand), cand.p) < (b.lanes(), imbalance(b), b.p)
+                        }
+                    };
+                    if better {
+                        best = Some(cand);
+                    }
+                    break; // larger S only costs more at this P
+                }
+            }
+        }
+        // Unreachable target: run fully parallel.
+        best.unwrap_or_else(|| EngineFolding::new(spec.weight_rows(), spec.weight_cols()))
+    }
+
+    /// Rate-balanced folding: every engine meets `target_cycles` as
+    /// cheaply as possible.
+    pub fn balanced(&self, target_cycles: u64) -> Folding {
+        Folding::new(
+            self.specs
+                .iter()
+                .map(|spec| Self::fold_engine(spec, target_cycles))
+                .collect(),
+        )
+    }
+
+    /// Sweeps a geometric grid of latency targets, returning deduplicated
+    /// foldings ordered by increasing total PE count — the configuration
+    /// series plotted in Figs. 3–4.
+    pub fn sweep(&self, min_cycles: u64, max_cycles: u64, steps: usize) -> Vec<Folding> {
+        assert!(
+            min_cycles > 0 && max_cycles >= min_cycles,
+            "bad sweep range"
+        );
+        assert!(steps >= 2, "need at least two sweep steps");
+        let lo = (min_cycles as f64).ln();
+        let hi = (max_cycles as f64).ln();
+        let mut out: Vec<Folding> = Vec::new();
+        for i in 0..steps {
+            let t = (lo + (hi - lo) * i as f64 / (steps - 1) as f64).exp() as u64;
+            let folding = self.balanced(t.max(1));
+            if !out.contains(&folding) {
+                out.push(folding);
+            }
+        }
+        out.sort_by_key(Folding::total_pe);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_bnn::FinnTopology;
+
+    fn engines() -> Vec<EngineSpec> {
+        FinnTopology::paper().engines()
+    }
+
+    #[test]
+    fn folded_engines_meet_target() {
+        let engines = engines();
+        let target = 250_000;
+        let folding = FoldingSearch::new(&engines).balanced(target);
+        for (cycles, spec) in folding.cycles(&engines).iter().zip(&engines) {
+            assert!(
+                *cycles <= target,
+                "{} missed target: {cycles} > {target}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn folding_uses_divisors_only() {
+        let engines = engines();
+        let folding = FoldingSearch::new(&engines).balanced(100_000);
+        for (f, spec) in folding.engines().iter().zip(&engines) {
+            assert_eq!(spec.weight_rows() % f.p, 0, "{}: P={}", spec.name, f.p);
+            assert_eq!(spec.weight_cols() % f.s, 0, "{}: S={}", spec.name, f.s);
+        }
+    }
+
+    #[test]
+    fn tighter_targets_cost_more_pe() {
+        let engines = engines();
+        let search = FoldingSearch::new(&engines);
+        let slow = search.balanced(1_000_000);
+        let fast = search.balanced(50_000);
+        assert!(fast.total_pe() > slow.total_pe());
+        assert!(fast.bottleneck_cycles(&engines) < slow.bottleneck_cycles(&engines));
+    }
+
+    #[test]
+    fn unreachable_target_goes_fully_parallel() {
+        let engines = engines();
+        // 1 cycle per image is impossible; engines go max-parallel.
+        let f = FoldingSearch::fold_engine(&engines[1], 1);
+        assert_eq!(f.p, engines[1].weight_rows());
+        assert_eq!(f.s, engines[1].weight_cols());
+    }
+
+    #[test]
+    fn sweep_is_monotone_and_deduplicated() {
+        let engines = engines();
+        let sweep = FoldingSearch::new(&engines).sweep(20_000, 2_000_000, 12);
+        assert!(sweep.len() >= 4, "sweep produced {} points", sweep.len());
+        for pair in sweep.windows(2) {
+            assert!(pair[0].total_pe() <= pair[1].total_pe());
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn paper_anchor_configuration() {
+        // The paper's selected operating point: ~430 img/s at 100 MHz,
+        // i.e. a ~232 kcycle initiation interval.
+        let engines = engines();
+        let folding = FoldingSearch::new(&engines).balanced(232_558);
+        let cc = folding.bottleneck_cycles(&engines);
+        let fps = 100e6 / cc as f64;
+        assert!(
+            (390.0..=470.0).contains(&fps),
+            "anchor folding gives {fps} img/s"
+        );
+    }
+
+    #[test]
+    fn total_counts_sum() {
+        let f = Folding::new(vec![EngineFolding::new(2, 4), EngineFolding::new(3, 5)]);
+        assert_eq!(f.total_pe(), 5);
+        assert_eq!(f.total_lanes(), 23);
+    }
+}

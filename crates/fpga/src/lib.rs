@@ -1,0 +1,55 @@
+//! # mp-fpga
+//!
+//! A model of the FINN streaming-dataflow FPGA accelerator: the hardware
+//! substrate the paper maps its binarised network onto (a Xilinx Zynq
+//! XC7Z020 on the ZC702 board).
+//!
+//! The paper's §III-A analysis is reproduced by four cooperating models:
+//!
+//! - [`cycle_model`]: the clock-cycle equations (3) and (4) and the
+//!   frames-per-second equation (5), parameterised by each engine's `P`
+//!   (processing elements) and `S` (SIMD lanes per PE);
+//! - [`folding`]: the rate-balancing search that picks `(P, S)` per
+//!   engine from the divisors of its weight-matrix dimensions, sweeping
+//!   a target latency to produce the configurations of Figs. 3–4;
+//! - [`memory`]: the BRAM-18K/LUT allocation model, including the Vivado
+//!   HLS power-of-two depth rounding that under-utilises BRAM (~22 %
+//!   storage efficiency reported in the paper's reference \[8\]) and the
+//!   block `array_partition` optimisation that recovers 15–18 %;
+//! - [`stream_sim`]: a discrete-event simulator of the multi-engine
+//!   streaming pipeline (finite FIFOs, batch ramp-up/down) that produces
+//!   the "obtained" curves next to the analytic "expected" ones.
+//!
+//! [`design::DesignPoint`] ties them together: one record per evaluated
+//! configuration with total PE count, expected/obtained img/s, and
+//! BRAM/LUT utilisation — exactly the axes of the paper's Figs. 3 and 4.
+//!
+//! # Example
+//!
+//! ```
+//! use mp_bnn::FinnTopology;
+//! use mp_fpga::{design::DesignPoint, device::Device, folding::FoldingSearch};
+//!
+//! let engines = FinnTopology::paper().engines();
+//! let device = Device::zc702();
+//! // Fold for ~430 img/s (the configuration the paper selects).
+//! let target = (device.clock_hz / 430.0) as u64;
+//! let folding = FoldingSearch::new(&engines).balanced(target);
+//! let point = DesignPoint::evaluate(&engines, &folding, &device, false);
+//! assert!(point.expected_fps > 300.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycle_model;
+pub mod datapath;
+pub mod design;
+pub mod device;
+pub mod folding;
+pub mod memory;
+pub mod stream_sim;
+
+pub use design::DesignPoint;
+pub use device::Device;
+pub use folding::{EngineFolding, Folding, FoldingSearch};

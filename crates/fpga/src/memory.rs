@@ -1,0 +1,378 @@
+//! BRAM-18K / LUT allocation model (paper §III-A, Figs. 3–4).
+//!
+//! FINN keeps every network parameter in on-chip memory: each engine has
+//! `P` weight files of `total_weight_size/(P·S)` S-bit words and `P`
+//! threshold files of `OD/P` words (24-bit in the first stage, 16-bit
+//! inner, none in the last). Vivado HLS maps any array over ~1 Kbit to
+//! BRAM-18Ks and **rounds the depth to the next power of two**, which is
+//! the paper's explanation for the ~22 % average BRAM storage efficiency
+//! reported in \[8\]. The block `array_partition` pragma splits a file
+//! into smaller arrays so the rounding gap shrinks — the optimisation
+//! behind Fig. 4's 15–18 % BRAM reduction.
+
+use serde::{Deserialize, Serialize};
+
+use mp_bnn::{EngineKind, EngineSpec};
+
+use crate::folding::EngineFolding;
+
+/// Bits in one BRAM-18K.
+pub const BRAM18K_BITS: u64 = 18 * 1024;
+
+/// Maximum data width of one BRAM-18K slice as Vivado HLS composes
+/// them for `ap_memory` ports (1024 deep × 18 wide).
+pub const BRAM18K_WIDTH: u64 = 18;
+
+/// Depth of one BRAM-18K unit at [`BRAM18K_WIDTH`].
+pub const BRAM18K_DEPTH: u64 = 1024;
+
+/// Arrays at or below this bit count are mapped to LUTs instead of BRAM
+/// (the "about 1 Kb" rule the paper cites).
+pub const LUT_MAPPING_THRESHOLD_BITS: u64 = 1024;
+
+/// LUTRAM capacity per LUT (a SLICEM LUT stores 64 bits).
+pub const LUTRAM_BITS_PER_LUT: u64 = 64;
+
+/// Resources allocated for one logical array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayAlloc {
+    /// BRAM-18K blocks.
+    pub bram_18k: u64,
+    /// LUTs (LUTRAM storage plus partition muxing).
+    pub luts: u64,
+    /// Bits the array actually stores.
+    pub stored_bits: u64,
+}
+
+impl ArrayAlloc {
+    /// Capacity of the allocated BRAMs in bits.
+    pub fn bram_capacity_bits(&self) -> u64 {
+        self.bram_18k * BRAM18K_BITS
+    }
+
+    /// Fraction of allocated BRAM storage actually used (1.0 when the
+    /// array lives in LUTs).
+    pub fn bram_efficiency(&self) -> f64 {
+        if self.bram_18k == 0 {
+            1.0
+        } else {
+            self.stored_bits as f64 / self.bram_capacity_bits() as f64
+        }
+    }
+
+    fn add(self, other: ArrayAlloc) -> ArrayAlloc {
+        ArrayAlloc {
+            bram_18k: self.bram_18k + other.bram_18k,
+            luts: self.luts + other.luts,
+            stored_bits: self.stored_bits + other.stored_bits,
+        }
+    }
+}
+
+/// BRAM-18Ks for a `depth × width` array under the Vivado HLS rules the
+/// paper describes: the primitive aspect ratio is fixed by the word
+/// width (the narrowest BRAM-18K configuration that fits the word, with
+/// words wider than 18 bits cascading 18-bit slices), and the depth is
+/// rounded **to the next power of two** before being built from units of
+/// that aspect — the rounding responsible for the ~22 % average storage
+/// efficiency reported in \[8\].
+fn bram_blocks(depth: u64, width: u64) -> u64 {
+    let (aspect_depth, slices) = if width <= 1 {
+        (16384u64, 1u64)
+    } else if width <= 2 {
+        (8192, 1)
+    } else if width <= 4 {
+        (4096, 1)
+    } else if width <= 9 {
+        (2048, 1)
+    } else if width <= BRAM18K_WIDTH {
+        (BRAM18K_DEPTH, 1)
+    } else {
+        (BRAM18K_DEPTH, width.div_ceil(BRAM18K_WIDTH))
+    };
+    let depth_units = depth
+        .max(1)
+        .next_power_of_two()
+        .div_ceil(aspect_depth)
+        .max(1);
+    slices * depth_units
+}
+
+/// Allocates one logical `depth × width` array.
+///
+/// `partition_blocks > 1` models `array_partition block factor=N`: the
+/// array splits into `N` sub-arrays of `ceil(depth/N)` words, each
+/// rounded and mapped independently, plus a small muxing LUT overhead
+/// per extra partition.
+///
+/// # Panics
+///
+/// Panics if `width` or `partition_blocks` is zero.
+pub fn allocate_array(depth: u64, width: u64, partition_blocks: u64) -> ArrayAlloc {
+    assert!(width > 0, "array width must be positive");
+    assert!(partition_blocks > 0, "partition count must be positive");
+    let stored_bits = depth * width;
+    if stored_bits == 0 {
+        return ArrayAlloc::default();
+    }
+    if stored_bits <= LUT_MAPPING_THRESHOLD_BITS {
+        return ArrayAlloc {
+            bram_18k: 0,
+            luts: stored_bits.div_ceil(LUTRAM_BITS_PER_LUT),
+            stored_bits,
+        };
+    }
+    let sub_depth = depth.div_ceil(partition_blocks);
+    let bram = partition_blocks * bram_blocks(sub_depth, width);
+    // Output muxing across partitions.
+    let mux_luts = if partition_blocks > 1 {
+        (partition_blocks - 1) * width
+    } else {
+        0
+    };
+    ArrayAlloc {
+        bram_18k: bram,
+        luts: mux_luts,
+        stored_bits,
+    }
+}
+
+/// Best block-partitioning factor for a `depth × width` array: the one
+/// minimising BRAMs (ties to fewer partitions), searched up to factor 8
+/// — beyond that the partition muxing dominates, so the paper applies
+/// the pragma only "if the allocated BRAMs can be reduced". Deep files
+/// spanning multiple power-of-two units benefit; files using a fraction
+/// of one BRAM cannot be improved (paper §III-A).
+pub fn best_partition(depth: u64, width: u64) -> u64 {
+    let mut best_blocks = 1;
+    let mut best = allocate_array(depth, width, 1);
+    for factor in 2..=8u64.min(depth.max(1)) {
+        let cand = allocate_array(depth, width, factor);
+        if cand.bram_18k < best.bram_18k {
+            best = cand;
+            best_blocks = factor;
+        }
+    }
+    best_blocks
+}
+
+/// Memory allocation report for one engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineMemory {
+    /// Weight-memory allocation (P files).
+    pub weights: ArrayAlloc,
+    /// Threshold-memory allocation (P files; zero for the last engine).
+    pub thresholds: ArrayAlloc,
+    /// Inter-layer stream buffers (sliding-window line buffers).
+    pub buffers: ArrayAlloc,
+}
+
+impl EngineMemory {
+    /// Total BRAM-18Ks.
+    pub fn bram_18k(&self) -> u64 {
+        self.weights.bram_18k + self.thresholds.bram_18k + self.buffers.bram_18k
+    }
+
+    /// Total memory LUTs.
+    pub fn luts(&self) -> u64 {
+        self.weights.luts + self.thresholds.luts + self.buffers.luts
+    }
+
+    /// Weight+threshold storage efficiency over allocated BRAM capacity.
+    pub fn parameter_bram_efficiency(&self) -> f64 {
+        let alloc = self.weights.add(self.thresholds);
+        alloc.bram_efficiency()
+    }
+}
+
+/// The memory model: allocates an engine's weight, threshold and buffer
+/// arrays under a folding, optionally applying block array partitioning
+/// to the parameter memories (buffers are untouched, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Whether block `array_partition` is applied (Fig. 4 vs Fig. 3).
+    pub partitioned: bool,
+}
+
+impl MemoryModel {
+    /// A model with naive allocation (Fig. 3).
+    pub fn naive() -> Self {
+        Self { partitioned: false }
+    }
+
+    /// A model with block array partitioning (Fig. 4).
+    pub fn partitioned() -> Self {
+        Self { partitioned: true }
+    }
+
+    /// Allocates one engine's memories under `folding`.
+    ///
+    /// Weight memory: `P` files of `total_weight_size/(P·S)` words of `S`
+    /// bits. Threshold memory: `P` files of `OD/P` words of
+    /// `threshold_bits`. Conv engines additionally hold a `K`-line
+    /// sliding-window buffer of the input feature map.
+    pub fn allocate_engine(&self, spec: &EngineSpec, folding: EngineFolding) -> EngineMemory {
+        let p = folding.p as u64;
+        let weight_file_depth = spec.total_weight_bits().div_ceil(p * folding.s as u64);
+        let weight_file = self.parameter_array(weight_file_depth, folding.s as u64);
+        let weights = scale_alloc(weight_file, p);
+
+        let thresholds = if spec.threshold_bits > 0 {
+            let depth = (spec.out_channels as u64).div_ceil(p);
+            scale_alloc(self.parameter_array(depth, spec.threshold_bits as u64), p)
+        } else {
+            ArrayAlloc::default()
+        };
+
+        let buffers = match spec.kind {
+            EngineKind::Conv => {
+                // K input lines of IW pixels, ID channels deep, at the
+                // engine's input precision.
+                let depth = (spec.kernel * spec.in_width) as u64;
+                let width = (spec.in_channels * spec.input_bits) as u64;
+                allocate_array(depth, width, 1)
+            }
+            EngineKind::Fc => {
+                // Double-buffered input vector.
+                allocate_array(2, spec.in_channels as u64, 1)
+            }
+        };
+
+        EngineMemory {
+            weights,
+            thresholds,
+            buffers,
+        }
+    }
+
+    fn parameter_array(&self, depth: u64, width: u64) -> ArrayAlloc {
+        if self.partitioned {
+            allocate_array(depth, width, best_partition(depth, width))
+        } else {
+            allocate_array(depth, width, 1)
+        }
+    }
+}
+
+fn scale_alloc(one: ArrayAlloc, count: u64) -> ArrayAlloc {
+    ArrayAlloc {
+        bram_18k: one.bram_18k * count,
+        luts: one.luts * count,
+        stored_bits: one.stored_bits * count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_bnn::FinnTopology;
+
+    #[test]
+    fn small_arrays_map_to_luts() {
+        let a = allocate_array(64, 16, 1);
+        assert_eq!(a.bram_18k, 0);
+        assert_eq!(a.luts, (64 * 16u64).div_ceil(64));
+        assert_eq!(a.stored_bits, 1024);
+    }
+
+    #[test]
+    fn empty_array_costs_nothing() {
+        assert_eq!(allocate_array(0, 8, 1), ArrayAlloc::default());
+    }
+
+    #[test]
+    fn power_of_two_rounding_wastes_bram() {
+        // Depth 1025 rounds to 2048: two 1024×18 units for 16-bit words
+        // vs. stored 1025·16 bits.
+        let a = allocate_array(1025, 16, 1);
+        assert_eq!(a.bram_18k, 2);
+        assert!(
+            a.bram_efficiency() < 0.6,
+            "efficiency {}",
+            a.bram_efficiency()
+        );
+    }
+
+    #[test]
+    fn exact_power_of_two_is_efficient() {
+        let a = allocate_array(1024, 18, 1);
+        assert_eq!(a.bram_18k, 1);
+        assert!((a.bram_efficiency() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partitioning_reduces_rounding_waste() {
+        // Depth 4500 rounds to 8192 → 8 units; five blocks of 900 round
+        // to 1024 each → 5 units.
+        let naive = allocate_array(4500, 16, 1);
+        assert_eq!(naive.bram_18k, 8);
+        let parts = best_partition(4500, 16);
+        let part = allocate_array(4500, 16, parts);
+        assert!(
+            part.bram_18k < naive.bram_18k,
+            "partitioned {} vs naive {}",
+            part.bram_18k,
+            naive.bram_18k
+        );
+        assert!(part.bram_efficiency() > naive.bram_efficiency());
+    }
+
+    #[test]
+    fn best_partition_never_worse() {
+        for depth in [100u64, 700, 1025, 3000, 4500, 10_000] {
+            for width in [1u64, 4, 16, 24] {
+                let naive = allocate_array(depth, width, 1);
+                let best = allocate_array(depth, width, best_partition(depth, width));
+                assert!(best.bram_18k <= naive.bram_18k, "d={depth} w={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_memory_accounts_all_components() {
+        let engines = FinnTopology::paper().engines();
+        let model = MemoryModel::naive();
+        let mem = model.allocate_engine(&engines[1], EngineFolding::new(8, 16));
+        // Weights: 8 files of (64·576)/(8·16) = 288 words × 16 bits.
+        assert_eq!(mem.weights.stored_bits, 64 * 576);
+        // Thresholds: 8 files of 8 words × 16 bits — LUT-mapped.
+        assert_eq!(mem.thresholds.stored_bits, 64 * 16);
+        assert_eq!(mem.thresholds.bram_18k, 0);
+        assert!(mem.buffers.stored_bits > 0);
+        assert_eq!(
+            mem.bram_18k(),
+            mem.weights.bram_18k + mem.thresholds.bram_18k + mem.buffers.bram_18k
+        );
+    }
+
+    #[test]
+    fn partitioned_model_uses_no_more_bram() {
+        let engines = FinnTopology::paper().engines();
+        for spec in &engines {
+            let folding = EngineFolding::new(1, 1);
+            let naive = MemoryModel::naive().allocate_engine(spec, folding);
+            let part = MemoryModel::partitioned().allocate_engine(spec, folding);
+            assert!(
+                part.bram_18k() <= naive.bram_18k(),
+                "{}: {} vs {}",
+                spec.name,
+                part.bram_18k(),
+                naive.bram_18k()
+            );
+        }
+    }
+
+    #[test]
+    fn last_engine_has_no_threshold_memory() {
+        let engines = FinnTopology::paper().engines();
+        let mem = MemoryModel::naive()
+            .allocate_engine(engines.last().expect("engines"), EngineFolding::new(1, 1));
+        assert_eq!(mem.thresholds, ArrayAlloc::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = allocate_array(10, 0, 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Discrete-event simulation of the FINN streaming pipeline.
+//!
+//! FINN is "a streaming multi-layer pipeline architecture where every
+//! layer is composed of a compute engine surrounded by input/output
+//! buffers" (paper §II). [`StreamSim`] models each engine as a single
+//! server with a fixed per-image service time (its folded cycle count at
+//! the device clock) connected by finite FIFOs, and replays a batch
+//! through the pipeline. This produces the *obtained* performance next
+//! to the cycle model's *expected* values: ramp-up/ramp-down, FIFO
+//! back-pressure, and the serialised input-transfer overhead all show up
+//! here — the effects the paper attributes its expected/obtained gap and
+//! batch-size behaviour to.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating one batch through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Time from first input to last output, in seconds.
+    pub makespan_s: f64,
+    /// Batch throughput: images per second over the makespan.
+    pub throughput_fps: f64,
+    /// Latency of the first image (pipeline ramp-up), in seconds.
+    pub first_latency_s: f64,
+    /// Mean per-image latency, in seconds.
+    pub mean_latency_s: f64,
+}
+
+/// A streaming pipeline of single-server stages with finite FIFOs.
+///
+/// # Example
+///
+/// ```
+/// use mp_fpga::stream_sim::StreamSim;
+///
+/// // Three balanced stages of 1 ms each, generous FIFOs.
+/// let sim = StreamSim::new(vec![1e-3, 1e-3, 1e-3], 4, 0.0);
+/// let r = sim.run(100);
+/// // Steady state: one image per bottleneck interval.
+/// assert!((r.throughput_fps - 1000.0).abs() / 1000.0 < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSim {
+    service_s: Vec<f64>,
+    fifo_capacity: usize,
+    source_interval_s: f64,
+}
+
+impl StreamSim {
+    /// Creates a pipeline.
+    ///
+    /// `service_s` is the per-image service time of each stage;
+    /// `fifo_capacity` is the number of images each inter-stage FIFO
+    /// holds; `source_interval_s` is the minimum spacing between input
+    /// images (0 for an always-ready source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no stages, a service time is negative, or
+    /// `fifo_capacity` is zero.
+    pub fn new(service_s: Vec<f64>, fifo_capacity: usize, source_interval_s: f64) -> Self {
+        assert!(!service_s.is_empty(), "pipeline needs at least one stage");
+        assert!(
+            service_s.iter().all(|&s| s >= 0.0),
+            "service times must be non-negative"
+        );
+        assert!(fifo_capacity > 0, "FIFO capacity must be positive");
+        assert!(
+            source_interval_s >= 0.0,
+            "source interval must be non-negative"
+        );
+        Self {
+            service_s,
+            fifo_capacity,
+            source_interval_s,
+        }
+    }
+
+    /// Builds a pipeline from per-engine cycle counts at a device clock.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`StreamSim::new`]; additionally `clock_hz`
+    /// must be positive.
+    pub fn from_cycles(cycles: &[u64], clock_hz: f64, fifo_capacity: usize) -> Self {
+        assert!(clock_hz > 0.0, "clock must be positive");
+        Self::new(
+            cycles.iter().map(|&c| c as f64 / clock_hz).collect(),
+            fifo_capacity,
+            0.0,
+        )
+    }
+
+    /// Sets the source interval (e.g. DMA transfer time per image).
+    pub fn with_source_interval(mut self, interval_s: f64) -> Self {
+        assert!(interval_s >= 0.0, "source interval must be non-negative");
+        self.source_interval_s = interval_s;
+        self
+    }
+
+    /// Number of pipeline stages.
+    pub fn num_stages(&self) -> usize {
+        self.service_s.len()
+    }
+
+    /// The pipeline's steady-state initiation interval: the slowest of
+    /// the source and any stage.
+    pub fn bottleneck_interval_s(&self) -> f64 {
+        self.service_s
+            .iter()
+            .copied()
+            .fold(self.source_interval_s, f64::max)
+    }
+
+    /// Replays `batch` images through the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn run(&self, batch: usize) -> SimResult {
+        assert!(batch > 0, "batch must be positive");
+        let m = self.service_s.len();
+        let cap = self.fifo_capacity;
+        // departures[j][i]: when image j leaves stage i (it has also
+        // secured a slot downstream — blocking-after-service).
+        let mut departures = vec![vec![0.0f64; m]; batch];
+        let mut latencies = Vec::with_capacity(batch);
+        for j in 0..batch {
+            let arrival = j as f64 * self.source_interval_s;
+            let mut upstream = arrival;
+            for i in 0..m {
+                // Server free after the previous image left.
+                let server_free = if j > 0 { departures[j - 1][i] } else { 0.0 };
+                let mut t = upstream.max(server_free) + self.service_s[i];
+                // Back-pressure: a slot frees downstream once image
+                // j-cap has left stage i+1.
+                if i + 1 < m && j >= cap {
+                    t = t.max(departures[j - cap][i + 1]);
+                }
+                departures[j][i] = t;
+                upstream = t;
+            }
+            latencies.push(departures[j][m - 1] - arrival);
+        }
+        let makespan = departures[batch - 1][m - 1];
+        SimResult {
+            makespan_s: makespan,
+            throughput_fps: batch as f64 / makespan,
+            first_latency_s: latencies[0],
+            mean_latency_s: latencies.iter().sum::<f64>() / batch as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stage_throughput_is_inverse_service() {
+        let sim = StreamSim::new(vec![2e-3], 2, 0.0);
+        let r = sim.run(500);
+        assert!((r.throughput_fps - 500.0).abs() < 1.0);
+        assert!((r.first_latency_s - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_stage_sets_steady_state() {
+        let sim = StreamSim::new(vec![1e-3, 5e-3, 1e-3], 4, 0.0);
+        let r = sim.run(1000);
+        // ≈ 200 fps from the 5 ms stage.
+        assert!((r.throughput_fps - 200.0).abs() / 200.0 < 0.02);
+    }
+
+    #[test]
+    fn ramp_up_latency_is_sum_of_services() {
+        let sim = StreamSim::new(vec![1e-3, 2e-3, 3e-3], 8, 0.0);
+        let r = sim.run(1);
+        assert!((r.first_latency_s - 6e-3).abs() < 1e-9);
+        assert!((r.makespan_s - 6e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_source_limits_throughput() {
+        let sim = StreamSim::new(vec![1e-3], 2, 4e-3);
+        let r = sim.run(200);
+        assert!((r.throughput_fps - 250.0).abs() / 250.0 < 0.05);
+        assert!((sim.bottleneck_interval_s() - 4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_fifos_create_back_pressure() {
+        // Fast stage feeding a slow one: with a 1-slot FIFO the fast
+        // stage blocks, so per-image latency in the fast stage grows.
+        let tight = StreamSim::new(vec![1e-3, 10e-3], 1, 0.0).run(50);
+        let loose = StreamSim::new(vec![1e-3, 10e-3], 64, 0.0).run(50);
+        // Throughput is bottleneck-bound either way…
+        assert!((tight.throughput_fps - loose.throughput_fps).abs() / loose.throughput_fps < 0.05);
+        // …but generous FIFOs let later images queue longer upstream.
+        assert!(loose.mean_latency_s >= tight.mean_latency_s * 0.9);
+    }
+
+    #[test]
+    fn larger_batches_amortise_ramp() {
+        // The paper: larger batch ⇒ slightly better throughput (ramp is
+        // amortised) but higher per-image latency.
+        let sim = StreamSim::new(vec![1e-3, 2e-3, 1e-3], 2, 0.0);
+        let small = sim.run(4);
+        let large = sim.run(400);
+        assert!(large.throughput_fps > small.throughput_fps);
+        assert!(large.mean_latency_s >= small.mean_latency_s);
+    }
+
+    #[test]
+    fn from_cycles_converts_clock() {
+        let sim = StreamSim::from_cycles(&[100_000, 200_000], 100e6, 2);
+        assert!((sim.bottleneck_interval_s() - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_rejected() {
+        let _ = StreamSim::new(vec![], 2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_rejected() {
+        let _ = StreamSim::new(vec![1.0], 1, 0.0).run(0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the FPGA models.
+
+use proptest::prelude::*;
+
+use mp_bnn::FinnTopology;
+use mp_fpga::cycle_model::{engine_cycles, fps, valid_p, valid_s};
+use mp_fpga::design::DesignPoint;
+use mp_fpga::device::Device;
+use mp_fpga::folding::{EngineFolding, Folding, FoldingSearch};
+use mp_fpga::memory::MemoryModel;
+use mp_fpga::stream_sim::StreamSim;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn full_parallel_conv_takes_output_pixels(engine_idx in 0usize..6) {
+        let engines = FinnTopology::paper().engines();
+        let e = &engines[engine_idx];
+        // Fully unfolded: one output tile per cycle ⇒ OH·OW cycles.
+        prop_assert_eq!(
+            engine_cycles(e, e.weight_rows(), e.weight_cols()),
+            e.output_pixels() as u64
+        );
+    }
+
+    #[test]
+    fn cycles_scale_inversely_with_folding(engine_idx in 0usize..9, pi in 0usize..4, si in 0usize..4) {
+        let engines = FinnTopology::paper().engines();
+        let e = &engines[engine_idx];
+        let ps = valid_p(e);
+        let ss = valid_s(e);
+        let p = ps[pi % ps.len()];
+        let s = ss[si % ss.len()];
+        // Exact divisor folding: cycles × P × S = cycles(1,1).
+        prop_assert_eq!(
+            engine_cycles(e, p, s) * (p * s) as u64,
+            engine_cycles(e, 1, 1)
+        );
+    }
+
+    #[test]
+    fn fps_monotone_in_cycles(c1 in 1u64..10_000_000, c2 in 1u64..10_000_000) {
+        prop_assume!(c1 < c2);
+        prop_assert!(fps(100e6, c1) > fps(100e6, c2));
+    }
+
+    #[test]
+    fn design_points_internally_consistent(target in 30_000u64..2_000_000) {
+        let engines = FinnTopology::paper().engines();
+        let folding = FoldingSearch::new(&engines).balanced(target);
+        let device = Device::zc702();
+        let p = DesignPoint::evaluate(&engines, &folding, &device, false);
+        prop_assert_eq!(p.total_pe, folding.total_pe());
+        prop_assert_eq!(
+            p.bottleneck_cycles,
+            *p.engine_cycles.iter().max().unwrap()
+        );
+        prop_assert!(p.obtained_fps < p.expected_fps);
+        prop_assert!((p.bram_pct - 100.0 * p.bram_18k as f64 / 280.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partitioned_memory_never_worse_per_engine(
+        engine_idx in 0usize..9, p_pick in 0usize..3, s_pick in 0usize..3
+    ) {
+        let engines = FinnTopology::paper().engines();
+        let e = &engines[engine_idx];
+        let ps = valid_p(e);
+        let ss = valid_s(e);
+        let f = EngineFolding::new(ps[p_pick % ps.len()], ss[s_pick % ss.len()]);
+        let naive = MemoryModel::naive().allocate_engine(e, f);
+        let part = MemoryModel::partitioned().allocate_engine(e, f);
+        prop_assert!(part.bram_18k() <= naive.bram_18k());
+        // Partitioning never changes what is stored.
+        prop_assert_eq!(part.weights.stored_bits, naive.weights.stored_bits);
+    }
+
+    #[test]
+    fn stream_sim_image_conservation(batch in 1usize..300) {
+        // Makespan × throughput = batch, by construction — guard the
+        // arithmetic stays consistent under refactors.
+        let sim = StreamSim::new(vec![1e-3, 2e-3], 2, 5e-4);
+        let r = sim.run(batch);
+        prop_assert!((r.throughput_fps * r.makespan_s - batch as f64).abs() < 1e-6);
+        prop_assert!(r.mean_latency_s >= r.first_latency_s.min(1e9) * 0.0);
+        prop_assert!(r.first_latency_s > 0.0);
+    }
+
+    #[test]
+    fn folding_total_pe_counts(ps in proptest::collection::vec((1usize..16, 1usize..16), 1..6)) {
+        let engines: Vec<EngineFolding> =
+            ps.iter().map(|&(p, s)| EngineFolding::new(p, s)).collect();
+        let folding = Folding::new(engines);
+        prop_assert_eq!(folding.total_pe(), ps.iter().map(|&(p, _)| p).sum::<usize>());
+        prop_assert_eq!(
+            folding.total_lanes(),
+            ps.iter().map(|&(p, s)| p * s).sum::<usize>()
+        );
+    }
+}

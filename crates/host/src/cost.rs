@@ -1,0 +1,206 @@
+//! ARM Cortex-A9 host performance model.
+//!
+//! The paper runs its Caffe networks on the ZC702's dual-core Cortex-A9
+//! at 666 MHz with OpenBLAS (no NEON on ARMv7, §III-C). We model the
+//! per-image inference time as an affine function of the network's
+//! multiply–accumulate count:
+//!
+//! ```text
+//! t_img = base_overhead + macs / mac_rate
+//! ```
+//!
+//! The two constants are calibrated so Models A and B land exactly on
+//! the paper's measured Table IV rates (29.68 and 3.63 img/s); Model C
+//! is then a genuine out-of-sample prediction, which lands within ~15 %
+//! of the paper's 3.09 img/s. The affine form captures the two regimes
+//! the measurements show: a fixed per-image framework cost (im2col,
+//! pooling, LRN, memory traffic) and a GEMM throughput term.
+
+use serde::{Deserialize, Serialize};
+
+use mp_nn::LayerCost;
+use mp_tensor::ShapeError;
+
+use crate::zoo::{self, ModelId};
+use mp_tensor::init::TensorRng;
+
+/// Affine per-image cost model of a host CPU.
+///
+/// # Example
+///
+/// ```
+/// use mp_host::ArmHost;
+///
+/// # fn main() -> Result<(), mp_tensor::ShapeError> {
+/// let host = ArmHost::calibrated_zc702()?;
+/// // A hypothetical 100M-MAC network.
+/// let cost = mp_nn::LayerCost::new(100_000_000, 0, 0);
+/// assert!(host.images_per_sec(&cost) < 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmHost {
+    /// Host description.
+    pub name: String,
+    /// Fixed per-image overhead in seconds.
+    pub base_overhead_s: f64,
+    /// Sustained multiply–accumulates per second across all cores.
+    pub mac_rate: f64,
+}
+
+impl ArmHost {
+    /// Creates a host model from raw constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac_rate` is not positive or `base_overhead_s` is
+    /// negative.
+    pub fn new(name: impl Into<String>, base_overhead_s: f64, mac_rate: f64) -> Self {
+        assert!(mac_rate > 0.0, "MAC rate must be positive");
+        assert!(base_overhead_s >= 0.0, "overhead must be non-negative");
+        Self {
+            name: name.into(),
+            base_overhead_s,
+            mac_rate,
+        }
+    }
+
+    /// Solves the two model constants from two measured points
+    /// `(macs, images_per_sec)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two points are degenerate (equal MAC counts) or
+    /// produce a non-physical model (negative overhead or rate).
+    pub fn calibrated(name: impl Into<String>, point_a: (u64, f64), point_b: (u64, f64)) -> Self {
+        let (macs_a, fps_a) = point_a;
+        let (macs_b, fps_b) = point_b;
+        assert_ne!(macs_a, macs_b, "calibration points must differ in MACs");
+        let (t_a, t_b) = (1.0 / fps_a, 1.0 / fps_b);
+        let inv_rate = (t_b - t_a) / (macs_b as f64 - macs_a as f64);
+        let base = t_a - macs_a as f64 * inv_rate;
+        assert!(inv_rate > 0.0, "calibration produced non-positive MAC time");
+        assert!(base >= 0.0, "calibration produced negative overhead");
+        Self::new(name, base, 1.0 / inv_rate)
+    }
+
+    /// The paper's host: dual-core Cortex-A9 at 666 MHz, calibrated on
+    /// the measured Table IV rates of Models A and B.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the zoo models cannot be built (which
+    /// indicates a bug).
+    pub fn calibrated_zc702() -> Result<Self, ShapeError> {
+        // Weight initialisation does not affect cost; any seed works.
+        let mut rng = TensorRng::seed_from(0);
+        let a = zoo::build_paper(ModelId::A, &mut rng)?.total_cost()?;
+        let b = zoo::build_paper(ModelId::B, &mut rng)?.total_cost()?;
+        Ok(Self::calibrated(
+            "dual-core ARM Cortex-A9 @ 666 MHz (OpenBLAS, no NEON)",
+            (a.macs, ModelId::A.paper_images_per_sec()),
+            (b.macs, ModelId::B.paper_images_per_sec()),
+        ))
+    }
+
+    /// An ARMv8 host with active NEON (the paper's future-work target):
+    /// roughly 4× the sustained GEMM rate and half the overhead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the zoo models cannot be built.
+    pub fn armv8_neon() -> Result<Self, ShapeError> {
+        let a9 = Self::calibrated_zc702()?;
+        Ok(Self::new(
+            "quad-core ARMv8 with NEON",
+            a9.base_overhead_s / 2.0,
+            a9.mac_rate * 4.0,
+        ))
+    }
+
+    /// Predicted per-image inference time in seconds.
+    pub fn seconds_per_image(&self, cost: &LayerCost) -> f64 {
+        self.base_overhead_s + cost.macs as f64 / self.mac_rate
+    }
+
+    /// Predicted throughput in images per second.
+    pub fn images_per_sec(&self, cost: &LayerCost) -> f64 {
+        1.0 / self.seconds_per_image(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_its_points() {
+        let host = ArmHost::calibrated("test", (10_000_000, 30.0), (200_000_000, 4.0));
+        let a = LayerCost::new(10_000_000, 0, 0);
+        let b = LayerCost::new(200_000_000, 0, 0);
+        assert!((host.images_per_sec(&a) - 30.0).abs() < 1e-6);
+        assert!((host.images_per_sec(&b) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zc702_matches_table4_for_models_a_and_b() {
+        let host = ArmHost::calibrated_zc702().unwrap();
+        let mut rng = TensorRng::seed_from(1);
+        let a = zoo::build_paper(ModelId::A, &mut rng)
+            .unwrap()
+            .total_cost()
+            .unwrap();
+        let b = zoo::build_paper(ModelId::B, &mut rng)
+            .unwrap()
+            .total_cost()
+            .unwrap();
+        assert!((host.images_per_sec(&a) - 29.68).abs() < 0.05);
+        assert!((host.images_per_sec(&b) - 3.63).abs() < 0.05);
+    }
+
+    #[test]
+    fn model_c_prediction_is_close_to_paper() {
+        let host = ArmHost::calibrated_zc702().unwrap();
+        let mut rng = TensorRng::seed_from(2);
+        let c = zoo::build_paper(ModelId::C, &mut rng)
+            .unwrap()
+            .total_cost()
+            .unwrap();
+        let fps = host.images_per_sec(&c);
+        let paper = ModelId::C.paper_images_per_sec();
+        let err = (fps - paper).abs() / paper;
+        assert!(
+            err < 0.25,
+            "Model C predicted {fps} vs paper {paper} (err {err:.2})"
+        );
+    }
+
+    #[test]
+    fn more_macs_is_slower() {
+        let host = ArmHost::calibrated_zc702().unwrap();
+        let small = LayerCost::new(1_000_000, 0, 0);
+        let big = LayerCost::new(500_000_000, 0, 0);
+        assert!(host.images_per_sec(&small) > host.images_per_sec(&big));
+    }
+
+    #[test]
+    fn armv8_is_faster() {
+        let a9 = ArmHost::calibrated_zc702().unwrap();
+        let v8 = ArmHost::armv8_neon().unwrap();
+        let cost = LayerCost::new(100_000_000, 0, 0);
+        assert!(v8.images_per_sec(&cost) > a9.images_per_sec(&cost) * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn degenerate_calibration_rejected() {
+        let _ = ArmHost::calibrated("x", (1000, 1.0), (1000, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "MAC rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = ArmHost::new("x", 0.0, 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # mp-host
+//!
+//! The host side of the heterogeneous system: the floating-point Caffe
+//! networks of the paper's Table III and a performance model of the
+//! dual-core ARM Cortex-A9 they run on.
+//!
+//! - [`zoo`] builds the three CIFAR-10 classifiers as [`mp_nn::Network`]s:
+//!   Model A (Krizhevsky's cuda-convnet), Model B (Network in Network)
+//!   and Model C (All Convolutional Net), in both the paper's full-size
+//!   topologies and reduced "fast" variants that train quickly on the
+//!   synthetic dataset;
+//! - [`cost`] predicts images/second on the ZC702's ARM host from each
+//!   network's multiply–accumulate count, calibrated on the paper's
+//!   measured Table IV rates for Models A and B (Model C is then a
+//!   genuine prediction of the model, landing within ~15 % of the
+//!   paper).
+//!
+//! # Example
+//!
+//! ```
+//! use mp_host::zoo::{self, ModelId};
+//! use mp_host::cost::ArmHost;
+//! use mp_tensor::init::TensorRng;
+//!
+//! # fn main() -> Result<(), mp_tensor::ShapeError> {
+//! let mut rng = TensorRng::seed_from(0);
+//! let model_a = zoo::build_paper(ModelId::A, &mut rng)?;
+//! let host = ArmHost::calibrated_zc702()?;
+//! let fps = host.images_per_sec(&model_a.total_cost()?);
+//! assert!((fps - 29.68).abs() < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod zoo;
+
+pub use cost::ArmHost;
+pub use zoo::ModelId;

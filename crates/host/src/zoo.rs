@@ -1,0 +1,292 @@
+//! The Caffe model zoo of the paper's Table III.
+//!
+//! Model A is built from Alex Krizhevsky's cuda-convnet CIFAR-10
+//! example, Model B is the "Network in Network" model (the paper's
+//! reference \[9\]) and Model C is the "All Convolutional Net" (\[10\]).
+//! Each is available in the paper's full topology
+//! ([`build_paper`]) — used by the performance analysis — and in a
+//! reduced `fast` variant ([`build_fast`]) with the same relative depth
+//! ordering, which trains in seconds on 16×16 synthetic images for the
+//! accuracy experiments.
+
+use serde::{Deserialize, Serialize};
+
+use mp_nn::{Network, NetworkBuilder};
+use mp_tensor::init::TensorRng;
+use mp_tensor::{Shape, ShapeError};
+
+/// Which of the paper's three host networks to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelId {
+    /// cuda-convnet: the shallow, fast classifier (81.4 % in the paper).
+    A,
+    /// Network in Network (89.3 %).
+    B,
+    /// All Convolutional Net (90.7 %).
+    C,
+}
+
+impl ModelId {
+    /// All three models, in table order.
+    pub const ALL: [ModelId; 3] = [ModelId::A, ModelId::B, ModelId::C];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelId::A => "Model A (cuda-convnet)",
+            ModelId::B => "Model B (Network in Network)",
+            ModelId::C => "Model C (All-CNN)",
+        }
+    }
+
+    /// The paper's measured CIFAR-10 test accuracy (Table IV), 0–1.
+    pub fn paper_accuracy(&self) -> f32 {
+        match self {
+            ModelId::A => 0.814,
+            ModelId::B => 0.893,
+            ModelId::C => 0.907,
+        }
+    }
+
+    /// The paper's measured ARM host inference rate (Table IV), img/s.
+    pub fn paper_images_per_sec(&self) -> f64 {
+        match self {
+            ModelId::A => 29.68,
+            ModelId::B => 3.63,
+            ModelId::C => 3.09,
+        }
+    }
+}
+
+/// Builds the paper's full-size topology for 32×32 RGB inputs.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if construction fails (indicates a bug in the
+/// topology definition).
+pub fn build_paper(id: ModelId, rng: &mut TensorRng) -> Result<Network, ShapeError> {
+    let input = Shape::nchw(1, 3, 32, 32);
+    match id {
+        ModelId::A => model_a(input, 1, rng),
+        ModelId::B => model_b(input, 1, rng),
+        ModelId::C => model_c(input, 1, rng),
+    }
+}
+
+/// Builds the reduced `fast` variant for 16×16 RGB inputs with channel
+/// counts divided by four: same layer pattern and relative depths, but
+/// trainable in seconds.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if construction fails.
+pub fn build_fast(id: ModelId, rng: &mut TensorRng) -> Result<Network, ShapeError> {
+    let input = Shape::nchw(1, 3, 16, 16);
+    match id {
+        ModelId::A => model_a(input, 4, rng),
+        ModelId::B => model_b(input, 4, rng),
+        ModelId::C => model_c(input, 4, rng),
+    }
+}
+
+fn ch(base: usize, divisor: usize) -> usize {
+    (base / divisor).max(8)
+}
+
+/// Dropout strength: the paper's Caffe recipes use heavy dropout on the
+/// full-width models; the reduced `fast` variants have far less
+/// capacity to spare, so they drop proportionally less.
+fn drop_p(paper: f32, divisor: usize) -> f32 {
+    if divisor > 1 {
+        paper * 0.4
+    } else {
+        paper
+    }
+}
+
+/// Model A: conv-pool-LRN ×2 then conv-pool, FC-10 (Table III col. 1).
+fn model_a(input: Shape, divisor: usize, rng: &mut TensorRng) -> Result<Network, ShapeError> {
+    let b: NetworkBuilder = Network::builder(input)
+        .conv2d(ch(32, divisor), 5, 1, 2, rng)?
+        .max_pool_stride(3, 2)?
+        .relu()
+        .lrn(3, 5e-5, 0.75, 1.0)?
+        .conv2d(ch(32, divisor), 5, 1, 2, rng)?
+        .relu()
+        .avg_pool(3, 2)?
+        .lrn(3, 5e-5, 0.75, 1.0)?
+        .conv2d(ch(64, divisor), 5, 1, 2, rng)?
+        .relu()
+        .avg_pool(3, 2)?
+        .flatten();
+    Ok(b.linear(10, rng)?.build())
+}
+
+/// Model B: three NiN blocks (5×5/1×1/1×1, pool, dropout) ending in a
+/// 1×1-conv-10 and global average pooling (Table III col. 2).
+fn model_b(input: Shape, divisor: usize, rng: &mut TensorRng) -> Result<Network, ShapeError> {
+    let b = Network::builder(input)
+        // Block 1
+        .conv2d(ch(192, divisor), 5, 1, 2, rng)?
+        .relu()
+        .conv2d(ch(160, divisor), 1, 1, 0, rng)?
+        .relu()
+        .conv2d(ch(96, divisor), 1, 1, 0, rng)?
+        .relu()
+        .max_pool_stride(3, 2)?
+        .dropout(drop_p(0.5, divisor), 0xB1)?
+        // Block 2
+        .conv2d(ch(192, divisor), 5, 1, 2, rng)?
+        .relu()
+        .conv2d(ch(192, divisor), 1, 1, 0, rng)?
+        .relu()
+        .conv2d(ch(192, divisor), 1, 1, 0, rng)?
+        .relu()
+        .max_pool_stride(3, 2)?
+        .dropout(drop_p(0.5, divisor), 0xB2)?
+        // Block 3
+        .conv2d(ch(192, divisor), 3, 1, 1, rng)?
+        .relu()
+        .conv2d(ch(192, divisor), 1, 1, 0, rng)?
+        .relu()
+        .conv2d(10, 1, 1, 0, rng)?
+        .relu()
+        .global_avg_pool();
+    Ok(b.build())
+}
+
+/// Model C: the All-CNN — stacks of 3×3 convolutions with stride-2
+/// "pooling" convolutions, 1×1 heads and global average pooling
+/// (Table III col. 3).
+fn model_c(input: Shape, divisor: usize, rng: &mut TensorRng) -> Result<Network, ShapeError> {
+    let b = Network::builder(input)
+        .dropout(drop_p(0.2, divisor), 0xC0)?
+        .conv2d(ch(96, divisor), 3, 1, 1, rng)?
+        .relu()
+        .conv2d(ch(96, divisor), 3, 1, 1, rng)?
+        .relu()
+        .conv2d(ch(96, divisor), 3, 2, 1, rng)? // stride-2 "pooling" conv
+        .relu()
+        .dropout(drop_p(0.5, divisor), 0xC1)?
+        .conv2d(ch(192, divisor), 3, 1, 1, rng)?
+        .relu()
+        .conv2d(ch(192, divisor), 3, 1, 1, rng)?
+        .relu()
+        .conv2d(ch(192, divisor), 3, 2, 1, rng)? // stride-2 "pooling" conv
+        .relu()
+        .dropout(drop_p(0.5, divisor), 0xC2)?
+        .conv2d(ch(192, divisor), 3, 1, 0, rng)?
+        .relu()
+        .conv2d(ch(192, divisor), 1, 1, 0, rng)?
+        .relu()
+        .conv2d(10, 1, 1, 0, rng)?
+        .relu()
+        .global_avg_pool();
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_nn::Mode;
+    use mp_tensor::Tensor;
+
+    fn rng() -> TensorRng {
+        TensorRng::seed_from(80)
+    }
+
+    #[test]
+    fn all_paper_models_build_and_classify() {
+        for id in ModelId::ALL {
+            let net = build_paper(id, &mut rng()).unwrap();
+            let out = net
+                .output_shape(&Shape::nchw(2, 3, 32, 32))
+                .unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+            assert_eq!(out.dims(), &[2, 10], "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn all_fast_models_build_and_classify() {
+        for id in ModelId::ALL {
+            let mut net = build_fast(id, &mut rng()).unwrap();
+            let x = Tensor::zeros(Shape::nchw(2, 3, 16, 16));
+            let y = net.forward(&x).unwrap();
+            assert_eq!(y.shape().dims(), &[2, 10], "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn depth_ordering_matches_paper() {
+        // Compute cost: A ≪ B ≈ C (B and C within 2× of each other).
+        let mut r = rng();
+        let a = build_paper(ModelId::A, &mut r)
+            .unwrap()
+            .total_cost()
+            .unwrap();
+        let b = build_paper(ModelId::B, &mut r)
+            .unwrap()
+            .total_cost()
+            .unwrap();
+        let c = build_paper(ModelId::C, &mut r)
+            .unwrap()
+            .total_cost()
+            .unwrap();
+        assert!(b.macs > a.macs * 8, "B={} A={}", b.macs, a.macs);
+        assert!(c.macs > a.macs * 8, "C={} A={}", c.macs, a.macs);
+        let ratio = c.macs as f64 / b.macs as f64;
+        assert!((0.5..2.0).contains(&ratio), "C/B ratio {ratio}");
+    }
+
+    #[test]
+    fn model_a_macs_in_expected_range() {
+        // Hand count: ≈ 2.5M + 5.8M + 2.5M + 6K ≈ 10–13M MACs.
+        let cost = build_paper(ModelId::A, &mut rng())
+            .unwrap()
+            .total_cost()
+            .unwrap();
+        assert!(
+            (9_000_000..16_000_000).contains(&cost.macs),
+            "Model A MACs {}",
+            cost.macs
+        );
+    }
+
+    #[test]
+    fn fast_models_are_much_cheaper() {
+        let mut r = rng();
+        for id in ModelId::ALL {
+            let full = build_paper(id, &mut r).unwrap().total_cost().unwrap();
+            let fast = build_fast(id, &mut r).unwrap().total_cost().unwrap();
+            assert!(
+                fast.macs * 10 < full.macs,
+                "{}: fast {} vs full {}",
+                id.name(),
+                fast.macs,
+                full.macs
+            );
+        }
+    }
+
+    #[test]
+    fn fast_models_train_one_step() {
+        use mp_nn::loss::softmax_cross_entropy;
+        use mp_nn::train::Sgd;
+        let mut r = rng();
+        for id in ModelId::ALL {
+            let mut net = build_fast(id, &mut r).unwrap();
+            let x = r.normal(Shape::nchw(4, 3, 16, 16), 0.0, 1.0);
+            let logits = net.forward_mode(&x, Mode::Train).unwrap();
+            let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+            net.backward(&grad).unwrap();
+            Sgd::new(0.01).step(&mut net);
+        }
+    }
+
+    #[test]
+    fn paper_reference_values_exposed() {
+        assert_eq!(ModelId::A.paper_accuracy(), 0.814);
+        assert_eq!(ModelId::C.paper_images_per_sec(), 3.09);
+        assert_eq!(ModelId::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-layer compute and memory accounting.
+//!
+//! The paper predicts host throughput from the computational load of each
+//! Caffe network on the ARM Cortex-A9 (Table IV). [`LayerCost`] captures
+//! the quantities that model needs: multiply–accumulate operations,
+//! parameter count, and activation volume per single-image inference.
+
+use std::iter::Sum;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+/// Compute/memory cost of one single-image inference through a layer.
+///
+/// # Example
+///
+/// ```
+/// use mp_nn::LayerCost;
+///
+/// let conv = LayerCost::new(1_000_000, 1728, 64 * 30 * 30);
+/// let fc = LayerCost::new(16_384, 16_448, 64);
+/// let total = conv + fc;
+/// assert_eq!(total.macs, 1_016_384);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Multiply–accumulate operations (one MAC = 2 FLOPs).
+    pub macs: u64,
+    /// Learnable parameters (weights + biases).
+    pub params: u64,
+    /// Output activation element count.
+    pub activations: u64,
+}
+
+impl LayerCost {
+    /// Creates a cost record.
+    pub fn new(macs: u64, params: u64, activations: u64) -> Self {
+        Self {
+            macs,
+            params,
+            activations,
+        }
+    }
+
+    /// Floating-point operations (2 per MAC).
+    pub fn flops(&self) -> u64 {
+        self.macs * 2
+    }
+
+    /// Parameter storage in bytes at 32-bit precision.
+    pub fn param_bytes_f32(&self) -> u64 {
+        self.params * 4
+    }
+}
+
+impl Add for LayerCost {
+    type Output = LayerCost;
+
+    fn add(self, rhs: LayerCost) -> LayerCost {
+        LayerCost {
+            macs: self.macs + rhs.macs,
+            params: self.params + rhs.params,
+            activations: self.activations + rhs.activations,
+        }
+    }
+}
+
+impl Sum for LayerCost {
+    fn sum<I: Iterator<Item = LayerCost>>(iter: I) -> LayerCost {
+        iter.fold(LayerCost::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_and_sum() {
+        let a = LayerCost::new(10, 20, 30);
+        let b = LayerCost::new(1, 2, 3);
+        assert_eq!(a + b, LayerCost::new(11, 22, 33));
+        let total: LayerCost = [a, b, b].into_iter().sum();
+        assert_eq!(total, LayerCost::new(12, 24, 36));
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = LayerCost::new(5, 7, 0);
+        assert_eq!(c.flops(), 10);
+        assert_eq!(c.param_bytes_f32(), 28);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(LayerCost::default(), LayerCost::new(0, 0, 0));
+    }
+}

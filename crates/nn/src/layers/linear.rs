@@ -1,0 +1,268 @@
+use mp_tensor::init::TensorRng;
+use mp_tensor::{linalg, Shape, ShapeError, Tensor};
+
+use crate::layer::{cached, Layer, Mode};
+use crate::LayerCost;
+
+/// Fully-connected (inner-product) layer: `y = x·Wᵀ + b`.
+///
+/// Accepts `[N, in_features]` batches. The weight matrix is stored as
+/// `[out_features, in_features]` to match FINN's matrix–vector engine
+/// layout (one row per output neuron).
+///
+/// # Example
+///
+/// ```
+/// use mp_nn::{layers::Linear, Layer, Mode};
+/// use mp_tensor::{init::TensorRng, Tensor};
+///
+/// # fn main() -> Result<(), mp_tensor::ShapeError> {
+/// let mut rng = TensorRng::seed_from(2);
+/// let mut fc = Linear::new(16, 10, &mut rng)?;
+/// let y = fc.forward(&Tensor::zeros([4, 16]), Mode::Infer)?;
+/// assert_eq!(y.shape().dims(), &[4, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialised weights and zero biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if either feature count is zero.
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        rng: &mut TensorRng,
+    ) -> Result<Self, ShapeError> {
+        if in_features == 0 || out_features == 0 {
+            return Err(ShapeError::new(
+                "Linear::new",
+                "feature counts must be positive",
+            ));
+        }
+        Ok(Self {
+            in_features,
+            out_features,
+            weight: rng.xavier([out_features, in_features], in_features, out_features),
+            bias: Tensor::zeros([out_features]),
+            weight_grad: Tensor::zeros([out_features, in_features]),
+            bias_grad: Tensor::zeros([out_features]),
+            cached_input: None,
+        })
+    }
+
+    /// The `[out_features, in_features]` weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The `[out_features]` bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Replaces the weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `weight` has a different shape.
+    pub fn set_weight(&mut self, weight: Tensor) -> Result<(), ShapeError> {
+        if weight.shape() != self.weight.shape() {
+            return Err(ShapeError::new(
+                "Linear::set_weight",
+                format!("expected {}, got {}", self.weight.shape(), weight.shape()),
+            ));
+        }
+        self.weight = weight;
+        Ok(())
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    fn check_input(&self, input: &Shape) -> Result<usize, ShapeError> {
+        if input.rank() != 2 || input.dim(1) != self.in_features {
+            return Err(ShapeError::new(
+                "Linear",
+                format!("expected [N,{}] input, got {input}", self.in_features),
+            ));
+        }
+        Ok(input.dim(0))
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> String {
+        format!("FC-{}", self.out_features)
+    }
+
+    fn output_shape(&self, input: &Shape) -> Result<Shape, ShapeError> {
+        let n = self.check_input(input)?;
+        Ok(Shape::matrix(n, self.out_features))
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, ShapeError> {
+        self.check_input(input.shape())?;
+        let mut y = linalg::matmul_transpose_b(input, &self.weight)?;
+        let n = input.shape().dim(0);
+        for row in 0..n {
+            let slice =
+                &mut y.as_mut_slice()[row * self.out_features..(row + 1) * self.out_features];
+            for (v, &b) in slice.iter_mut().zip(self.bias.iter()) {
+                *v += b;
+            }
+        }
+        if mode.is_train() {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {
+        let input = cached(&self.cached_input, "Linear")?;
+        let n = input.shape().dim(0);
+        let want = Shape::matrix(n, self.out_features);
+        if grad_output.shape() != &want {
+            return Err(ShapeError::new(
+                "Linear",
+                format!("expected grad {want}, got {}", grad_output.shape()),
+            ));
+        }
+        // dW += gᵀ × x
+        let dw = linalg::matmul_transpose_a(grad_output, input)?;
+        self.weight_grad.axpy(1.0, &dw)?;
+        // db += column sums of g
+        for row in 0..n {
+            let g = &grad_output.as_slice()[row * self.out_features..(row + 1) * self.out_features];
+            for (acc, &v) in self.bias_grad.as_mut_slice().iter_mut().zip(g) {
+                *acc += v;
+            }
+        }
+        // dx = g × W
+        linalg::matmul(grad_output, &self.weight)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visitor(&mut self.weight, &mut self.weight_grad);
+        visitor(&mut self.bias, &mut self.bias_grad);
+    }
+
+    fn zero_grads(&mut self) {
+        self.weight_grad.map_inplace(|_| 0.0);
+        self.bias_grad.map_inplace(|_| 0.0);
+    }
+
+    fn cost(&self, input: &Shape) -> Result<LayerCost, ShapeError> {
+        self.check_input(input)?;
+        Ok(LayerCost::new(
+            (self.out_features * self.in_features) as u64,
+            (self.out_features * (self.in_features + 1)) as u64,
+            self.out_features as u64,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut fc = Linear::new(2, 2, &mut rng).unwrap();
+        fc.set_weight(Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap())
+            .unwrap();
+        fc.bias = Tensor::from_vec([2], vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec([1, 2], vec![1.0, 1.0]).unwrap();
+        let y = fc.forward(&x, Mode::Infer).unwrap();
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut fc = Linear::new(4, 2, &mut rng).unwrap();
+        assert!(fc.forward(&Tensor::zeros([2, 3]), Mode::Infer).is_err());
+        assert!(fc.forward(&Tensor::zeros([4]), Mode::Infer).is_err());
+        assert!(Linear::new(0, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut fc = Linear::new(3, 2, &mut rng).unwrap();
+        let x = rng.normal([2, 3], 0.0, 1.0);
+        let y = fc.forward(&x, Mode::Train).unwrap();
+        let dx = fc.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let eps = 1e-2;
+        // weight gradient
+        for idx in 0..6 {
+            let orig = fc.weight.as_slice()[idx];
+            fc.weight.as_mut_slice()[idx] = orig + eps;
+            let plus = fc.forward(&x, Mode::Infer).unwrap().sum();
+            fc.weight.as_mut_slice()[idx] = orig - eps;
+            let minus = fc.forward(&x, Mode::Infer).unwrap().sum();
+            fc.weight.as_mut_slice()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = fc.weight_grad.as_slice()[idx];
+            assert!((analytic - numeric).abs() < 1e-2, "{analytic} vs {numeric}");
+        }
+        // input gradient
+        for idx in 0..6 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let plus = fc.forward(&xp, Mode::Infer).unwrap().sum();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let minus = fc.forward(&xm, Mode::Infer).unwrap().sum();
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((dx.as_slice()[idx] - numeric).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bias_grad_sums_over_batch() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut fc = Linear::new(2, 2, &mut rng).unwrap();
+        let x = Tensor::zeros([3, 2]);
+        fc.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones([3, 2]);
+        fc.backward(&g).unwrap();
+        assert_eq!(fc.bias_grad.as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn cost_matches_hand_count() {
+        let mut rng = TensorRng::seed_from(6);
+        let fc = Linear::new(256, 64, &mut rng).unwrap();
+        let cost = fc.cost(&Shape::matrix(1, 256)).unwrap();
+        assert_eq!(cost.macs, 256 * 64);
+        assert_eq!(cost.params, 64 * 257);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = TensorRng::seed_from(7);
+        let mut fc = Linear::new(2, 2, &mut rng).unwrap();
+        assert!(fc.backward(&Tensor::zeros([1, 2])).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Layer implementations.
+//!
+//! Every layer implements [`Layer`](crate::Layer) with a full backward
+//! pass, so the same engine both trains the host-side Caffe-style models
+//! (Table III of the paper) and provides the straight-through-estimator
+//! substrate the binarised network in `mp-bnn` trains with.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod lrn;
+mod pool;
+mod softmax;
+
+pub use activation::{Relu, Sigmoid};
+pub use batchnorm::BatchNorm;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use lrn::LocalResponseNorm;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use softmax::Softmax;

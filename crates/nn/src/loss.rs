@@ -1,0 +1,184 @@
+//! Training losses.
+//!
+//! The classification networks train with fused softmax cross-entropy
+//! ([`softmax_cross_entropy`]); the DMU's correctness predictor trains
+//! with binary cross-entropy over a sigmoid output
+//! ([`binary_cross_entropy`]).
+
+use mp_tensor::{ShapeError, Tensor};
+
+use crate::layers::Softmax;
+
+/// Fused softmax + cross-entropy loss over `[N, classes]` logits.
+///
+/// Returns `(mean loss, gradient w.r.t. logits)`. The gradient is the
+/// familiar `(softmax(logits) − one_hot(labels)) / N`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `logits` is not rank-2, `labels.len()`
+/// differs from the batch size, or any label is out of range.
+///
+/// # Example
+///
+/// ```
+/// use mp_nn::loss::softmax_cross_entropy;
+/// use mp_tensor::Tensor;
+///
+/// # fn main() -> Result<(), mp_tensor::ShapeError> {
+/// let logits = Tensor::from_vec([1, 3], vec![10.0, -5.0, -5.0])?;
+/// let (loss, _grad) = softmax_cross_entropy(&logits, &[0])?;
+/// assert!(loss < 0.01); // confident and correct
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), ShapeError> {
+    if logits.shape().rank() != 2 {
+        return Err(ShapeError::new(
+            "softmax_cross_entropy",
+            format!("expected [N,classes] logits, got {}", logits.shape()),
+        ));
+    }
+    let (n, k) = (logits.shape().dim(0), logits.shape().dim(1));
+    if labels.len() != n {
+        return Err(ShapeError::new(
+            "softmax_cross_entropy",
+            format!("{} labels for a batch of {n}", labels.len()),
+        ));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(ShapeError::new(
+            "softmax_cross_entropy",
+            format!("label {bad} out of range for {k} classes"),
+        ));
+    }
+    let probs = Softmax::eval(logits)?;
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    let inv_n = 1.0 / n as f32;
+    for (row, &label) in labels.iter().enumerate() {
+        let p = probs.as_slice()[row * k + label].max(1e-12);
+        loss -= p.ln();
+        grad.as_mut_slice()[row * k + label] -= 1.0;
+    }
+    grad.scale(inv_n);
+    Ok((loss * inv_n, grad))
+}
+
+/// Binary cross-entropy over already-sigmoided probabilities.
+///
+/// Returns `(mean loss, gradient w.r.t. the pre-sigmoid logit)` — the
+/// gradient is computed for the fused sigmoid+BCE form `(p − t) / N`,
+/// matching how the DMU trains its single sigmoid unit.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when lengths differ or `probs` is not rank-1.
+pub fn binary_cross_entropy(probs: &Tensor, targets: &[f32]) -> Result<(f32, Tensor), ShapeError> {
+    if probs.shape().rank() != 1 || probs.len() != targets.len() {
+        return Err(ShapeError::new(
+            "binary_cross_entropy",
+            format!(
+                "expected rank-1 probabilities matching {} targets, got {}",
+                targets.len(),
+                probs.shape()
+            ),
+        ));
+    }
+    let n = probs.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(probs.shape().clone());
+    for (i, (&p, &t)) in probs.iter().zip(targets).enumerate() {
+        let p = p.clamp(1e-7, 1.0 - 1e-7);
+        loss -= t * p.ln() + (1.0 - t) * (1.0 - p).ln();
+        grad.as_mut_slice()[i] = (p - t) / n;
+    }
+    Ok((loss / n, grad))
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `scores` is not rank-2 or sizes mismatch.
+pub fn accuracy(scores: &Tensor, labels: &[usize]) -> Result<f32, ShapeError> {
+    let preds = crate::Network::argmax_rows(scores)?;
+    if preds.len() != labels.len() {
+        return Err(ShapeError::new(
+            "accuracy",
+            format!("{} predictions vs {} labels", preds.len(), labels.len()),
+        ));
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let hits = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(hits as f32 / labels.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec([2, 3], vec![0.5, -1.0, 0.2, 2.0, 0.0, -0.5]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels).unwrap();
+            let (fm, _) = softmax_cross_entropy(&lm, &labels).unwrap();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((grad.as_slice()[i] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros([2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros([3]), &[0]).is_err());
+    }
+
+    #[test]
+    fn bce_is_low_for_correct_confident() {
+        let probs = Tensor::from_vec([2], vec![0.99, 0.01]).unwrap();
+        let (loss, _) = binary_cross_entropy(&probs, &[1.0, 0.0]).unwrap();
+        assert!(loss < 0.05);
+        let (bad_loss, _) = binary_cross_entropy(&probs, &[0.0, 1.0]).unwrap();
+        assert!(bad_loss > 2.0);
+    }
+
+    #[test]
+    fn bce_gradient_sign() {
+        let probs = Tensor::from_vec([2], vec![0.8, 0.3]).unwrap();
+        let (_, grad) = binary_cross_entropy(&probs, &[1.0, 0.0]).unwrap();
+        assert!(grad.as_slice()[0] < 0.0); // push logit up
+        assert!(grad.as_slice()[1] > 0.0); // push logit down
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        let scores = Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
+        let acc = accuracy(&scores, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&Tensor::zeros([0, 2]), &[]).unwrap(), 0.0);
+        assert!(accuracy(&scores, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,528 @@
+use std::fmt;
+
+use mp_tensor::init::TensorRng;
+use mp_tensor::{Shape, ShapeError, Tensor};
+
+use crate::layer::{Layer, Mode};
+use crate::layers::{
+    AvgPool2d, BatchNorm, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, LocalResponseNorm,
+    MaxPool2d, Relu, Sigmoid, Softmax,
+};
+use crate::LayerCost;
+
+/// A sequential network of [`Layer`]s.
+///
+/// Built with [`Network::builder`], which tracks the activation shape so
+/// convolution and fully-connected layers infer their input sizes — the
+/// layer listings in the paper's Tables I and III transcribe directly into
+/// builder chains.
+///
+/// # Example
+///
+/// ```
+/// use mp_nn::Network;
+/// use mp_tensor::{init::TensorRng, Shape, Tensor};
+///
+/// # fn main() -> Result<(), mp_tensor::ShapeError> {
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut net = Network::builder(Shape::nchw(1, 3, 8, 8))
+///     .conv2d(4, 3, 1, 1, &mut rng)?
+///     .relu()
+///     .global_avg_pool()
+///     .linear(10, &mut rng)?
+///     .build();
+/// let scores = net.forward(&Tensor::zeros(Shape::nchw(1, 3, 8, 8)))?;
+/// assert_eq!(scores.shape().dims(), &[1, 10]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Network {
+    input_shape: Shape,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("input_shape", &self.input_shape)
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Network {
+    /// Starts building a network for inputs of `input_shape`
+    /// (the batch dimension is a placeholder; any batch size runs).
+    pub fn builder(input_shape: impl Into<Shape>) -> NetworkBuilder {
+        let shape = input_shape.into();
+        NetworkBuilder {
+            input_shape: shape.clone(),
+            current: Ok(shape),
+            layers: Vec::new(),
+        }
+    }
+
+    /// The per-image input shape the network was built for.
+    pub fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer names in execution order.
+    pub fn layer_names(&self) -> Vec<String> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Inference-mode forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `input` does not fit the first layer.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, ShapeError> {
+        self.forward_mode(input, Mode::Infer)
+    }
+
+    /// Forward pass in an explicit [`Mode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes do not fit.
+    pub fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, ShapeError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    /// Backpropagates a loss gradient through all layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when no training-mode forward preceded this
+    /// call or the gradient shape is wrong.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Visits every `(parameter, gradient)` pair in a fixed order.
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Output shape for a given input shape without running the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes do not fit.
+    pub fn output_shape(&self, input: &Shape) -> Result<Shape, ShapeError> {
+        let mut s = input.clone();
+        for layer in &self.layers {
+            s = layer.output_shape(&s)?;
+        }
+        Ok(s)
+    }
+
+    /// Per-layer `(name, cost)` for one single-image inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the stored input shape no longer fits.
+    pub fn layer_costs(&self) -> Result<Vec<(String, LayerCost)>, ShapeError> {
+        let mut s = self.input_shape.clone();
+        let mut out = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            out.push((layer.name(), layer.cost(&s)?));
+            s = layer.output_shape(&s)?;
+        }
+        Ok(out)
+    }
+
+    /// Total single-image inference cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the stored input shape no longer fits.
+    pub fn total_cost(&self) -> Result<LayerCost, ShapeError> {
+        Ok(self.layer_costs()?.into_iter().map(|(_, c)| c).sum())
+    }
+
+    /// Predicted class (argmax) per row of a `[N, classes]` score matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `scores` is not rank-2.
+    pub fn argmax_rows(scores: &Tensor) -> Result<Vec<usize>, ShapeError> {
+        if scores.shape().rank() != 2 {
+            return Err(ShapeError::new(
+                "argmax_rows",
+                format!("expected [N,classes], got {}", scores.shape()),
+            ));
+        }
+        let (n, k) = (scores.shape().dim(0), scores.shape().dim(1));
+        let mut out = Vec::with_capacity(n);
+        for row in 0..n {
+            let slice = &scores.as_slice()[row * k..(row + 1) * k];
+            let mut best = 0;
+            for (i, &v) in slice.iter().enumerate() {
+                if v > slice[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+}
+
+/// Incremental builder for [`Network`], tracking the activation shape.
+///
+/// Fallible steps (those that must fit the current shape) return
+/// `Result<NetworkBuilder, ShapeError>` so chains read naturally with `?`.
+pub struct NetworkBuilder {
+    input_shape: Shape,
+    current: Result<Shape, ShapeError>,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl fmt::Debug for NetworkBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetworkBuilder")
+            .field("input_shape", &self.input_shape)
+            .field("layers", &self.layers.len())
+            .finish()
+    }
+}
+
+impl NetworkBuilder {
+    fn current(&self) -> Result<&Shape, ShapeError> {
+        self.current.as_ref().map_err(Clone::clone)
+    }
+
+    /// Appends an arbitrary layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the layer rejects the current shape.
+    pub fn push(mut self, layer: Box<dyn Layer>) -> Result<Self, ShapeError> {
+        let next = layer.output_shape(self.current()?)?;
+        self.current = Ok(next);
+        self.layers.push(layer);
+        Ok(self)
+    }
+
+    /// Appends a [`Conv2d`] layer, inferring the input channel count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the current shape is not NCHW or the
+    /// kernel does not fit.
+    pub fn conv2d(
+        self,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut TensorRng,
+    ) -> Result<Self, ShapeError> {
+        let shape = self.current()?;
+        if shape.rank() != 4 {
+            return Err(ShapeError::new(
+                "NetworkBuilder::conv2d",
+                format!("expected NCHW activations, got {shape}"),
+            ));
+        }
+        let conv = Conv2d::new(shape.dim(1), out_channels, kernel, stride, padding, rng)?;
+        self.push(Box::new(conv))
+    }
+
+    /// Appends a [`Linear`] layer, inferring the input feature count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the current shape is not `[N, features]`.
+    pub fn linear(self, out_features: usize, rng: &mut TensorRng) -> Result<Self, ShapeError> {
+        let shape = self.current()?;
+        if shape.rank() != 2 {
+            return Err(ShapeError::new(
+                "NetworkBuilder::linear",
+                format!("expected flattened activations, got {shape}; call flatten() first"),
+            ));
+        }
+        let fc = Linear::new(shape.dim(1), out_features, rng)?;
+        self.push(Box::new(fc))
+    }
+
+    /// Appends a ReLU activation.
+    pub fn relu(self) -> Self {
+        self.push_infallible(Box::new(Relu::new()))
+    }
+
+    /// Appends a sigmoid activation.
+    pub fn sigmoid(self) -> Self {
+        self.push_infallible(Box::new(Sigmoid::new()))
+    }
+
+    /// Appends a softmax output layer.
+    pub fn softmax(self) -> Self {
+        self.push_infallible(Box::new(Softmax::new()))
+    }
+
+    /// Appends non-overlapping `k×k` max pooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the window does not fit.
+    pub fn max_pool(self, k: usize) -> Result<Self, ShapeError> {
+        self.push(Box::new(MaxPool2d::new(k, k)?))
+    }
+
+    /// Appends `k×k` max pooling with explicit `stride`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the window does not fit.
+    pub fn max_pool_stride(self, k: usize, stride: usize) -> Result<Self, ShapeError> {
+        self.push(Box::new(MaxPool2d::new(k, stride)?))
+    }
+
+    /// Appends `k×k` average pooling with explicit `stride`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the window does not fit.
+    pub fn avg_pool(self, k: usize, stride: usize) -> Result<Self, ShapeError> {
+        self.push(Box::new(AvgPool2d::new(k, stride)?))
+    }
+
+    /// Appends global average pooling (`[N,C,H,W] → [N,C]`).
+    pub fn global_avg_pool(self) -> Self {
+        self.push_infallible(Box::new(GlobalAvgPool::new()))
+    }
+
+    /// Appends a flatten layer.
+    pub fn flatten(self) -> Self {
+        self.push_infallible(Box::new(Flatten::new()))
+    }
+
+    /// Appends batch normalisation over the current channel/feature axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the current shape is not rank-2/4.
+    pub fn batch_norm(self) -> Result<Self, ShapeError> {
+        let shape = self.current()?;
+        let features = match shape.rank() {
+            2 | 4 => shape.dim(1),
+            _ => {
+                return Err(ShapeError::new(
+                    "NetworkBuilder::batch_norm",
+                    format!("expected rank-2/4 activations, got {shape}"),
+                ))
+            }
+        };
+        self.push(Box::new(BatchNorm::new(features, 0.9, 1e-5)?))
+    }
+
+    /// Appends cross-channel local response normalisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `size` is invalid or activations are
+    /// not NCHW.
+    pub fn lrn(self, size: usize, alpha: f32, beta: f32, k: f32) -> Result<Self, ShapeError> {
+        self.push(Box::new(LocalResponseNorm::new(size, alpha, beta, k)?))
+    }
+
+    /// Appends inverted dropout with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `p` is outside `[0, 1)`.
+    pub fn dropout(self, p: f32, seed: u64) -> Result<Self, ShapeError> {
+        self.push(Box::new(Dropout::new(p, seed)?))
+    }
+
+    fn push_infallible(mut self, layer: Box<dyn Layer>) -> Self {
+        match layer.output_shape(match &self.current {
+            Ok(s) => s,
+            Err(_) => return self,
+        }) {
+            Ok(next) => {
+                self.current = Ok(next);
+                self.layers.push(layer);
+            }
+            Err(e) => self.current = Err(e),
+        }
+        self
+    }
+
+    /// The activation shape after the layers added so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred [`ShapeError`] from an infallible-style
+    /// step ([`relu`](Self::relu) etc. defer their errors to here or to
+    /// [`build`](Self::build)-time forward passes).
+    pub fn shape(&self) -> Result<Shape, ShapeError> {
+        self.current.clone()
+    }
+
+    /// Finishes the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deferred shape error from an infallible-style step is
+    /// pending; check [`shape`](Self::shape) to handle it gracefully.
+    pub fn build(self) -> Network {
+        if let Err(e) = &self.current {
+            panic!("network builder has a deferred shape error: {e}");
+        }
+        Network {
+            input_shape: self.input_shape,
+            layers: self.layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TensorRng {
+        TensorRng::seed_from(33)
+    }
+
+    #[test]
+    fn builder_tracks_shapes() {
+        let mut r = rng();
+        let b = Network::builder(Shape::nchw(1, 3, 32, 32))
+            .conv2d(64, 3, 1, 0, &mut r)
+            .unwrap()
+            .relu()
+            .max_pool(2)
+            .unwrap()
+            .flatten();
+        assert_eq!(b.shape().unwrap().dims(), &[1, 64 * 15 * 15]);
+    }
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let mut r = rng();
+        let mut net = Network::builder(Shape::nchw(1, 1, 6, 6))
+            .conv2d(2, 3, 1, 0, &mut r)
+            .unwrap()
+            .relu()
+            .flatten()
+            .linear(3, &mut r)
+            .unwrap()
+            .build();
+        let x = r.normal(Shape::nchw(2, 1, 6, 6), 0.0, 1.0);
+        let y = net.forward_mode(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        let dx = net.backward(&Tensor::ones([2, 3])).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn visit_params_counts_layers() {
+        let mut r = rng();
+        let mut net = Network::builder(Shape::nchw(1, 1, 6, 6))
+            .conv2d(2, 3, 1, 0, &mut r)
+            .unwrap()
+            .flatten()
+            .linear(3, &mut r)
+            .unwrap()
+            .build();
+        let mut count = 0;
+        net.visit_params(&mut |_, _| count += 1);
+        assert_eq!(count, 4); // conv w+b, linear w+b
+    }
+
+    #[test]
+    fn output_shape_matches_forward() {
+        let mut r = rng();
+        let mut net = Network::builder(Shape::nchw(1, 3, 16, 16))
+            .conv2d(8, 3, 1, 1, &mut r)
+            .unwrap()
+            .max_pool(2)
+            .unwrap()
+            .global_avg_pool()
+            .build();
+        let input = Shape::nchw(5, 3, 16, 16);
+        let predicted = net.output_shape(&input).unwrap();
+        let actual = net.forward(&Tensor::zeros(input)).unwrap();
+        assert_eq!(&predicted, actual.shape());
+    }
+
+    #[test]
+    fn costs_accumulate() {
+        let mut r = rng();
+        let net = Network::builder(Shape::nchw(1, 3, 8, 8))
+            .conv2d(4, 3, 1, 0, &mut r)
+            .unwrap()
+            .flatten()
+            .linear(10, &mut r)
+            .unwrap()
+            .build();
+        let per_layer = net.layer_costs().unwrap();
+        assert_eq!(per_layer.len(), 3);
+        let total = net.total_cost().unwrap();
+        assert_eq!(
+            total.macs,
+            per_layer.iter().map(|(_, c)| c.macs).sum::<u64>()
+        );
+        assert!(total.macs > 0);
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let scores = Tensor::from_vec([2, 3], vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.3]).unwrap();
+        assert_eq!(Network::argmax_rows(&scores).unwrap(), vec![1, 0]);
+        assert!(Network::argmax_rows(&Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn linear_requires_flattened_input() {
+        let mut r = rng();
+        let res = Network::builder(Shape::nchw(1, 1, 4, 4)).linear(10, &mut r);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "deferred shape error")]
+    fn deferred_error_panics_at_build() {
+        // Softmax on NCHW activations is invalid; error surfaces at build.
+        let _ = Network::builder(Shape::nchw(1, 1, 4, 4)).softmax().build();
+    }
+
+    #[test]
+    fn debug_output_lists_layers() {
+        let mut r = rng();
+        let net = Network::builder(Shape::nchw(1, 1, 6, 6))
+            .conv2d(2, 3, 1, 0, &mut r)
+            .unwrap()
+            .build();
+        assert!(format!("{net:?}").contains("3x3-conv-2"));
+    }
+}

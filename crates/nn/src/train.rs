@@ -1,0 +1,608 @@
+//! Minibatch SGD training.
+//!
+//! [`Sgd`] implements stochastic gradient descent with classical momentum
+//! and decoupled L2 weight decay; [`Trainer`] drives epochs of shuffled
+//! minibatches through a [`Network`] with softmax cross-entropy.
+
+use mp_tensor::init::TensorRng;
+use mp_tensor::{ShapeError, Tensor};
+
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::{Mode, Network};
+
+/// Anything trainable by [`Trainer`]: a forward/backward pass plus
+/// parameter access.
+///
+/// [`Network`] implements this, as does the binarised classifier in the
+/// `mp-bnn` crate (whose typed layer stages cannot live behind plain
+/// `Box<dyn Layer>` because hardware export needs their concrete types).
+pub trait Model {
+    /// Forward pass in an explicit [`Mode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes do not fit.
+    fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, ShapeError>;
+
+    /// Backpropagates a loss gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when no training-mode forward preceded this
+    /// call or the gradient shape is wrong.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError>;
+
+    /// Visits every `(parameter, gradient)` pair in a fixed order.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor));
+
+    /// Clears all accumulated gradients.
+    fn zero_grads(&mut self);
+}
+
+impl Model for Network {
+    fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, ShapeError> {
+        Network::forward_mode(self, input, mode)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {
+        Network::backward(self, grad_output)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        Network::visit_params(self, visitor)
+    }
+
+    fn zero_grads(&mut self) {
+        Network::zero_grads(self)
+    }
+}
+
+/// SGD with momentum and L2 weight decay.
+///
+/// Velocity buffers are allocated lazily on the first [`Sgd::step`] and
+/// matched to parameters by visit order, so one optimizer must stay with
+/// one network.
+///
+/// # Example
+///
+/// ```
+/// use mp_nn::train::Sgd;
+///
+/// let opt = Sgd::new(0.01).momentum(0.9).weight_decay(1e-4);
+/// assert_eq!(opt.learning_rate(), 0.01);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Sets the momentum coefficient (0 disables momentum).
+    pub fn momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    pub fn weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update from the model's accumulated gradients, then
+    /// clears them.
+    pub fn step<M: Model + ?Sized>(&mut self, net: &mut M) {
+        let lr = self.lr;
+        let mu = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        let mut index = 0usize;
+        net.visit_params(&mut |param, grad| {
+            if velocity.len() == index {
+                velocity.push(Tensor::zeros(param.shape().clone()));
+            }
+            let v = &mut velocity[index];
+            for ((v, &g), p) in v
+                .iter_mut()
+                .zip(grad.iter())
+                .zip(param.as_mut_slice().iter_mut())
+            {
+                let g = g + wd * *p;
+                *v = mu * *v - lr * g;
+                *p += *v;
+            }
+            index += 1;
+        });
+        net.zero_grads();
+    }
+}
+
+/// A parameter-update rule driven by accumulated gradients.
+///
+/// Implementations update every parameter visited by
+/// [`Model::visit_params`] and then clear the gradients.
+pub trait Optimizer {
+    /// Applies one update from the model's accumulated gradients, then
+    /// clears them.
+    fn step<M: Model + ?Sized>(&mut self, net: &mut M)
+    where
+        Self: Sized;
+
+    /// Updates the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+}
+
+impl Optimizer for Sgd {
+    fn step<M: Model + ?Sized>(&mut self, net: &mut M) {
+        Sgd::step(self, net)
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        Sgd::set_learning_rate(self, lr)
+    }
+
+    fn learning_rate(&self) -> f32 {
+        Sgd::learning_rate(self)
+    }
+}
+
+/// Adam (Kingma & Ba): adaptive per-parameter step sizes.
+///
+/// Binarised networks in particular need it — with plain SGD the latent
+/// weights' updates are too small to ever flip a sign, which is why
+/// BinaryNet (the paper's reference \[2\]) trains with Adam.
+///
+/// # Example
+///
+/// ```
+/// use mp_nn::train::{Adam, Optimizer};
+///
+/// let opt = Adam::new(0.001);
+/// assert_eq!(opt.learning_rate(), 0.001);
+/// ```
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step_count: u64,
+    first_moment: Vec<Tensor>,
+    second_moment: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and the standard
+    /// moment coefficients (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step_count: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    /// Overrides the moment coefficients.
+    pub fn betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Applies one update from the model's accumulated gradients, then
+    /// clears them.
+    pub fn step<M: Model + ?Sized>(&mut self, net: &mut M) {
+        self.step_count += 1;
+        let lr = self.lr;
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+        let bias1 = 1.0 - b1.powi(self.step_count as i32);
+        let bias2 = 1.0 - b2.powi(self.step_count as i32);
+        let first = &mut self.first_moment;
+        let second = &mut self.second_moment;
+        let mut index = 0usize;
+        net.visit_params(&mut |param, grad| {
+            if first.len() == index {
+                first.push(Tensor::zeros(param.shape().clone()));
+                second.push(Tensor::zeros(param.shape().clone()));
+            }
+            let m = &mut first[index];
+            let v = &mut second[index];
+            for (((m, v), &g), p) in m
+                .iter_mut()
+                .zip(v.iter_mut())
+                .zip(grad.iter())
+                .zip(param.as_mut_slice().iter_mut())
+            {
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let m_hat = *m / bias1;
+                let v_hat = *v / bias2;
+                *p -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            index += 1;
+        });
+        net.zero_grads();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step<M: Model + ?Sized>(&mut self, net: &mut M) {
+        Adam::step(self, net)
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Result of one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean minibatch loss over the epoch.
+    pub mean_loss: f32,
+    /// Training accuracy over the epoch (measured on the fly).
+    pub accuracy: f32,
+}
+
+/// Drives minibatch training of a classification [`Network`].
+#[derive(Debug)]
+pub struct Trainer<O: Optimizer = Sgd> {
+    optimizer: O,
+    batch_size: usize,
+}
+
+impl<O: Optimizer> Trainer<O> {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(optimizer: O, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            optimizer,
+            batch_size,
+        }
+    }
+
+    /// Mutable access to the optimizer (e.g. for LR schedules).
+    pub fn optimizer_mut(&mut self) -> &mut O {
+        &mut self.optimizer
+    }
+
+    /// Runs one epoch of shuffled minibatches.
+    ///
+    /// `images` is an `[N, …]` batch tensor whose leading axis indexes
+    /// examples; `labels` are the class indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on any shape inconsistency.
+    pub fn train_epoch<M: Model + ?Sized>(
+        &mut self,
+        net: &mut M,
+        images: &Tensor,
+        labels: &[usize],
+        rng: &mut TensorRng,
+    ) -> Result<EpochStats, ShapeError> {
+        let n = images.shape().dim(0);
+        if n != labels.len() {
+            return Err(ShapeError::new(
+                "train_epoch",
+                format!("{n} images vs {} labels", labels.len()),
+            ));
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let mut total_loss = 0.0f32;
+        let mut batches = 0usize;
+        let mut hits = 0usize;
+        for chunk in order.chunks(self.batch_size) {
+            let batch = gather_batch(images, chunk)?;
+            let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            let logits = net.forward_mode(&batch, Mode::Train)?;
+            let (loss, grad) = softmax_cross_entropy(&logits, &batch_labels)?;
+            let preds = Network::argmax_rows(&logits)?;
+            hits += preds
+                .iter()
+                .zip(&batch_labels)
+                .filter(|(p, l)| p == l)
+                .count();
+            net.backward(&grad)?;
+            self.optimizer.step(&mut *net);
+            total_loss += loss;
+            batches += 1;
+        }
+        Ok(EpochStats {
+            mean_loss: total_loss / batches.max(1) as f32,
+            accuracy: hits as f32 / n.max(1) as f32,
+        })
+    }
+
+    /// Evaluates classification accuracy in inference mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on any shape inconsistency.
+    pub fn evaluate<M: Model + ?Sized>(
+        &self,
+        net: &mut M,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Result<f32, ShapeError> {
+        evaluate(net, images, labels, self.batch_size)
+    }
+}
+
+/// Evaluates classification accuracy in inference mode, batched.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on any shape inconsistency.
+pub fn evaluate<M: Model + ?Sized>(
+    net: &mut M,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> Result<f32, ShapeError> {
+    let n = images.shape().dim(0);
+    if n != labels.len() {
+        return Err(ShapeError::new(
+            "evaluate",
+            format!("{n} images vs {} labels", labels.len()),
+        ));
+    }
+    let order: Vec<usize> = (0..n).collect();
+    let mut hits = 0.0f32;
+    for chunk in order.chunks(batch_size.max(1)) {
+        let batch = gather_batch(images, chunk)?;
+        let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+        let logits = net.forward_mode(&batch, Mode::Infer)?;
+        hits += accuracy(&logits, &batch_labels)? * chunk.len() as f32;
+    }
+    Ok(hits / n.max(1) as f32)
+}
+
+/// Gathers rows `indices` of an `[N, …]` tensor into a new leading axis.
+pub(crate) fn gather_batch(images: &Tensor, indices: &[usize]) -> Result<Tensor, ShapeError> {
+    let shape = images.shape();
+    if shape.rank() < 2 {
+        return Err(ShapeError::new(
+            "gather_batch",
+            format!("expected batched tensor, got {shape}"),
+        ));
+    }
+    let n = shape.dim(0);
+    let stride = shape.len() / n.max(1);
+    let mut data = Vec::with_capacity(indices.len() * stride);
+    for &i in indices {
+        if i >= n {
+            return Err(ShapeError::new(
+                "gather_batch",
+                format!("index {i} out of bounds for batch of {n}"),
+            ));
+        }
+        data.extend_from_slice(&images.as_slice()[i * stride..(i + 1) * stride]);
+    }
+    let mut dims = shape.dims().to_vec();
+    dims[0] = indices.len();
+    Tensor::from_vec(dims, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_tensor::Shape;
+
+    /// A linearly separable toy problem the network must learn quickly.
+    fn toy_problem(rng: &mut TensorRng, n: usize) -> (Tensor, Vec<usize>) {
+        let mut data = Vec::with_capacity(n * 4);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let centre = if class == 0 { -1.0 } else { 1.0 };
+            for _ in 0..4 {
+                data.push(rng.next_gaussian(centre, 0.3));
+            }
+            labels.push(class);
+        }
+        (Tensor::from_vec([n, 4], data).unwrap(), labels)
+    }
+
+    #[test]
+    fn adam_reduces_loss_on_toy_problem() {
+        let mut rng = TensorRng::seed_from(46);
+        let (x, y) = toy_problem(&mut rng, 64);
+        let mut net = Network::builder(Shape::matrix(1, 4))
+            .linear(8, &mut rng)
+            .unwrap()
+            .relu()
+            .linear(2, &mut rng)
+            .unwrap()
+            .build();
+        let mut trainer = Trainer::new(Adam::new(0.01), 16);
+        let first = trainer.train_epoch(&mut net, &x, &y, &mut rng).unwrap();
+        let mut last = first;
+        for _ in 0..15 {
+            last = trainer.train_epoch(&mut net, &x, &y, &mut rng).unwrap();
+        }
+        assert!(
+            last.mean_loss < first.mean_loss * 0.5,
+            "{first:?} -> {last:?}"
+        );
+        assert!(trainer.evaluate(&mut net, &x, &y).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn adam_moves_parameters_with_tiny_gradients() {
+        // The property SGD lacks: normalised step sizes. A constant
+        // tiny gradient should still move a parameter by ≈ lr per step.
+        let mut rng = TensorRng::seed_from(47);
+        let mut net = Network::builder(Shape::matrix(1, 1))
+            .linear(1, &mut rng)
+            .unwrap()
+            .build();
+        let mut before = Vec::new();
+        net.visit_params(&mut |p, g| {
+            before.extend_from_slice(p.as_slice());
+            // Inject a minuscule constant gradient.
+            g.map_inplace(|_| 1e-6);
+        });
+        let mut adam = Adam::new(0.01);
+        Adam::step(&mut adam, &mut net);
+        let mut after = Vec::new();
+        net.visit_params(&mut |p, _| after.extend_from_slice(p.as_slice()));
+        for (b, a) in before.iter().zip(&after) {
+            let step = (b - a).abs();
+            assert!(step > 1e-3, "Adam step {step} too small for lr 0.01");
+        }
+    }
+
+    #[test]
+    fn optimizer_trait_learning_rate_round_trip() {
+        let mut sgd = Sgd::new(0.1);
+        Optimizer::set_learning_rate(&mut sgd, 0.02);
+        assert_eq!(Optimizer::learning_rate(&sgd), 0.02);
+        let mut adam = Adam::new(0.001).betas(0.8, 0.95);
+        Optimizer::set_learning_rate(&mut adam, 0.005);
+        assert_eq!(Optimizer::learning_rate(&adam), 0.005);
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_toy_problem() {
+        let mut rng = TensorRng::seed_from(40);
+        let (x, y) = toy_problem(&mut rng, 64);
+        let mut net = Network::builder(Shape::matrix(1, 4))
+            .linear(8, &mut rng)
+            .unwrap()
+            .relu()
+            .linear(2, &mut rng)
+            .unwrap()
+            .build();
+        let mut trainer = Trainer::new(Sgd::new(0.1).momentum(0.9), 16);
+        let first = trainer.train_epoch(&mut net, &x, &y, &mut rng).unwrap();
+        let mut last = first;
+        for _ in 0..20 {
+            last = trainer.train_epoch(&mut net, &x, &y, &mut rng).unwrap();
+        }
+        assert!(
+            last.mean_loss < first.mean_loss * 0.5,
+            "{first:?} -> {last:?}"
+        );
+        let acc = trainer.evaluate(&mut net, &x, &y).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn momentum_differs_from_plain_sgd() {
+        let mut rng = TensorRng::seed_from(41);
+        let (x, y) = toy_problem(&mut rng, 32);
+        let build = |rng: &mut TensorRng| {
+            Network::builder(Shape::matrix(1, 4))
+                .linear(2, rng)
+                .unwrap()
+                .build()
+        };
+        let mut rng_a = TensorRng::seed_from(42);
+        let mut rng_b = TensorRng::seed_from(42);
+        let mut net_a = build(&mut rng_a);
+        let mut net_b = build(&mut rng_b);
+        let mut t_plain = Trainer::new(Sgd::new(0.05), 8);
+        let mut t_momentum = Trainer::new(Sgd::new(0.05).momentum(0.9), 8);
+        let mut rng1 = TensorRng::seed_from(43);
+        let mut rng2 = TensorRng::seed_from(43);
+        for _ in 0..3 {
+            t_plain.train_epoch(&mut net_a, &x, &y, &mut rng1).unwrap();
+            t_momentum
+                .train_epoch(&mut net_b, &x, &y, &mut rng2)
+                .unwrap();
+        }
+        // Networks should have diverged: compare first-layer weights.
+        let mut wa = Vec::new();
+        net_a.visit_params(&mut |p, _| wa.extend_from_slice(p.as_slice()));
+        let mut wb = Vec::new();
+        net_b.visit_params(&mut |p, _| wb.extend_from_slice(p.as_slice()));
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut rng = TensorRng::seed_from(44);
+        let mut net = Network::builder(Shape::matrix(1, 4))
+            .linear(2, &mut rng)
+            .unwrap()
+            .build();
+        let mut norm_before = 0.0f32;
+        net.visit_params(&mut |p, _| norm_before += p.iter().map(|v| v * v).sum::<f32>());
+        // Step with zero gradients: only decay acts.
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        opt.step(&mut net);
+        let mut norm_after = 0.0f32;
+        net.visit_params(&mut |p, _| norm_after += p.iter().map(|v| v * v).sum::<f32>());
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    fn gather_batch_selects_rows() {
+        let x = Tensor::from_fn([4, 2], |i| i as f32);
+        let b = gather_batch(&x, &[2, 0]).unwrap();
+        assert_eq!(b.as_slice(), &[4.0, 5.0, 0.0, 1.0]);
+        assert!(gather_batch(&x, &[4]).is_err());
+        assert!(gather_batch(&Tensor::zeros([3]), &[0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let _ = Trainer::new(Sgd::new(0.1), 0);
+    }
+
+    #[test]
+    fn mismatched_labels_rejected() {
+        let mut rng = TensorRng::seed_from(45);
+        let mut net = Network::builder(Shape::matrix(1, 2))
+            .linear(2, &mut rng)
+            .unwrap()
+            .build();
+        let mut trainer = Trainer::new(Sgd::new(0.1), 4);
+        let x = Tensor::zeros([4, 2]);
+        assert!(trainer
+            .train_epoch(&mut net, &x, &[0, 1], &mut rng)
+            .is_err());
+        assert!(evaluate(&mut net, &x, &[0], 4).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are inconsistent with an operation.
+///
+/// Carries the operation name and a human-readable description of the
+/// mismatch so failures deep inside a network surface with context.
+///
+/// # Example
+///
+/// ```
+/// use mp_tensor::{Shape, Tensor};
+///
+/// let err = Tensor::from_vec(Shape::matrix(2, 2), vec![1.0]).unwrap_err();
+/// assert!(err.to_string().contains("from_vec"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: String,
+    detail: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error for operation `op` with a mismatch `detail`.
+    pub fn new(op: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self {
+            op: op.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The operation that rejected its inputs (e.g. `"matmul"`).
+    pub fn op(&self) -> &str {
+        &self.op
+    }
+
+    /// Human-readable description of the mismatch.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error in {}: {}", self.op, self.detail)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_op_and_detail() {
+        let e = ShapeError::new("matmul", "inner dims 3 vs 4");
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("inner dims 3 vs 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = ShapeError::new("conv2d", "bad kernel");
+        assert_eq!(e.op(), "conv2d");
+        assert_eq!(e.detail(), "bad kernel");
+    }
+}

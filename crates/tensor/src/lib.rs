@@ -1,0 +1,45 @@
+//! # mp-tensor
+//!
+//! Dense `f32` tensor substrate for the `multiprec` workspace.
+//!
+//! This crate provides the numeric foundation every other crate builds on:
+//!
+//! - [`Shape`]: dimension bookkeeping with row-major strides,
+//! - [`Tensor`]: an owned, row-major `f32` n-dimensional array,
+//! - [`linalg`]: blocked matrix multiplication and friends,
+//! - [`conv`]: `im2col`/`col2im` lowering used by convolution layers,
+//! - [`init`]: seeded random initialisers (uniform, normal, He, Xavier).
+//!
+//! The design follows the convolution-lowering approach of Chellapilla et
+//! al. that the paper's FINN substrate also uses: convolutions become
+//! matrix–matrix products over patch matrices.
+//!
+//! # Example
+//!
+//! ```
+//! use mp_tensor::{Tensor, Shape};
+//!
+//! # fn main() -> Result<(), mp_tensor::ShapeError> {
+//! let a = Tensor::from_vec(Shape::matrix(2, 3), vec![1., 2., 3., 4., 5., 6.])?;
+//! let b = Tensor::from_vec(Shape::matrix(3, 2), vec![7., 8., 9., 10., 11., 12.])?;
+//! let c = mp_tensor::linalg::matmul(&a, &b)?;
+//! assert_eq!(c.shape().dims(), &[2, 2]);
+//! assert_eq!(c.as_slice()[0], 58.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod linalg;
+
+pub use error::ShapeError;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,318 @@
+//! Dense linear algebra over [`Tensor`] matrices.
+//!
+//! The workhorse is [`matmul`], a cache-blocked row-major GEMM used to lower
+//! convolutions (via [`crate::conv::im2col`]) and fully-connected layers.
+//! [`matmul_transpose_a`] / [`matmul_transpose_b`] cover the two transposed
+//! products backpropagation needs without materialising transposed copies.
+
+use crate::{Shape, ShapeError, Tensor};
+
+/// Cache-blocking tile edge, tuned for 32 KiB L1 caches.
+const BLOCK: usize = 64;
+
+fn expect_matrix(t: &Tensor, op: &str, name: &str) -> Result<(usize, usize), ShapeError> {
+    if t.shape().rank() != 2 {
+        return Err(ShapeError::new(
+            op,
+            format!("{name} must be a matrix, got {}", t.shape()),
+        ));
+    }
+    Ok((t.shape().dim(0), t.shape().dim(1)))
+}
+
+/// Matrix product `a × b` for row-major matrices.
+///
+/// Uses i-k-j loop order with cache blocking, which vectorises well on the
+/// innermost contiguous axis.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the inner
+/// dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use mp_tensor::{linalg, Shape, Tensor};
+///
+/// # fn main() -> Result<(), mp_tensor::ShapeError> {
+/// let identity = Tensor::from_vec(Shape::matrix(2, 2), vec![1., 0., 0., 1.])?;
+/// let m = Tensor::from_vec(Shape::matrix(2, 2), vec![1., 2., 3., 4.])?;
+/// assert_eq!(linalg::matmul(&identity, &m)?, m);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, ka) = expect_matrix(a, "matmul", "a")?;
+    let (kb, n) = expect_matrix(b, "matmul", "b")?;
+    if ka != kb {
+        return Err(ShapeError::new(
+            "matmul",
+            format!("inner dimensions differ: {ka} vs {kb}"),
+        ));
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..ka).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(ka);
+            for i in i0..i1 {
+                let arow = &av[i * ka..(i + 1) * ka];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for k in k0..k1 {
+                    let aik = arow[k];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bv[k * n..(k + 1) * n];
+                    for (o, &bkj) in orow.iter_mut().zip(brow) {
+                        *o += aik * bkj;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// Matrix product `aᵀ × b` without materialising `aᵀ`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the row counts
+/// of `a` and `b` disagree.
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (ka, m) = expect_matrix(a, "matmul_transpose_a", "a")?;
+    let (kb, n) = expect_matrix(b, "matmul_transpose_a", "b")?;
+    if ka != kb {
+        return Err(ShapeError::new(
+            "matmul_transpose_a",
+            format!("row counts differ: {ka} vs {kb}"),
+        ));
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for k in 0..ka {
+        let arow = &av[k * m..(k + 1) * m];
+        let brow = &bv[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aki * bkj;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// Matrix product `a × bᵀ` without materialising `bᵀ`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the column
+/// counts of `a` and `b` disagree.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, ka) = expect_matrix(a, "matmul_transpose_b", "a")?;
+    let (n, kb) = expect_matrix(b, "matmul_transpose_b", "b")?;
+    if ka != kb {
+        return Err(ShapeError::new(
+            "matmul_transpose_b",
+            format!("column counts differ: {ka} vs {kb}"),
+        ));
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let arow = &av[i * ka..(i + 1) * ka];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bv[j * kb..(j + 1) * kb];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// Matrix–vector product `a × x`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a` is not a matrix, `x` is not a vector, or
+/// the dimensions disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, k) = expect_matrix(a, "matvec", "a")?;
+    if x.shape().rank() != 1 || x.shape().dim(0) != k {
+        return Err(ShapeError::new(
+            "matvec",
+            format!("expected vector of length {k}, got {}", x.shape()),
+        ));
+    }
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &av[i * k..(i + 1) * k];
+        let mut acc = 0.0;
+        for (&r, &v) in row.iter().zip(xv) {
+            acc += r * v;
+        }
+        *o = acc;
+    }
+    Tensor::from_vec(Shape::vector(m), out)
+}
+
+/// Returns the transpose of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a` is not rank-2.
+pub fn transpose(a: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, n) = expect_matrix(a, "transpose", "a")?;
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = av[i * n + j];
+        }
+    }
+    Tensor::from_vec(Shape::matrix(n, m), out)
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-1 or lengths differ.
+pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32, ShapeError> {
+    if a.shape().rank() != 1 || b.shape().rank() != 1 || a.len() != b.len() {
+        return Err(ShapeError::new(
+            "dot",
+            format!(
+                "expected equal-length vectors, got {} and {}",
+                a.shape(),
+                b.shape()
+            ),
+        ));
+    }
+    Ok(a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum())
+}
+
+/// Naive triple-loop reference GEMM, kept for testing the blocked kernel.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`matmul`].
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, ka) = expect_matrix(a, "matmul_reference", "a")?;
+    let (kb, n) = expect_matrix(b, "matmul_reference", "b")?;
+    if ka != kb {
+        return Err(ShapeError::new(
+            "matmul_reference",
+            format!("inner dimensions differ: {ka} vs {kb}"),
+        ));
+    }
+    let mut out = Tensor::zeros(Shape::matrix(m, n));
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..ka {
+                acc += a.as_slice()[i * ka + k] * b.as_slice()[k * n + j];
+            }
+            out.as_mut_slice()[i * n + j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(shape: [usize; 2]) -> Tensor {
+        Tensor::from_fn(shape, |i| (i as f32) * 0.37 - 2.0)
+    }
+
+    #[test]
+    fn matmul_matches_reference_on_odd_sizes() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (7, 13, 11), (65, 70, 67)] {
+            let a = seq([m, k]);
+            let b = seq([k, n]);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = matmul_reference(&a, &b).unwrap();
+            for (x, y) in fast.iter().zip(slow.iter()) {
+                assert!((x - y).abs() < 1e-3, "mismatch {x} vs {y} at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn transpose_products_match_explicit_transpose() {
+        let a = seq([4, 6]);
+        let b = seq([4, 5]);
+        let at = transpose(&a).unwrap();
+        let want = matmul(&at, &b).unwrap();
+        let got = matmul_transpose_a(&a, &b).unwrap();
+        assert_eq!(got, want);
+
+        let c = seq([3, 6]);
+        let ct = transpose(&c).unwrap();
+        let want2 = matmul(&a, &ct).unwrap();
+        let got2 = matmul_transpose_b(&a, &c).unwrap();
+        for (x, y) in got2.iter().zip(want2.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = seq([3, 7]);
+        assert_eq!(transpose(&transpose(&a).unwrap()).unwrap(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_column() {
+        let a = seq([4, 3]);
+        let x = Tensor::from_vec([3], vec![1.0, -1.0, 2.0]).unwrap();
+        let xm = x.reshape([3, 1]).unwrap();
+        let via_matmul = matmul(&a, &xm).unwrap();
+        let via_matvec = matvec(&a, &x).unwrap();
+        assert_eq!(via_matvec.as_slice(), via_matmul.as_slice());
+        assert!(matvec(&a, &Tensor::zeros([4])).is_err());
+    }
+
+    #[test]
+    fn dot_basic() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec([3], vec![4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(dot(&a, &b).unwrap(), 32.0);
+        assert!(dot(&a, &Tensor::zeros([2])).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let n = 5;
+        let eye = Tensor::from_fn([n, n], |i| if i / n == i % n { 1.0 } else { 0.0 });
+        let a = seq([n, n]);
+        assert_eq!(matmul(&eye, &a).unwrap(), a);
+        assert_eq!(matmul(&a, &eye).unwrap(), a);
+    }
+}

@@ -1,0 +1,237 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ShapeError;
+
+/// The dimensions of a [`Tensor`](crate::Tensor), stored outermost-first.
+///
+/// Shapes are row-major: the last dimension is contiguous in memory. A
+/// zero-dimensional shape describes a scalar with one element.
+///
+/// # Example
+///
+/// ```
+/// use mp_tensor::Shape;
+///
+/// let s = Shape::new([2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its dimensions, outermost first.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Self { dims: dims.into() }
+    }
+
+    /// Shape of a scalar (one element, zero dimensions).
+    pub fn scalar() -> Self {
+        Self { dims: Vec::new() }
+    }
+
+    /// Shape of a length-`n` vector.
+    pub fn vector(n: usize) -> Self {
+        Self::new([n])
+    }
+
+    /// Shape of an `rows × cols` matrix.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Self::new([rows, cols])
+    }
+
+    /// Shape of an NCHW image batch: `n` images, `c` channels, `h × w` pixels.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self::new([n, c, h, w])
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns `true` when the shape holds no elements (some dim is 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear (row-major) offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `index` has the wrong rank or any
+    /// coordinate is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, ShapeError> {
+        if index.len() != self.dims.len() {
+            return Err(ShapeError::new(
+                "offset",
+                format!(
+                    "index rank {} does not match shape rank {}",
+                    index.len(),
+                    self.dims.len()
+                ),
+            ));
+        }
+        let mut off = 0;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
+            if i >= d {
+                return Err(ShapeError::new(
+                    "offset",
+                    format!("index {i} out of bounds for axis {axis} of size {d}"),
+                ));
+            }
+            off += i * strides[axis];
+        }
+        Ok(off)
+    }
+
+    /// Checks element-count compatibility for a reshape to `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when element counts differ.
+    pub fn check_same_len(&self, other: &Shape, op: &str) -> Result<(), ShapeError> {
+        if self.len() != other.len() {
+            return Err(ShapeError::new(
+                op,
+                format!(
+                    "cannot view {} elements ({self}) as {} elements ({other})",
+                    self.len(),
+                    other.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Self::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Self::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Self::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::vector(7).strides(), vec![1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_matches_manual_walk() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[0, 1, 2]).unwrap(), 6);
+    }
+
+    #[test]
+    fn offset_rejects_bad_rank_and_bounds() {
+        let s = Shape::matrix(2, 2);
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn empty_shape_detected() {
+        assert!(Shape::new([3, 0, 2]).is_empty());
+        assert!(!Shape::new([3, 1, 2]).is_empty());
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::nchw(1, 3, 32, 32).to_string(), "[1×3×32×32]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn check_same_len_accepts_reinterpretation() {
+        let a = Shape::new([2, 6]);
+        let b = Shape::new([3, 4]);
+        assert!(a.check_same_len(&b, "reshape").is_ok());
+        assert!(a.check_same_len(&Shape::new([5]), "reshape").is_err());
+    }
+
+    #[test]
+    fn conversions_from_arrays_and_slices() {
+        let s: Shape = [1, 2].into();
+        assert_eq!(s.dims(), &[1, 2]);
+        let v: Shape = vec![3, 4].into();
+        assert_eq!(v.dims(), &[3, 4]);
+        let r: Shape = (&[5usize, 6][..]).into();
+        assert_eq!(r.dims(), &[5, 6]);
+    }
+}

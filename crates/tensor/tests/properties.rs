@@ -1,0 +1,92 @@
+//! Property tests for the tensor substrate.
+
+use proptest::prelude::*;
+
+use mp_tensor::conv::{im2col, ConvGeometry};
+use mp_tensor::init::TensorRng;
+use mp_tensor::{linalg, Shape, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matmul_associates_with_reference(m in 1usize..8, k in 1usize..8, n in 1usize..8) {
+        let a = Tensor::from_fn([m, k], |i| ((i * 17) % 7) as f32 - 3.0);
+        let b = Tensor::from_fn([k, n], |i| ((i * 23) % 5) as f32 - 2.0);
+        let fast = linalg::matmul(&a, &b).unwrap();
+        let slow = linalg::matmul_reference(&a, &b).unwrap();
+        for (x, y) in fast.iter().zip(slow.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_products_consistent(m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        let a = Tensor::from_fn([k, m], |i| (i as f32).sin());
+        let b = Tensor::from_fn([k, n], |i| (i as f32).cos());
+        let direct = linalg::matmul_transpose_a(&a, &b).unwrap();
+        let explicit = linalg::matmul(&linalg::transpose(&a).unwrap(), &b).unwrap();
+        for (x, y) in direct.iter().zip(explicit.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_sum(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let t = Tensor::from_fn(dims.clone(), |i| i as f32 * 0.5);
+        let flat = t.reshape([t.len()]).unwrap();
+        prop_assert!((t.sum() - flat.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn offsets_are_bijective(d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5) {
+        let shape = Shape::new([d0, d1, d2]);
+        let mut seen = vec![false; shape.len()];
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    let off = shape.offset(&[i, j, k]).unwrap();
+                    prop_assert!(!seen[off], "offset {off} repeated");
+                    seen[off] = true;
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn im2col_column_count_matches_geometry(
+        c in 1usize..3, h in 3usize..10, w in 3usize..10, k in 1usize..3
+    ) {
+        let geom = ConvGeometry::new(k, 1, 0);
+        prop_assume!(geom.output_dim(h) > 0 && geom.output_dim(w) > 0);
+        let img = Tensor::zeros(Shape::nchw(1, c, h, w));
+        let cols = im2col(&img, geom).unwrap();
+        prop_assert_eq!(cols.shape().dims()[0], c * k * k);
+        prop_assert_eq!(cols.shape().dims()[1], geom.output_dim(h) * geom.output_dim(w));
+    }
+
+    #[test]
+    fn seeded_rng_is_pure(seed in any::<u64>()) {
+        let mut a = TensorRng::seed_from(seed);
+        let mut b = TensorRng::seed_from(seed);
+        let ta = a.normal([16], 0.0, 1.0);
+        let tb = b.normal([16], 0.0, 1.0);
+        prop_assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn axpy_matches_elementwise(scale in -4.0f32..4.0, len in 1usize..32) {
+        let mut acc = Tensor::from_fn([len], |i| i as f32);
+        let other = Tensor::from_fn([len], |i| (i as f32).cos());
+        let want: Vec<f32> = acc
+            .iter()
+            .zip(other.iter())
+            .map(|(&a, &b)| a + scale * b)
+            .collect();
+        acc.axpy(scale, &other).unwrap();
+        for (x, y) in acc.iter().zip(&want) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

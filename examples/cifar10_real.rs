@@ -1,0 +1,99 @@
+//! Runs the multi-precision system on the *real* CIFAR-10 dataset when
+//! its standard binary distribution is available on disk.
+//!
+//! ```sh
+//! cargo run --release --example cifar10_real -- /path/to/cifar-10-batches-bin
+//! ```
+//!
+//! Without the dataset this prints what it would do and exits cleanly —
+//! the synthetic examples cover the no-data case. With the dataset it
+//! trains the scaled FINN network and Model A on a subset and runs the
+//! DMU-gated pipeline, exactly the synthetic flow with real images.
+
+use multiprec::bnn::{BnnClassifier, FinnTopology, HardwareBnn};
+use multiprec::core::{Dmu, MultiPrecisionPipeline, PipelineTiming};
+use multiprec::dataset::cifar10;
+use multiprec::host::zoo::{self, ModelId};
+use multiprec::nn::train::{Adam, Model, Trainer};
+use multiprec::nn::Network;
+use multiprec::tensor::init::TensorRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cifar-10-batches-bin".to_string());
+    if !cifar10::is_available(&dir) {
+        println!(
+            "CIFAR-10 binary batches not found under `{dir}`.\n\
+             Download https://www.cs.toronto.edu/~kriz/cifar-10-binary.tar.gz,\n\
+             unpack it, and pass the directory as the first argument.\n\
+             (The synthetic-data examples — quickstart, threshold_tuning —\n\
+             run without any download.)"
+        );
+        return Ok(());
+    }
+
+    println!("loading CIFAR-10 from {dir}…");
+    let (train_full, test_full) = cifar10::load(&dir)?;
+    // A subset keeps the pure-Rust training run in CPU-minutes; raise
+    // these numbers for better accuracy.
+    let train = train_full.take(4000)?;
+    let test = test_full.take(1000)?;
+    println!(
+        "train {} / test {} images; channel stats: {:?}",
+        train.len(),
+        test.len(),
+        train.channel_stats(),
+    );
+
+    // Binarised network at quarter width (full Table I width is ~hours
+    // of scalar CPU training; the topology pattern is identical).
+    let mut rng = TensorRng::seed_from(2018);
+    let mut bnn = BnnClassifier::new(FinnTopology::scaled(32, 32, 4), &mut rng)?;
+    let mut trainer = Trainer::new(Adam::new(0.003), 32);
+    let mut trng = TensorRng::seed_from(1);
+    println!("training BNN (8 epochs)…");
+    for epoch in 0..8 {
+        let stats = trainer.train_epoch(&mut bnn, train.images(), train.labels(), &mut trng)?;
+        println!("  epoch {epoch}: loss {:.3}", stats.mean_loss);
+    }
+    let hw = HardwareBnn::from_classifier(&bnn)?;
+    let train_scores = hw.infer_batch(train.images())?;
+    let train_preds = Network::argmax_rows(&train_scores)?;
+    let train_correct: Vec<bool> = train_preds
+        .iter()
+        .zip(train.labels())
+        .map(|(p, l)| p == l)
+        .collect();
+
+    println!("training DMU…");
+    let mut dmu = Dmu::new(10);
+    dmu.train(
+        &train_scores,
+        &train_correct,
+        30,
+        0.05,
+        &mut TensorRng::seed_from(2),
+    )?;
+
+    println!("training Model A host…");
+    let mut host = zoo::build_paper(ModelId::A, &mut TensorRng::seed_from(3))?;
+    let mut host_trainer = Trainer::new(Adam::new(0.002), 32);
+    for _ in 0..6 {
+        host_trainer.train_epoch(&mut host, train.images(), train.labels(), &mut trng)?;
+    }
+    let host_acc = host_trainer.evaluate(&mut host, test.images(), test.labels())? as f64;
+
+    let timing = PipelineTiming::new(1.0 / 430.15, 1.0 / 29.68, 100);
+    let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.84);
+    let result = pipeline.run(&mut host, &test, &timing, host_acc)?;
+    println!(
+        "\nreal CIFAR-10 results: BNN {:.1}% → multi-precision {:.1}% \
+         ({:.1}% of images rerun) at {:.1} img/s modelled",
+        100.0 * result.bnn_accuracy,
+        100.0 * result.accuracy,
+        100.0 * result.quadrants.rerun_ratio(),
+        result.modeled_images_per_sec,
+    );
+    Ok(())
+}

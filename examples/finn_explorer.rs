@@ -1,0 +1,72 @@
+//! FINN design-space explorer: pick a throughput target, fold the
+//! paper's CIFAR-10 network for it, and report the resources the design
+//! needs on two Zynq devices.
+//!
+//! ```sh
+//! cargo run --release --example finn_explorer -- 1000
+//! ```
+//!
+//! The optional argument is the target in images/second (default 430,
+//! the paper's selected operating point).
+
+use multiprec::bnn::FinnTopology;
+use multiprec::fpga::{design::DesignPoint, device::Device, folding::FoldingSearch};
+
+fn main() {
+    let target_fps: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(430.0);
+
+    let topology = FinnTopology::paper();
+    let engines = topology.engines();
+    println!(
+        "network: {} engines, {:.2} Mbit of single-bit weights",
+        engines.len(),
+        topology.total_weight_bits() as f64 / 1e6
+    );
+
+    for device in [Device::zc702(), Device::zu3eg()] {
+        let target_cycles = (device.clock_hz / target_fps).max(1.0) as u64;
+        let folding = FoldingSearch::new(&engines).balanced(target_cycles);
+        for partitioned in [false, true] {
+            let point = DesignPoint::evaluate(&engines, &folding, &device, partitioned);
+            println!(
+                "\n{} @ {:.0} MHz, {} allocation:",
+                device.name,
+                device.clock_hz / 1e6,
+                if partitioned { "partitioned" } else { "naive" }
+            );
+            println!(
+                "  folding: total {} PEs, {} SIMD lanes",
+                point.total_pe, point.total_lanes
+            );
+            for (spec, f) in engines.iter().zip(folding.engines()) {
+                println!("    {:>14}  P={:<3} S={:<4}", spec.name, f.p, f.s);
+            }
+            println!(
+                "  throughput: {:.0} img/s expected, {:.0} img/s obtained",
+                point.expected_fps, point.obtained_fps
+            );
+            println!(
+                "  area: {} BRAM-18K ({:.0}%), {} LUTs ({:.0}%) — {}",
+                point.bram_18k,
+                point.bram_pct,
+                point.luts,
+                point.lut_pct,
+                if point.fits(&device) {
+                    "fits"
+                } else {
+                    "DOES NOT FIT"
+                }
+            );
+            // Batch behaviour through the streaming pipeline.
+            let sim = point.simulate_batch(&device, 256, 2);
+            println!(
+                "  256-image batch: {:.0} img/s, first-image latency {:.2} ms",
+                sim.throughput_fps,
+                1e3 * sim.first_latency_s
+            );
+        }
+    }
+}

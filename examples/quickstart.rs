@@ -1,0 +1,70 @@
+//! Quickstart: train a small multi-precision system end-to-end and run
+//! the heterogeneous pipeline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Uses small 8×8 synthetic images so it finishes in under a minute;
+//! the bench binaries (`cargo run -p mp-bench --bin eval_all`) run the
+//! full `Fast` profile.
+
+use multiprec::core::experiment::{ExperimentConfig, TrainedSystem};
+use multiprec::host::zoo::ModelId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train everything: the binarised FINN-style network, the three
+    //    host models, and the decision-making unit. (A mid-size config:
+    //    big enough to learn, small enough for under a minute of CPU.)
+    let mut config = ExperimentConfig::smoke(42);
+    config.train_images = 800;
+    config.test_images = 300;
+    config.bnn_epochs = 8;
+    config.host_epochs = 6;
+    config.dmu_epochs = 20;
+    // At 8×8 the full-difficulty distribution is brutally hard; ease it
+    // so the demo shows the trade-off clearly. The Fast profile keeps
+    // the calibrated difficulty.
+    config.synth.noise_std = 0.35;
+    config.synth.blend = 0.2;
+    println!("training BNN + hosts + DMU on synthetic images…");
+    let mut system = TrainedSystem::prepare(&config)?;
+    println!(
+        "BNN (hardware XNOR-popcount path): {:.1}% test accuracy",
+        100.0 * system.bnn_test_accuracy
+    );
+    for id in ModelId::ALL {
+        println!(
+            "{}: {:.1}% standalone test accuracy",
+            id.name(),
+            100.0 * system.host_accuracy(id)
+        );
+    }
+
+    // 2. Pair the BNN with Model A through the DMU at the configured
+    //    threshold, timed at the paper's ZC702 rates.
+    let timing = system.paper_timing(ModelId::A)?;
+    let result = system.run_pipeline(ModelId::A, &timing)?;
+    println!(
+        "\nmulti-precision (Model A + FINN @ threshold {}):",
+        system.config.threshold
+    );
+    println!(
+        "  accuracy: {:.1}% (BNN alone: {:.1}%)",
+        100.0 * result.accuracy,
+        100.0 * result.bnn_accuracy
+    );
+    println!(
+        "  reruns: {} of {} images ({:.1}%)",
+        result.rerun_count,
+        result.total_images,
+        100.0 * result.quadrants.rerun_ratio()
+    );
+    println!(
+        "  throughput: {:.1} img/s modelled (eq. 1 predicts {:.1}; host alone {:.1})",
+        result.modeled_images_per_sec,
+        result.analytic_images_per_sec,
+        1.0 / timing.t_fp_img_s
+    );
+    Ok(())
+}

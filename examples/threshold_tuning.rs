@@ -1,0 +1,63 @@
+//! Threshold tuning: the accuracy ↔ throughput dial of the paper's
+//! §III-B, eqs. (6)–(7).
+//!
+//! Trains a small system, then sweeps the DMU confidence threshold and
+//! prints, for each point, the rerun load, the resulting multi-precision
+//! accuracy, and the modelled throughput with Model A on the host — the
+//! curve an integrator would use to pick an operating point for a target
+//! frame rate.
+//!
+//! ```sh
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use multiprec::core::experiment::{ExperimentConfig, TrainedSystem};
+use multiprec::core::MultiPrecisionPipeline;
+use multiprec::host::zoo::ModelId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training system (small demo profile)…");
+    const SEED: u64 = 7;
+    let mut config = ExperimentConfig::smoke(SEED);
+    config.train_images = 800;
+    config.test_images = 300;
+    config.bnn_epochs = 8;
+    config.host_epochs = 6;
+    config.dmu_epochs = 20;
+    config.synth.noise_std = 0.35;
+    config.synth.blend = 0.2;
+    let mut system = TrainedSystem::prepare(&config)?;
+    let timing = system.paper_timing(ModelId::A)?;
+    let global_acc = system.host_accuracy(ModelId::A);
+
+    println!(
+        "\n{:>9}  {:>8}  {:>9}  {:>11}  {:>10}",
+        "threshold", "rerun %", "accuracy", "img/s", "max achievable"
+    );
+    let hw = system.hw.clone();
+    let dmu = system.dmu.clone();
+    let test = system.test.clone();
+    let (_, host, _) = system
+        .hosts
+        .iter_mut()
+        .find(|(id, _, _)| *id == ModelId::A)
+        .expect("Model A present");
+    for threshold in [0.0f32, 0.3, 0.5, 0.7, 0.84, 0.95, 1.0] {
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, threshold);
+        let r = pipeline.run(host, &test, &timing, global_acc)?;
+        println!(
+            "{:>9.2}  {:>7.1}%  {:>8.1}%  {:>11.1}  {:>9.1}%",
+            threshold,
+            100.0 * r.quadrants.rerun_ratio(),
+            100.0 * r.accuracy,
+            r.modeled_images_per_sec,
+            100.0 * r.quadrants.max_achievable_accuracy(),
+        );
+    }
+    println!(
+        "\nreading the dial: low thresholds keep the BNN's speed, high \
+         thresholds buy the host's accuracy — the paper picks 0.84 for its \
+         balanced system."
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # multiprec
+//!
+//! A full Rust reproduction of *Amiri, Hosseinabady, McIntosh-Smith,
+//! Nunez-Yanez — "Multi-Precision Convolutional Neural Networks on
+//! Heterogeneous Hardware", DATE 2018*.
+//!
+//! The system couples a binarised CNN (high throughput, mapped to an
+//! FPGA model) with a floating-point CNN (high accuracy, mapped to a CPU
+//! model) through a trained decision-making unit that flags
+//! low-confidence classifications for re-inference.
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `mp-tensor` | dense f32 tensors, GEMM, im2col |
+//! | [`nn`] | `mp-nn` | float CNN layers, training, cost accounting |
+//! | [`bnn`] | `mp-bnn` | binarised network, XNOR-popcount hardware view |
+//! | [`fpga`] | `mp-fpga` | FINN accelerator model: cycles, folding, BRAM, streaming |
+//! | [`dataset`] | `mp-dataset` | synthetic CIFAR-10 stand-in + real loader |
+//! | [`host`] | `mp-host` | Caffe model zoo + ARM Cortex-A9 cost model |
+//! | [`core`] | `mp-core` | DMU, multi-precision pipeline, experiments |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use multiprec::core::experiment::{ExperimentConfig, TrainedSystem};
+//! use multiprec::host::zoo::ModelId;
+//!
+//! # fn main() -> Result<(), multiprec::core::CoreError> {
+//! // Train the whole system (BNN + DMU + host models) on synthetic data.
+//! let mut system = TrainedSystem::prepare(&ExperimentConfig::fast_profile(2018))?;
+//! // Run the Model A + FINN pipeline at paper-scale timing.
+//! let timing = system.paper_timing(ModelId::A)?;
+//! let result = system.run_pipeline(ModelId::A, &timing)?;
+//! println!(
+//!     "BNN {:.1}% → multi-precision {:.1}% at {:.1} img/s",
+//!     100.0 * result.bnn_accuracy,
+//!     100.0 * result.accuracy,
+//!     result.modeled_images_per_sec,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mp_bnn as bnn;
+pub use mp_core as core;
+pub use mp_dataset as dataset;
+pub use mp_fpga as fpga;
+pub use mp_host as host;
+pub use mp_nn as nn;
+pub use mp_tensor as tensor;

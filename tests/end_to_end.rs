@@ -1,0 +1,110 @@
+//! End-to-end integration: train the full multi-precision system on
+//! synthetic data (smoke profile) and check the paper's structural
+//! invariants across crates.
+
+use multiprec::core::experiment::{ExperimentConfig, TrainedSystem};
+use multiprec::core::MultiPrecisionPipeline;
+use multiprec::host::zoo::ModelId;
+
+fn system(seed: u64) -> TrainedSystem {
+    TrainedSystem::prepare(&ExperimentConfig::smoke(seed)).expect("smoke system trains")
+}
+
+#[test]
+fn pipeline_runs_for_all_host_models() {
+    let mut sys = system(1);
+    for id in ModelId::ALL {
+        let timing = sys.paper_timing(id).expect("timing");
+        let r = sys.run_pipeline(id, &timing).expect("pipeline");
+        assert_eq!(r.total_images, sys.test.len());
+        assert!((0.0..=1.0).contains(&r.accuracy), "{id:?}: {r:?}");
+        // Quadrants are a partition of the test set.
+        let q = r.quadrants;
+        assert!((q.fs + q.fbar_sbar + q.fbar_s + q.fs_bar - 1.0).abs() < 1e-9);
+        // The DMU cap binds.
+        assert!(r.accuracy <= q.max_achievable_accuracy() + 1e-9);
+        // Rerun accounting is consistent.
+        assert_eq!(
+            r.rerun_count,
+            (q.rerun_ratio() * r.total_images as f64).round() as usize
+        );
+    }
+}
+
+#[test]
+fn multi_precision_throughput_sits_between_host_and_bnn() {
+    let mut sys = system(2);
+    let timing = sys.paper_timing(ModelId::A).expect("timing");
+    let r = sys.run_pipeline(ModelId::A, &timing).expect("pipeline");
+    let host_fps = 1.0 / timing.t_fp_img_s;
+    let bnn_fps = 1.0 / timing.t_bnn_img_s;
+    // Unless everything reruns, the system beats the host alone and can
+    // never beat the BNN alone.
+    if r.quadrants.rerun_ratio() < 0.95 {
+        assert!(
+            r.modeled_images_per_sec > host_fps,
+            "{} vs host {host_fps}",
+            r.modeled_images_per_sec
+        );
+    }
+    assert!(r.modeled_images_per_sec <= bnn_fps * 1.01);
+}
+
+#[test]
+fn eq2_exact_form_matches_measurement() {
+    let mut sys = system(3);
+    let timing = sys.paper_timing(ModelId::B).expect("timing");
+    let r = sys.run_pipeline(ModelId::B, &timing).expect("pipeline");
+    let exact = multiprec::core::model::accuracy_exact(
+        r.bnn_accuracy,
+        r.host_subset_accuracy,
+        r.quadrants.rerun_ratio(),
+        r.quadrants.rerun_err_ratio(),
+    );
+    assert!(
+        (exact - r.accuracy).abs() < 1e-6,
+        "exact identity {exact} vs measured {}",
+        r.accuracy
+    );
+}
+
+#[test]
+fn sequential_and_parallel_executors_agree() {
+    let mut sys = system(4);
+    let timing = sys.paper_timing(ModelId::A).expect("timing");
+    let global = sys.host_accuracy(ModelId::A);
+    let hw = sys.hw.clone();
+    let dmu = sys.dmu.clone();
+    let test = sys.test.clone();
+    let (_, host, _) = sys
+        .hosts
+        .iter_mut()
+        .find(|(h, _, _)| *h == ModelId::A)
+        .expect("host");
+    let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.84);
+    let seq = pipeline.run(host, &test, &timing, global).expect("seq");
+    let par = pipeline
+        .run_parallel(host, &test, &timing, global)
+        .expect("par");
+    assert_eq!(seq.predictions, par.predictions);
+    assert_eq!(seq.quadrants, par.quadrants);
+}
+
+#[test]
+fn whole_experiment_is_reproducible() {
+    let a = system(5);
+    let b = system(5);
+    assert_eq!(a.bnn_test_accuracy, b.bnn_test_accuracy);
+    assert_eq!(a.bnn_test_correct, b.bnn_test_correct);
+    assert_eq!(a.dmu.weights(), b.dmu.weights());
+    for id in ModelId::ALL {
+        assert_eq!(a.host_accuracy(id), b.host_accuracy(id));
+    }
+}
+
+#[test]
+fn different_seeds_give_different_systems() {
+    let a = system(6);
+    let b = system(7);
+    assert_ne!(a.dmu.weights(), b.dmu.weights());
+}

@@ -1,0 +1,212 @@
+//! Cross-crate property tests on the system's core invariants.
+
+use proptest::prelude::*;
+
+use multiprec::bnn::bits::{BitMatrix, BitVec};
+use multiprec::bnn::{EngineKind, EngineSpec, FinnTopology};
+use multiprec::core::dmu::{ConfusionQuadrants, Dmu};
+use multiprec::core::model;
+use multiprec::fpga::cycle_model::{divisors, engine_cycles};
+use multiprec::fpga::folding::FoldingSearch;
+use multiprec::fpga::memory::{allocate_array, best_partition};
+use multiprec::fpga::stream_sim::StreamSim;
+use multiprec::tensor::conv::{col2im, im2col, ConvGeometry};
+use multiprec::tensor::{linalg, Shape, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- tensor substrate ----
+
+    #[test]
+    fn gemm_is_linear_in_first_argument(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, scale in -3.0f32..3.0
+    ) {
+        let a = Tensor::from_fn([m, k], |i| (i as f32 * 0.7).sin());
+        let b = Tensor::from_fn([k, n], |i| (i as f32 * 0.3).cos());
+        let scaled = a.map(|x| x * scale);
+        let left = linalg::matmul(&scaled, &b).unwrap();
+        let mut right = linalg::matmul(&a, &b).unwrap();
+        right.scale(scale);
+        for (x, y) in left.iter().zip(right.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3, h in 3usize..8, w in 3usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2
+    ) {
+        let geom = ConvGeometry::new(k, stride, pad);
+        prop_assume!(geom.output_dim(h) > 0 && geom.output_dim(w) > 0);
+        let x = Tensor::from_fn(Shape::nchw(1, c, h, w), |i| ((i * 31) % 17) as f32 - 8.0);
+        let cols = im2col(&x, geom).unwrap();
+        let y = Tensor::from_fn(cols.shape().clone(), |i| ((i * 13) % 11) as f32 - 5.0);
+        let lhs: f32 = cols.iter().zip(y.iter()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, c, h, w, geom).unwrap();
+        let rhs: f32 = x.iter().zip(back.iter()).map(|(&a, &b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-1 * (1.0 + lhs.abs()));
+    }
+
+    // ---- bit arithmetic ----
+
+    #[test]
+    fn xnor_dot_equals_float_dot(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let signs_a: Vec<f32> = bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let signs_b: Vec<f32> = bits.iter().rev().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let expect: f32 = signs_a.iter().zip(&signs_b).map(|(&a, &b)| a * b).sum();
+        let dot = BitVec::from_signs(&signs_a).xnor_dot(&BitVec::from_signs(&signs_b));
+        prop_assert_eq!(dot, expect as i32);
+    }
+
+    #[test]
+    fn bitvec_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let v = BitVec::from_bools(&bits);
+        prop_assert_eq!(v.len(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(v.get(i), b);
+        }
+    }
+
+    #[test]
+    fn bitmatrix_matvec_bounds(rows in 1usize..8, cols in 1usize..64) {
+        let values: Vec<f32> = (0..rows * cols).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let m = BitMatrix::from_signs(rows, cols, &values);
+        let x = BitVec::from_signs(&values[..cols]);
+        for acc in m.xnor_matvec(&x) {
+            prop_assert!(acc.unsigned_abs() as usize <= cols);
+            // Parity: dot of `cols` ±1 terms has cols' parity.
+            prop_assert_eq!(acc.rem_euclid(2), (cols as i32).rem_euclid(2));
+        }
+    }
+
+    // ---- FPGA models ----
+
+    #[test]
+    fn folding_meets_any_reachable_target(target in 2_000u64..5_000_000) {
+        let engines = FinnTopology::paper().engines();
+        let folding = FoldingSearch::new(&engines).balanced(target);
+        for (cycles, spec) in folding.cycles(&engines).iter().zip(&engines) {
+            let max_parallel = engine_cycles(spec, spec.weight_rows(), spec.weight_cols());
+            prop_assert!(
+                *cycles <= target.max(max_parallel),
+                "{}: {} cycles for target {}", spec.name, cycles, target
+            );
+        }
+    }
+
+    #[test]
+    fn divisors_divide(n in 1usize..10_000) {
+        for d in divisors(n) {
+            prop_assert_eq!(n % d, 0);
+        }
+    }
+
+    #[test]
+    fn cycle_model_monotone_in_parallelism(p in 1usize..64, s in 1usize..64) {
+        let spec = EngineSpec {
+            name: "test".into(),
+            kind: EngineKind::Conv,
+            kernel: 3,
+            in_channels: 64,
+            out_channels: 64,
+            in_height: 16,
+            in_width: 16,
+            out_height: 14,
+            out_width: 14,
+            input_bits: 1,
+            threshold_bits: 16,
+            pool_after: false,
+        };
+        prop_assert!(engine_cycles(&spec, p + 1, s) <= engine_cycles(&spec, p, s));
+        prop_assert!(engine_cycles(&spec, p, s + 1) <= engine_cycles(&spec, p, s));
+    }
+
+    #[test]
+    fn allocator_never_loses_bits(depth in 1u64..10_000, width in 1u64..64, blocks in 1u64..9) {
+        let alloc = allocate_array(depth, width, blocks);
+        prop_assert_eq!(alloc.stored_bits, depth * width);
+        if alloc.bram_18k > 0 {
+            prop_assert!(alloc.bram_capacity_bits() >= alloc.stored_bits / blocks.max(1));
+        }
+    }
+
+    #[test]
+    fn best_partition_never_increases_bram(depth in 1u64..20_000, width in 1u64..64) {
+        let naive = allocate_array(depth, width, 1);
+        let best = allocate_array(depth, width, best_partition(depth, width));
+        prop_assert!(best.bram_18k <= naive.bram_18k);
+    }
+
+    #[test]
+    fn stream_sim_conserves_throughput_bound(
+        services in proptest::collection::vec(1e-4f64..1e-2, 1..6),
+        batch in 1usize..200
+    ) {
+        let sim = StreamSim::new(services.clone(), 2, 0.0);
+        let r = sim.run(batch);
+        let bottleneck = services.iter().cloned().fold(0.0f64, f64::max);
+        // Can never beat the bottleneck rate; makespan at least the work
+        // of the slowest stage.
+        prop_assert!(r.throughput_fps <= 1.0 / bottleneck + 1e-9);
+        prop_assert!(r.makespan_s >= bottleneck * batch as f64 - 1e-12);
+        prop_assert!(r.first_latency_s >= services.iter().sum::<f64>() - 1e-12);
+    }
+
+    // ---- DMU / analytic models ----
+
+    #[test]
+    fn quadrants_partition_unit_mass(
+        flags in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..200)
+    ) {
+        let f: Vec<bool> = flags.iter().map(|x| x.0).collect();
+        let s: Vec<bool> = flags.iter().map(|x| x.1).collect();
+        let q = ConfusionQuadrants::tally(&f, &s);
+        prop_assert!((q.fs + q.fbar_sbar + q.fbar_s + q.fs_bar - 1.0).abs() < 1e-9);
+        prop_assert!((q.rerun_ratio() + q.fs + q.fbar_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dmu_threshold_monotone(
+        weights in proptest::collection::vec(-2.0f32..2.0, 10),
+        bias in -2.0f32..2.0,
+        raw in proptest::collection::vec(-20.0f32..20.0, 40)
+    ) {
+        let dmu = Dmu::with_weights(weights, bias);
+        let scores = Tensor::from_vec([4, 10], raw).unwrap();
+        let lo = dmu.estimate_batch(&scores, 0.3).unwrap();
+        let hi = dmu.estimate_batch(&scores, 0.8).unwrap();
+        // Raising the threshold can only turn "kept" into "rerun".
+        for (l, h) in lo.iter().zip(&hi) {
+            prop_assert!(*l || !*h, "kept at 0.8 but rerun at 0.3");
+        }
+    }
+
+    #[test]
+    fn eq1_bounds(t_fp in 1e-4f64..1.0, t_bnn in 1e-4f64..1.0, r in 0.0f64..1.0) {
+        let t = model::interval_per_image(t_fp, t_bnn, r);
+        prop_assert!(t >= t_bnn);
+        prop_assert!(t >= t_fp * r);
+        prop_assert!(t <= t_bnn.max(t_fp));
+    }
+
+    #[test]
+    fn eq2_exact_accuracy_is_valid_probability(
+        fs in 0.0f64..1.0, fbsb in 0.0f64..1.0, fbs in 0.0f64..1.0, fsb in 0.0f64..1.0,
+        host_acc in 0.0f64..1.0
+    ) {
+        // Normalise a random quadrant split.
+        let total = fs + fbsb + fbs + fsb;
+        prop_assume!(total > 1e-6);
+        let q = ConfusionQuadrants {
+            fs: fs / total,
+            fbar_sbar: fbsb / total,
+            fbar_s: fbs / total,
+            fs_bar: fsb / total,
+        };
+        let bnn_acc = q.fs + q.fs_bar;
+        let acc = model::accuracy_exact(bnn_acc, host_acc, q.rerun_ratio(), q.rerun_err_ratio());
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&acc), "acc {acc} from {q:?}");
+    }
+}
