@@ -21,11 +21,11 @@ fn bench_hardware(c: &mut Criterion) {
         }
         let hw = HardwareBnn::from_classifier(&bnn).unwrap();
         let img = rng.normal(Shape::nchw(1, 3, edge, edge), 0.0, 1.0);
-        c.bench_function(&format!("hw_infer_{edge}px_div{div}"), |b| {
+        c.bench_function(format!("hw_infer_{edge}px_div{div}"), |b| {
             b.iter(|| hw.infer_image(black_box(&img)).unwrap())
         });
         let mut float_view = bnn;
-        c.bench_function(&format!("float_infer_{edge}px_div{div}"), |b| {
+        c.bench_function(format!("float_infer_{edge}px_div{div}"), |b| {
             b.iter(|| float_view.infer(black_box(&img)).unwrap())
         });
     }

@@ -14,7 +14,7 @@ fn bench_stream_sim(c: &mut Criterion) {
     let sim = StreamSim::from_cycles(&cycles, device.clock_hz, 2)
         .with_source_interval(device.io_overhead_s);
     for batch in [16usize, 256, 4096] {
-        c.bench_function(&format!("stream_sim_batch_{batch}"), |b| {
+        c.bench_function(format!("stream_sim_batch_{batch}"), |b| {
             b.iter(|| black_box(&sim).run(black_box(batch)))
         });
     }

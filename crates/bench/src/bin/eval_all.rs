@@ -37,7 +37,7 @@ struct Table5Entry {
     images_per_sec: f64,
     analytic_images_per_sec: f64,
     rerun_ratio: f64,
-    host_subset_accuracy: f64,
+    host_subset_accuracy: Option<f64>,
     host_global_accuracy: f64,
     eq2_global: f64,
     eq2_exact: f64,
@@ -134,7 +134,7 @@ fn main() {
         let r = system.run_pipeline(id, &timing).expect("pipeline");
         let eq2_exact = model::accuracy_exact(
             r.bnn_accuracy,
-            r.host_subset_accuracy,
+            r.host_subset_accuracy.unwrap_or(0.0),
             r.quadrants.rerun_ratio(),
             r.quadrants.rerun_err_ratio(),
         );
@@ -144,7 +144,8 @@ fn main() {
             format!("{:.2}", r.modeled_images_per_sec),
             format!("{:.2}", r.analytic_images_per_sec),
             pct(r.quadrants.rerun_ratio()),
-            pct(r.host_subset_accuracy),
+            r.host_subset_accuracy
+                .map_or_else(|| "n/a".to_string(), pct),
             pct(system.host_accuracy(id)),
         ]);
         table5.push(Table5Entry {

@@ -99,12 +99,9 @@ fn accuracy_recovery() {
     let mut rows = Vec::new();
     for bits in [1usize, 2, 4] {
         let mut rng = TensorRng::seed_from(2018);
-        let mut bnn = BnnClassifier::with_activation_bits(
-            FinnTopology::scaled(16, 16, 2),
-            bits,
-            &mut rng,
-        )
-        .expect("classifier builds");
+        let mut bnn =
+            BnnClassifier::with_activation_bits(FinnTopology::scaled(16, 16, 2), bits, &mut rng)
+                .expect("classifier builds");
         let mut trainer = Trainer::new(Adam::new(0.003), 32);
         let mut trng = TensorRng::seed_from(1);
         for _ in 0..10 {

@@ -17,7 +17,7 @@ struct Table5Row {
     images_per_sec: f64,
     analytic_images_per_sec: f64,
     rerun_ratio: f64,
-    host_subset_accuracy: f64,
+    host_subset_accuracy: Option<f64>,
     host_global_accuracy: f64,
     paper_accuracy: f64,
     paper_images_per_sec: f64,
@@ -70,7 +70,10 @@ fn main() {
             format!("{:.2}", row.images_per_sec),
             format!("{:.2}", row.paper_images_per_sec),
             format!("{:.1}", 100.0 * row.rerun_ratio),
-            format!("{:.1}%", 100.0 * row.host_subset_accuracy),
+            match row.host_subset_accuracy {
+                Some(acc) => format!("{:.1}%", 100.0 * acc),
+                None => "n/a".to_string(),
+            },
             format!("{:.1}%", 100.0 * row.host_global_accuracy),
         ]);
         rows.push(row);

@@ -37,7 +37,7 @@ proptest! {
         let mut rng = TensorRng::seed_from(seed);
         let mut fc = BinLinear::new(in_features, 4, &mut rng).unwrap();
         let x_signs: Vec<f32> = (0..in_features)
-            .map(|i| if (i + seed as usize) % 2 == 0 { 1.0 } else { -1.0 })
+            .map(|i| if (i + seed as usize).is_multiple_of(2) { 1.0 } else { -1.0 })
             .collect();
         let x = Tensor::from_vec([1, in_features], x_signs).unwrap();
         let y = fc.forward(&x, Mode::Infer).unwrap();

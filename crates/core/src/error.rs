@@ -4,6 +4,10 @@ use std::fmt;
 use mp_dataset::DatasetError;
 use mp_tensor::ShapeError;
 
+/// A boxed error source that can cross thread boundaries (the pipeline
+/// joins errors produced on the host worker thread).
+pub type ErrorSource = Box<dyn Error + Send + Sync + 'static>;
+
 /// Errors raised by the multi-precision experiments.
 #[derive(Debug)]
 pub enum CoreError {
@@ -13,6 +17,35 @@ pub enum CoreError {
     Dataset(DatasetError),
     /// Experiment configuration was invalid.
     InvalidConfig(String),
+    /// The host (high-precision) side failed; the source is preserved.
+    Host(ErrorSource),
+    /// The FPGA (low-precision) side failed; the source is preserved.
+    Fpga(ErrorSource),
+    /// A per-image host deadline expired.
+    Timeout {
+        /// Index of the image whose re-inference timed out.
+        image: usize,
+        /// The deadline that was exceeded, in seconds.
+        deadline_s: f64,
+    },
+    /// The host worker thread died (panicked or was killed). Recoverable
+    /// faults never surface this to `run_parallel` callers — the
+    /// pipeline degrades to BNN-only mode instead — but it is the typed
+    /// form recorded in the fault log and returned by lower-level
+    /// helpers.
+    HostWorker(String),
+}
+
+impl CoreError {
+    /// Wraps a host-side failure, preserving the source.
+    pub fn host(source: impl Error + Send + Sync + 'static) -> Self {
+        CoreError::Host(Box::new(source))
+    }
+
+    /// Wraps an FPGA-side failure, preserving the source.
+    pub fn fpga(source: impl Error + Send + Sync + 'static) -> Self {
+        CoreError::Fpga(Box::new(source))
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -21,6 +54,15 @@ impl fmt::Display for CoreError {
             CoreError::Shape(e) => write!(f, "{e}"),
             CoreError::Dataset(e) => write!(f, "{e}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid experiment config: {msg}"),
+            CoreError::Host(e) => write!(f, "host inference failed: {e}"),
+            CoreError::Fpga(e) => write!(f, "fpga inference failed: {e}"),
+            CoreError::Timeout { image, deadline_s } => {
+                write!(
+                    f,
+                    "host re-inference of image {image} exceeded {deadline_s}s deadline"
+                )
+            }
+            CoreError::HostWorker(detail) => write!(f, "host worker died: {detail}"),
         }
     }
 }
@@ -30,7 +72,10 @@ impl Error for CoreError {
         match self {
             CoreError::Shape(e) => Some(e),
             CoreError::Dataset(e) => Some(e),
-            CoreError::InvalidConfig(_) => None,
+            CoreError::Host(e) | CoreError::Fpga(e) => Some(e.as_ref()),
+            CoreError::InvalidConfig(_) | CoreError::Timeout { .. } | CoreError::HostWorker(_) => {
+                None
+            }
         }
     }
 }
@@ -59,6 +104,25 @@ mod tests {
         let c = CoreError::InvalidConfig("bad".into());
         assert!(c.to_string().contains("bad"));
         assert!(c.source().is_none());
+    }
+
+    #[test]
+    fn fault_variants_display_and_preserve_sources() {
+        let h = CoreError::host(ShapeError::new("forward", "bad shape"));
+        assert!(h.to_string().contains("host inference failed"));
+        assert!(h.source().expect("source").to_string().contains("forward"));
+        let g = CoreError::fpga(ShapeError::new("infer_image", "bad shape"));
+        assert!(g.to_string().contains("fpga inference failed"));
+        assert!(g.source().is_some());
+        let t = CoreError::Timeout {
+            image: 17,
+            deadline_s: 0.25,
+        };
+        assert!(t.to_string().contains("image 17"));
+        assert!(t.source().is_none());
+        let w = CoreError::HostWorker("panicked".into());
+        assert!(w.to_string().contains("host worker died"));
+        assert!(w.source().is_none());
     }
 
     #[test]

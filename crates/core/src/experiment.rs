@@ -17,6 +17,7 @@ use mp_tensor::init::TensorRng;
 use mp_tensor::{Shape, Tensor};
 
 use crate::dmu::Dmu;
+use crate::fault::{DegradationPolicy, FaultPlan};
 use crate::pipeline::{MultiPrecisionPipeline, PipelineResult, PipelineTiming};
 use crate::CoreError;
 
@@ -249,6 +250,36 @@ impl TrainedSystem {
             .find(|(h, _, _)| *h == id)
             .expect("host model present");
         MultiPrecisionPipeline::new(hw, dmu, threshold).run(host, test, timing, global_acc)
+    }
+
+    /// Runs the *parallel* multi-precision pipeline with host model `id`
+    /// under an injected fault plan and degradation policy (the chaos
+    /// harness behind `chaos_ablation`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on shape inconsistencies, invalid
+    /// plan/policy, or real (non-injected) host errors — never for
+    /// recoverable injected faults.
+    pub fn run_pipeline_chaos(
+        &mut self,
+        id: ModelId,
+        timing: &PipelineTiming,
+        plan: &FaultPlan,
+        policy: &DegradationPolicy,
+    ) -> Result<PipelineResult, CoreError> {
+        let threshold = self.config.threshold;
+        let global_acc = self.host_accuracy(id);
+        let hw = &self.hw;
+        let dmu = &self.dmu;
+        let test = &self.test;
+        let (_, host, _) = self
+            .hosts
+            .iter_mut()
+            .find(|(h, _, _)| *h == id)
+            .expect("host model present");
+        MultiPrecisionPipeline::new(hw, dmu, threshold)
+            .run_parallel_with(host, test, timing, global_acc, plan, policy)
     }
 
     /// Paper-scale timing for host model `id`: the ZC702's measured

@@ -1,0 +1,657 @@
+//! Deterministic fault injection and graceful degradation.
+//!
+//! The paper's throughput guarantee (eq. (1)) holds only while the slow
+//! host keeps up with its rerun stream; CascadeCNN and FINN both frame
+//! the two-stage hand-off as a system that must survive the
+//! high-precision side misbehaving. This module makes that testable:
+//!
+//! - [`FaultPlan`] describes *what goes wrong* — transient host
+//!   inference errors, per-image latency spikes, host-worker death, and
+//!   FPGA stream faults (via [`mp_fpga::StreamFaults`]) — all keyed on a
+//!   seed so a chaos run replays byte-identically;
+//! - [`FaultInjector`] turns the plan into per-image, per-attempt
+//!   decisions with a stateless hash (no RNG state to share across the
+//!   pipeline's threads);
+//! - [`DegradationPolicy`] describes *what the pipeline does about it* —
+//!   a retry budget with exponential backoff, a per-image host deadline,
+//!   and a circuit breaker that trips to BNN-only mode after `N`
+//!   consecutive host failures, with periodic recovery probing;
+//! - [`CircuitBreaker`] is the policy's state machine;
+//! - [`FaultEvent`] / [`DegradationStats`] are the audit trail surfaced
+//!   in [`PipelineResult`](crate::PipelineResult).
+//!
+//! Injected latency is *virtual*: the injector reports what the latency
+//! would have been and the policy compares it with the deadline, so
+//! chaos tests stay fast and deterministic while exercising exactly the
+//! timeout/degradation control path.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mp_fpga::StreamFaults;
+
+use crate::CoreError;
+
+/// A seeded description of the faults to inject into one pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Root seed; every per-image decision derives from it.
+    pub seed: u64,
+    /// Probability that a host inference attempt fails transiently.
+    pub host_error_rate: f64,
+    /// Probability that a host inference attempt suffers a latency
+    /// spike of [`host_spike_latency_s`](Self::host_spike_latency_s).
+    pub host_spike_rate: f64,
+    /// Virtual latency of a spiked attempt, in seconds. Compared with
+    /// [`DegradationPolicy::host_deadline_s`]; a spike above the
+    /// deadline is a timeout fault.
+    pub host_spike_latency_s: f64,
+    /// Kill the host worker after it has processed this many flagged
+    /// images (an injected panic; the pipeline must degrade, not abort).
+    pub host_death_after: Option<usize>,
+    /// FPGA-side stream faults (source stalls / interval jitter) for
+    /// [`mp_fpga::StreamSim`]-based experiments.
+    pub stream: StreamFaults,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: `run_parallel` under it is functionally
+    /// identical to the sequential `run`.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            host_error_rate: 0.0,
+            host_spike_rate: 0.0,
+            host_spike_latency_s: 1.0,
+            host_death_after: None,
+            stream: StreamFaults::none(),
+        }
+    }
+
+    /// A fault-free plan carrying only a seed (faults added via the
+    /// `with_*` builders).
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            stream: StreamFaults::seeded(seed),
+            ..Self::none()
+        }
+    }
+
+    /// Sets the transient host error rate.
+    pub fn with_host_error_rate(mut self, rate: f64) -> Self {
+        self.host_error_rate = rate;
+        self
+    }
+
+    /// Sets the host latency-spike process.
+    pub fn with_host_spikes(mut self, rate: f64, latency_s: f64) -> Self {
+        self.host_spike_rate = rate;
+        self.host_spike_latency_s = latency_s;
+        self
+    }
+
+    /// Kills the host worker after `processed` flagged images.
+    pub fn with_host_death_after(mut self, processed: usize) -> Self {
+        self.host_death_after = Some(processed);
+        self
+    }
+
+    /// Sets the FPGA-side stream faults.
+    pub fn with_stream(mut self, stream: StreamFaults) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.host_error_rate == 0.0
+            && self.host_spike_rate == 0.0
+            && self.host_death_after.is_none()
+            && self.stream.is_none()
+    }
+
+    /// Validates rates and durations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if a rate is outside
+    /// `[0, 1]` or a duration is negative.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (name, rate) in [
+            ("host_error_rate", self.host_error_rate),
+            ("host_spike_rate", self.host_spike_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "{name} {rate} outside [0,1]"
+                )));
+            }
+        }
+        if self.host_spike_latency_s < 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "host_spike_latency_s {} negative",
+                self.host_spike_latency_s
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// How the pipeline degrades when the host misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationPolicy {
+    /// Retries allowed per flagged image beyond the first attempt.
+    pub max_retries: u32,
+    /// Base of the exponential (virtual) backoff: retry `k` costs
+    /// `backoff_base_s · 2^k` from the budget.
+    pub backoff_base_s: f64,
+    /// Total virtual backoff budget per image; retrying stops once the
+    /// next backoff would exceed it, even if retries remain.
+    pub backoff_budget_s: f64,
+    /// Per-image host deadline: an attempt whose (injected) latency
+    /// exceeds this is a timeout fault.
+    pub host_deadline_s: f64,
+    /// Consecutive host failures that trip the circuit breaker into
+    /// BNN-only mode.
+    pub breaker_threshold: u32,
+    /// While the breaker is open, probe the host once every this many
+    /// flagged images; a successful probe closes the breaker.
+    pub breaker_probe_every: u32,
+}
+
+impl DegradationPolicy {
+    /// Validates the policy knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on non-positive thresholds,
+    /// deadline, or probe interval.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.breaker_threshold == 0 {
+            return Err(CoreError::InvalidConfig(
+                "breaker_threshold must be positive".into(),
+            ));
+        }
+        if self.breaker_probe_every == 0 {
+            return Err(CoreError::InvalidConfig(
+                "breaker_probe_every must be positive".into(),
+            ));
+        }
+        if self.host_deadline_s <= 0.0 {
+            return Err(CoreError::InvalidConfig(
+                "host_deadline_s must be positive".into(),
+            ));
+        }
+        if self.backoff_base_s < 0.0 || self.backoff_budget_s < 0.0 {
+            return Err(CoreError::InvalidConfig(
+                "backoff parameters must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base_s: 0.005,
+            backoff_budget_s: 0.1,
+            host_deadline_s: 0.25,
+            breaker_threshold: 5,
+            breaker_probe_every: 8,
+        }
+    }
+}
+
+/// The kind of an injected or observed fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A transient host inference error.
+    HostTransient,
+    /// A host latency spike that exceeded the per-image deadline.
+    HostTimeout,
+    /// The host worker thread died.
+    HostWorkerDeath,
+    /// The circuit breaker was open, so the host was not attempted.
+    BreakerOpen,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::HostTransient => "transient host error",
+            FaultKind::HostTimeout => "host deadline exceeded",
+            FaultKind::HostWorkerDeath => "host worker death",
+            FaultKind::BreakerOpen => "circuit breaker open",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry of the pipeline's fault log. Same seed ⇒ byte-identical
+/// log (the chaos property tests assert this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A host inference attempt failed.
+    HostFault {
+        /// Image index.
+        image: usize,
+        /// Zero-based attempt number.
+        attempt: u32,
+        /// What went wrong.
+        kind: FaultKind,
+    },
+    /// A flagged image succeeded after at least one retry.
+    Recovered {
+        /// Image index.
+        image: usize,
+        /// Retries it took.
+        retries: u32,
+    },
+    /// A flagged image fell back to its BNN prediction.
+    Fallback {
+        /// Image index.
+        image: usize,
+        /// The fault that exhausted the policy.
+        kind: FaultKind,
+    },
+    /// The breaker tripped open: subsequent flagged images go BNN-only.
+    BreakerOpened {
+        /// Image index at which it tripped.
+        image: usize,
+        /// Consecutive failures observed.
+        consecutive_failures: u32,
+    },
+    /// A recovery probe succeeded and closed the breaker.
+    BreakerClosed {
+        /// Image index of the successful probe.
+        image: usize,
+    },
+    /// The host worker thread died; every flagged image without a
+    /// delivered prediction falls back to the BNN.
+    WorkerDied {
+        /// Panic payload or failure description.
+        detail: String,
+    },
+}
+
+/// Degradation accounting for one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradationStats {
+    /// Flagged images that fell back to their BNN prediction.
+    pub degraded_count: usize,
+    /// Host inference retries performed.
+    pub retries: usize,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: usize,
+    /// Host inference attempts (first tries, retries and probes).
+    pub host_attempts: usize,
+    /// Producer-side sends that found the bounded channel full (the
+    /// back-pressure the unbounded channel used to hide). Timing
+    /// dependent, hence excluded from determinism comparisons.
+    pub backpressure_events: usize,
+    /// Virtual seconds spent in retry backoff.
+    pub virtual_backoff_s: f64,
+    /// The ordered fault log.
+    pub fault_log: Vec<FaultEvent>,
+}
+
+/// The fault an injector chose for one host inference attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HostFault {
+    /// The attempt fails transiently.
+    Transient,
+    /// The attempt completes but takes `latency_s` (virtual) seconds.
+    Spike {
+        /// Injected latency of the attempt.
+        latency_s: f64,
+    },
+}
+
+/// Turns a [`FaultPlan`] into deterministic per-image decisions.
+///
+/// Decisions are pure functions of `(seed, image, attempt)`, so they do
+/// not depend on thread interleaving, wall-clock time, or how many
+/// images were processed before — the property the chaos determinism
+/// tests rely on.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the plan is invalid.
+    pub fn new(plan: FaultPlan) -> Result<Self, CoreError> {
+        plan.validate()?;
+        Ok(Self { plan })
+    }
+
+    /// The plan behind this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The fault (if any) injected into attempt `attempt` of re-running
+    /// image `image` on the host. Transient errors take precedence over
+    /// spikes; retries re-roll both, so an image can recover.
+    pub fn host_fault(&self, image: usize, attempt: u32) -> Option<HostFault> {
+        if self.plan.host_error_rate > 0.0
+            && unit_hash(self.plan.seed, image as u64, u64::from(attempt), 0)
+                < self.plan.host_error_rate
+        {
+            return Some(HostFault::Transient);
+        }
+        if self.plan.host_spike_rate > 0.0
+            && unit_hash(self.plan.seed, image as u64, u64::from(attempt), 1)
+                < self.plan.host_spike_rate
+        {
+            return Some(HostFault::Spike {
+                latency_s: self.plan.host_spike_latency_s,
+            });
+        }
+        None
+    }
+
+    /// After how many processed flagged images the host worker dies.
+    pub fn host_death_after(&self) -> Option<usize> {
+        self.plan.host_death_after
+    }
+}
+
+/// The degradation policy's circuit-breaker state machine.
+///
+/// Closed → (N consecutive failures) → Open → (every `probe_every`
+/// flagged images, one half-open probe) → Closed on probe success.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    probe_every: u32,
+    consecutive_failures: u32,
+    open: bool,
+    skipped_since_probe: u32,
+    trips: usize,
+}
+
+impl CircuitBreaker {
+    /// Creates a breaker following `policy`.
+    pub fn new(policy: &DegradationPolicy) -> Self {
+        Self {
+            threshold: policy.breaker_threshold.max(1),
+            probe_every: policy.breaker_probe_every.max(1),
+            consecutive_failures: 0,
+            open: false,
+            skipped_since_probe: 0,
+            trips: 0,
+        }
+    }
+
+    /// Whether the breaker is open (BNN-only mode).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Consecutive failures observed since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> usize {
+        self.trips
+    }
+
+    /// Decides whether the next flagged image should attempt the host.
+    /// Closed: always. Open: only every `probe_every`-th image (a
+    /// half-open recovery probe).
+    pub fn should_attempt(&mut self) -> bool {
+        if !self.open {
+            return true;
+        }
+        self.skipped_since_probe += 1;
+        if self.skipped_since_probe >= self.probe_every {
+            self.skipped_since_probe = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a successful host inference. Returns `true` if this
+    /// closed an open breaker (a recovery).
+    pub fn record_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        let recovered = self.open;
+        self.open = false;
+        recovered
+    }
+
+    /// Records a failed host inference. Returns `true` if this tripped
+    /// the breaker open.
+    pub fn record_failure(&mut self) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if !self.open && self.consecutive_failures >= self.threshold {
+            self.open = true;
+            self.trips += 1;
+            self.skipped_since_probe = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Panic message used for injected host-worker death; the pipeline
+/// recognises real panics by the same join-path, this constant only
+/// lets test harnesses silence the expected noise.
+pub const INJECTED_DEATH_MSG: &str = "injected host worker death";
+
+/// Installs (once) a panic hook that suppresses the backtrace noise of
+/// *injected* worker deaths while forwarding every other panic to the
+/// previous hook. Chaos tests and the `chaos_ablation` binary call this
+/// so expected kills don't flood stderr.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if msg.is_some_and(|m| m.contains(INJECTED_DEATH_MSG)) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// SplitMix64-style hash of `(seed, image, attempt, salt)` folded into
+/// `[0, 1)`. Mirrors `mp_fpga::stream_sim`'s hash (crates cannot share
+/// a private helper); both must stay stateless and platform-stable.
+fn unit_hash(seed: u64, image: u64, attempt: u64, salt: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(image.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(attempt.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+        .wrapping_add(salt.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_injects_nothing() {
+        let inj = FaultInjector::new(FaultPlan::none()).unwrap();
+        for image in 0..200 {
+            assert_eq!(inj.host_fault(image, 0), None);
+        }
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::seeded(1).with_host_error_rate(0.1).is_none());
+    }
+
+    #[test]
+    fn injection_is_deterministic_and_seed_sensitive() {
+        let a = FaultInjector::new(FaultPlan::seeded(42).with_host_error_rate(0.3)).unwrap();
+        let b = FaultInjector::new(FaultPlan::seeded(42).with_host_error_rate(0.3)).unwrap();
+        let c = FaultInjector::new(FaultPlan::seeded(43).with_host_error_rate(0.3)).unwrap();
+        let faults = |inj: &FaultInjector| -> Vec<bool> {
+            (0..500).map(|i| inj.host_fault(i, 0).is_some()).collect()
+        };
+        assert_eq!(faults(&a), faults(&b));
+        assert_ne!(faults(&a), faults(&c));
+    }
+
+    #[test]
+    fn error_rate_is_roughly_honoured() {
+        let inj = FaultInjector::new(FaultPlan::seeded(7).with_host_error_rate(0.25)).unwrap();
+        let hits = (0..4000)
+            .filter(|&i| inj.host_fault(i, 0).is_some())
+            .count();
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    fn retries_reroll_faults() {
+        let inj = FaultInjector::new(FaultPlan::seeded(9).with_host_error_rate(0.5)).unwrap();
+        // Some image that faults on attempt 0 must pass on a later
+        // attempt (each attempt is an independent draw).
+        let recovered = (0..200).any(|i| {
+            inj.host_fault(i, 0).is_some() && (1..4).any(|a| inj.host_fault(i, a).is_none())
+        });
+        assert!(recovered);
+    }
+
+    #[test]
+    fn spikes_report_their_latency() {
+        let inj = FaultInjector::new(FaultPlan::seeded(5).with_host_spikes(1.0, 2.5)).unwrap();
+        match inj.host_fault(0, 0) {
+            Some(HostFault::Spike { latency_s }) => assert_eq!(latency_s, 2.5),
+            other => panic!("expected spike, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        assert!(FaultPlan::seeded(0)
+            .with_host_error_rate(1.5)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::seeded(0)
+            .with_host_spikes(-0.1, 1.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::seeded(0)
+            .with_host_spikes(0.1, -1.0)
+            .validate()
+            .is_err());
+        assert!(FaultInjector::new(FaultPlan::seeded(0).with_host_error_rate(2.0)).is_err());
+    }
+
+    #[test]
+    fn invalid_policies_rejected() {
+        let ok = DegradationPolicy::default();
+        assert!(ok.validate().is_ok());
+        assert!(DegradationPolicy {
+            breaker_threshold: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(DegradationPolicy {
+            breaker_probe_every: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(DegradationPolicy {
+            host_deadline_s: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(DegradationPolicy {
+            backoff_base_s: -1.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn breaker_trips_and_recovers() {
+        let policy = DegradationPolicy {
+            breaker_threshold: 3,
+            breaker_probe_every: 2,
+            ..DegradationPolicy::default()
+        };
+        let mut b = CircuitBreaker::new(&policy);
+        assert!(b.should_attempt());
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        // Third consecutive failure trips it.
+        assert!(b.record_failure());
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+        // Open: skip one, probe on the second.
+        assert!(!b.should_attempt());
+        assert!(b.should_attempt());
+        // Probe succeeds → closed again.
+        assert!(b.record_success());
+        assert!(!b.is_open());
+        assert!(b.should_attempt());
+    }
+
+    #[test]
+    fn open_breaker_failure_does_not_double_trip() {
+        let policy = DegradationPolicy {
+            breaker_threshold: 1,
+            ..DegradationPolicy::default()
+        };
+        let mut b = CircuitBreaker::new(&policy);
+        assert!(b.record_failure());
+        assert!(!b.record_failure());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn fault_log_serialises() {
+        let log = vec![
+            FaultEvent::HostFault {
+                image: 3,
+                attempt: 0,
+                kind: FaultKind::HostTransient,
+            },
+            FaultEvent::Fallback {
+                image: 3,
+                kind: FaultKind::HostTransient,
+            },
+            FaultEvent::WorkerDied {
+                detail: INJECTED_DEATH_MSG.into(),
+            },
+        ];
+        let json = serde_json::to_string(&log).unwrap();
+        let back: Vec<FaultEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(log, back);
+    }
+}

@@ -18,7 +18,11 @@
 //!   simulator and the host network run concurrently (Fig. 2);
 //! - [`experiment`]: end-to-end orchestration that trains the BNN, the
 //!   host models and the DMU on the synthetic dataset and produces the
-//!   records behind Tables II, IV and V.
+//!   records behind Tables II, IV and V;
+//! - [`fault`]: deterministic fault injection (seeded host errors,
+//!   latency spikes, worker death, FPGA stream faults) and the graceful
+//!   degradation policy — retries, deadlines, and a circuit breaker
+//!   that trips the pipeline into BNN-only mode.
 //!
 //! # Example
 //!
@@ -39,9 +43,14 @@ mod error;
 
 pub mod dmu;
 pub mod experiment;
+pub mod fault;
 pub mod model;
 pub mod pipeline;
 
 pub use dmu::{ConfusionQuadrants, Dmu};
 pub use error::CoreError;
+pub use fault::{
+    CircuitBreaker, DegradationPolicy, DegradationStats, FaultEvent, FaultInjector, FaultKind,
+    FaultPlan,
+};
 pub use pipeline::{MultiPrecisionPipeline, PipelineResult, PipelineTiming};

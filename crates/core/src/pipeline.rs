@@ -9,11 +9,19 @@
 //!   `async(1)`/`wait(1)` batch overlap: while the FPGA processes batch
 //!   `i`, the host re-infers the images flagged in batch `i−1`;
 //! - [`MultiPrecisionPipeline::run_parallel`] actually executes the two
-//!   sides on separate threads connected by a channel, demonstrating the
-//!   concurrent structure of Fig. 2 (its wall-clock time reflects this
-//!   machine, not the ZC702).
+//!   sides on separate threads connected by a **bounded** channel,
+//!   demonstrating the concurrent structure of Fig. 2 (its wall-clock
+//!   time reflects this machine, not the ZC702).
+//!
+//! The parallel executor is built for a *misbehaving* host:
+//! [`MultiPrecisionPipeline::run_parallel_with`] accepts a seeded
+//! [`FaultPlan`] and a [`DegradationPolicy`] and guarantees that every
+//! image still receives a prediction — recoverable host faults (errors,
+//! latency spikes, even worker death) degrade the flagged subset to its
+//! BNN predictions instead of aborting the run, with the degradation
+//! fully accounted in the extended [`PipelineResult`].
 
-use crossbeam::channel;
+use crossbeam::channel::{self, TrySendError};
 
 use mp_bnn::HardwareBnn;
 use mp_dataset::Dataset;
@@ -21,6 +29,10 @@ use mp_nn::Network;
 use mp_tensor::{Shape, Tensor};
 
 use crate::dmu::{ConfusionQuadrants, Dmu};
+use crate::fault::{
+    CircuitBreaker, DegradationPolicy, DegradationStats, FaultEvent, FaultInjector, FaultKind,
+    FaultPlan, HostFault, INJECTED_DEATH_MSG,
+};
 use crate::model;
 use crate::CoreError;
 
@@ -31,7 +43,9 @@ pub struct PipelineTiming {
     pub t_bnn_img_s: f64,
     /// Seconds per image on the host float network (e.g. `1/29.68`).
     pub t_fp_img_s: f64,
-    /// Images per FPGA batch in the `async`/`wait` loop.
+    /// Images per FPGA batch in the `async`/`wait` loop. Also sizes the
+    /// bounded FPGA→host channel of the parallel executor, so a stalled
+    /// host applies back-pressure instead of growing memory unboundedly.
     pub batch_size: usize,
 }
 
@@ -64,13 +78,13 @@ pub struct PipelineResult {
     pub accuracy: f64,
     /// Standalone BNN accuracy on the same set.
     pub bnn_accuracy: f64,
-    /// Host accuracy on the rerun subset (the paper reports 65/79/83 %
-    /// for Models A/B/C — lower than their global accuracies because the
-    /// subset is hard).
-    pub host_subset_accuracy: f64,
+    /// Host accuracy on the successfully rerun subset (the paper reports
+    /// 65/79/83 % for Models A/B/C — lower than their global accuracies
+    /// because the subset is hard). `None` when nothing was rerun.
+    pub host_subset_accuracy: Option<f64>,
     /// DMU quadrants at the operating threshold.
     pub quadrants: ConfusionQuadrants,
-    /// Images re-inferred on the host.
+    /// Images successfully re-inferred on the host.
     pub rerun_count: usize,
     /// Modelled execution time of the batch-overlapped pipeline.
     pub modeled_time_s: f64,
@@ -85,6 +99,22 @@ pub struct PipelineResult {
     pub predictions: Vec<usize>,
     /// Wall-clock seconds when run with [`MultiPrecisionPipeline::run_parallel`].
     pub wall_seconds: Option<f64>,
+    /// Flagged images that fell back to their BNN prediction because the
+    /// host misbehaved (fault-injected or real).
+    pub degraded_count: usize,
+    /// Host inference retries performed under the degradation policy.
+    pub retries: usize,
+    /// Times the circuit breaker tripped into BNN-only mode.
+    pub breaker_trips: usize,
+    /// Host inference attempts (first tries, retries and recovery probes).
+    pub host_attempts: usize,
+    /// Producer-side sends that found the bounded channel full.
+    pub backpressure_events: usize,
+    /// Virtual seconds charged to retry backoff.
+    pub virtual_backoff_s: f64,
+    /// Ordered fault log; empty on a fault-free run. Same seed ⇒
+    /// byte-identical log.
+    pub fault_log: Vec<FaultEvent>,
 }
 
 /// The multi-precision system: BNN + DMU + threshold.
@@ -140,6 +170,7 @@ impl<'a> MultiPrecisionPipeline<'a> {
             rerun_indices,
             host_preds,
             None,
+            DegradationStats::default(),
         )
     }
 
@@ -147,10 +178,14 @@ impl<'a> MultiPrecisionPipeline<'a> {
     /// threads (Fig. 2's concurrent structure). Functionally identical
     /// to [`run`](Self::run); additionally reports wall-clock time.
     ///
+    /// Equivalent to [`run_parallel_with`](Self::run_parallel_with)
+    /// under [`FaultPlan::none`] and the default [`DegradationPolicy`].
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] on shape inconsistencies; errors on the
-    /// host thread are propagated.
+    /// Returns [`CoreError`] on shape inconsistencies; unrecoverable
+    /// errors on the host thread are propagated — a host *panic* is not
+    /// one of them (the pipeline degrades instead).
     pub fn run_parallel(
         &self,
         host: &mut Network,
@@ -158,50 +193,167 @@ impl<'a> MultiPrecisionPipeline<'a> {
         timing: &PipelineTiming,
         host_global_accuracy: f64,
     ) -> Result<PipelineResult, CoreError> {
+        self.run_parallel_with(
+            host,
+            data,
+            timing,
+            host_global_accuracy,
+            &FaultPlan::none(),
+            &DegradationPolicy::default(),
+        )
+    }
+
+    /// The chaos-ready parallel executor: runs the two sides on separate
+    /// threads under an injected [`FaultPlan`], degrading per `policy`.
+    ///
+    /// Structure and guarantees:
+    ///
+    /// - the FPGA→host channel is **bounded** by
+    ///   [`PipelineTiming::batch_size`]; a stalled host back-pressures
+    ///   the producer (counted in
+    ///   [`PipelineResult::backpressure_events`]) instead of queueing
+    ///   unboundedly;
+    /// - a failed host attempt is retried with exponential (virtual)
+    ///   backoff within the policy's budget; exhaustion falls the image
+    ///   back to its BNN prediction;
+    /// - an injected latency spike beyond
+    ///   [`DegradationPolicy::host_deadline_s`] is a timeout fault;
+    /// - after [`DegradationPolicy::breaker_threshold`] consecutive
+    ///   failures the circuit breaker trips to BNN-only mode, probing
+    ///   the host every
+    ///   [`DegradationPolicy::breaker_probe_every`] flagged images;
+    /// - host-worker death (injected or a real panic) can never take the
+    ///   pipeline down: it is recorded as the typed
+    ///   [`CoreError::HostWorker`] in the fault log, every undelivered
+    ///   flagged image falls back to the BNN, and the run completes.
+    ///
+    /// Every image therefore always receives a prediction. With
+    /// [`FaultPlan::none`] the output is functionally identical to
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on shape inconsistencies, invalid
+    /// plan/policy, or *real* (non-injected) host inference errors —
+    /// never for recoverable injected faults.
+    pub fn run_parallel_with(
+        &self,
+        host: &mut Network,
+        data: &Dataset,
+        timing: &PipelineTiming,
+        host_global_accuracy: f64,
+        plan: &FaultPlan,
+        policy: &DegradationPolicy,
+    ) -> Result<PipelineResult, CoreError> {
+        policy.validate()?;
+        let injector = FaultInjector::new(plan.clone())?;
+        if injector.host_death_after().is_some() {
+            // A planned kill is expected noise, not a crash report.
+            crate::fault::silence_injected_panics();
+        }
         let start = std::time::Instant::now();
         let n = data.len();
-        let batch = timing.batch_size;
-        let (tx, rx) = channel::unbounded::<(usize, Tensor)>();
-        // Host worker: re-infers flagged images as they arrive.
-        let host_result = std::thread::scope(
-            |scope| -> Result<(StageOutput, Vec<(usize, usize)>), CoreError> {
-                let worker = scope.spawn(move || -> Result<Vec<(usize, usize)>, CoreError> {
-                    let mut preds = Vec::new();
-                    for (index, image) in rx {
-                        let scores = host.forward(&image)?;
-                        let p = Network::argmax_rows(&scores)?;
-                        preds.push((index, p[0]));
-                    }
-                    Ok(preds)
+        // Satellite fix: bounded channel sized from the FPGA batch, so a
+        // stalled host applies back-pressure instead of growing memory.
+        let (tx, rx) = channel::bounded::<(usize, Tensor)>(timing.batch_size);
+        let policy = *policy;
+        let injector_ref = &injector;
+        type WorkerJoin = Result<HostWorkerOutput, CoreError>;
+        let (stage, backpressure_events, worker_out) = std::thread::scope(
+            |scope| -> Result<(StageOutput, usize, WorkerJoin), CoreError> {
+                // Host worker: re-infers flagged images as they arrive,
+                // applying the degradation policy per image.
+                let worker = scope.spawn(move || -> Result<HostWorkerOutput, CoreError> {
+                    host_worker_loop(host, rx, injector_ref, &policy)
                 });
-                // "FPGA" side: classify batch i, flag, send to the host.
+                // "FPGA" side: classify image i, flag, send to the host.
                 let mut stage = StageOutput::with_capacity(n);
-                'batches: for chunk_start in (0..n).step_by(batch) {
-                    let chunk_end = (chunk_start + batch).min(n);
-                    for i in chunk_start..chunk_end {
-                        let image = data.images().batch_item(i)?;
-                        let scores = self.hw.infer_image(&image)?;
-                        let scores_f: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
-                        let pred = argmax(&scores_f);
-                        let p = self.dmu.predict(&scores_f);
-                        let keep = p >= self.threshold;
-                        stage.push(pred, keep);
-                        if !keep && tx.send((i, image)).is_err() {
-                            // The worker died (its error is joined below);
-                            // stop feeding it.
-                            break 'batches;
+                let mut backpressure_events = 0usize;
+                let mut worker_gone = false;
+                for i in 0..n {
+                    let image = data.images().batch_item(i)?;
+                    let scores = self.hw.infer_image(&image).map_err(CoreError::fpga)?;
+                    let scores_f: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
+                    let pred = argmax(&scores_f);
+                    let p = self.dmu.predict(&scores_f);
+                    let keep = p >= self.threshold;
+                    stage.push(pred, keep);
+                    if !keep && !worker_gone {
+                        match tx.try_send((i, image)) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(msg)) => {
+                                backpressure_events += 1;
+                                // The worker died; stop feeding it. Its
+                                // fate is classified at join below.
+                                worker_gone = tx.send(msg).is_err();
+                            }
+                            Err(TrySendError::Disconnected(_)) => worker_gone = true,
                         }
                     }
                 }
                 drop(tx);
-                let preds = worker.join().expect("host worker must not panic")?;
-                Ok((stage, preds))
+                // Satellite fix: no `expect` — a worker panic becomes a
+                // typed error handled by the degradation path.
+                let joined: WorkerJoin = match worker.join() {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        let detail = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "host worker panicked".into());
+                        Err(CoreError::HostWorker(detail))
+                    }
+                };
+                Ok((stage, backpressure_events, joined))
             },
         )?;
-        let (stage, mut host_pairs) = host_result;
-        host_pairs.sort_unstable_by_key(|&(i, _)| i);
-        let rerun_indices: Vec<usize> = host_pairs.iter().map(|&(i, _)| i).collect();
-        let host_preds: Vec<usize> = host_pairs.iter().map(|&(_, p)| p).collect();
+        let mut stats = DegradationStats {
+            backpressure_events,
+            ..DegradationStats::default()
+        };
+        let outcomes = match worker_out {
+            Ok(out) => {
+                stats.retries = out.retries;
+                stats.host_attempts = out.attempts;
+                stats.breaker_trips = out.breaker_trips;
+                stats.virtual_backoff_s = out.virtual_backoff_s;
+                stats.fault_log = out.log;
+                out.outcomes
+            }
+            // Worker death is recoverable: degrade every flagged image.
+            Err(CoreError::HostWorker(detail)) => {
+                stats.fault_log.push(FaultEvent::WorkerDied { detail });
+                Vec::new()
+            }
+            // Real host inference errors keep their zero-fault contract.
+            Err(other) => return Err(other),
+        };
+        // Reconcile: flagged images with a successful host prediction
+        // are reruns; everything else flagged degrades to its BNN
+        // prediction.
+        let mut delivered: Vec<Option<Result<usize, FaultKind>>> = vec![None; n];
+        for (i, outcome) in outcomes {
+            delivered[i] = Some(outcome);
+        }
+        let mut rerun_indices = Vec::new();
+        let mut host_preds = Vec::new();
+        for i in stage.flagged_indices() {
+            match delivered[i] {
+                Some(Ok(p)) => {
+                    rerun_indices.push(i);
+                    host_preds.push(p);
+                }
+                Some(Err(_)) => stats.degraded_count += 1,
+                None => {
+                    stats.degraded_count += 1;
+                    stats.fault_log.push(FaultEvent::Fallback {
+                        image: i,
+                        kind: FaultKind::HostWorkerDeath,
+                    });
+                }
+            }
+        }
         let wall = start.elapsed().as_secs_f64();
         self.finish(
             data,
@@ -211,6 +363,7 @@ impl<'a> MultiPrecisionPipeline<'a> {
             rerun_indices,
             host_preds,
             Some(wall),
+            stats,
         )
     }
 
@@ -235,6 +388,7 @@ impl<'a> MultiPrecisionPipeline<'a> {
         rerun_indices: Vec<usize>,
         host_preds: Vec<usize>,
         wall_seconds: Option<f64>,
+        stats: DegradationStats,
     ) -> Result<PipelineResult, CoreError> {
         let n = data.len();
         let labels = data.labels();
@@ -245,7 +399,8 @@ impl<'a> MultiPrecisionPipeline<'a> {
             .map(|(p, l)| p == l)
             .collect();
         let quadrants = ConfusionQuadrants::tally(&bnn_correct, &stage.kept);
-        // Merge host predictions over BNN predictions.
+        // Merge host predictions over BNN predictions; degraded images
+        // keep their BNN prediction.
         let mut final_preds = stage.bnn_preds.clone();
         let mut host_hits = 0usize;
         for (&idx, &pred) in rerun_indices.iter().zip(&host_preds) {
@@ -261,10 +416,12 @@ impl<'a> MultiPrecisionPipeline<'a> {
             .count() as f64
             / n.max(1) as f64;
         let bnn_accuracy = bnn_correct.iter().filter(|&&c| c).count() as f64 / n.max(1) as f64;
+        // Satellite fix: `None` instead of a misleading `0.0` when
+        // nothing reran.
         let host_subset_accuracy = if rerun_indices.is_empty() {
-            0.0
+            None
         } else {
-            host_hits as f64 / rerun_indices.len() as f64
+            Some(host_hits as f64 / rerun_indices.len() as f64)
         };
         let modeled_time_s = modeled_batch_time(&stage.kept, timing);
         let rerun_ratio = quadrants.rerun_ratio();
@@ -290,8 +447,112 @@ impl<'a> MultiPrecisionPipeline<'a> {
             ),
             predictions: final_preds,
             wall_seconds,
+            degraded_count: stats.degraded_count,
+            retries: stats.retries,
+            breaker_trips: stats.breaker_trips,
+            host_attempts: stats.host_attempts,
+            backpressure_events: stats.backpressure_events,
+            virtual_backoff_s: stats.virtual_backoff_s,
+            fault_log: stats.fault_log,
         })
     }
+}
+
+/// What the host worker thread hands back at join time.
+#[derive(Debug, Default)]
+struct HostWorkerOutput {
+    /// Per flagged image (in arrival order): the host prediction, or the
+    /// fault that exhausted the degradation policy.
+    outcomes: Vec<(usize, Result<usize, FaultKind>)>,
+    log: Vec<FaultEvent>,
+    retries: usize,
+    attempts: usize,
+    breaker_trips: usize,
+    virtual_backoff_s: f64,
+}
+
+/// The host worker: drains the channel, applying fault injection, the
+/// retry/backoff budget, the per-image deadline, and the circuit
+/// breaker. Injected worker death panics (deliberately — the producer
+/// side must survive a genuinely dead thread, not a polite error).
+fn host_worker_loop(
+    host: &mut Network,
+    rx: channel::Receiver<(usize, Tensor)>,
+    injector: &FaultInjector,
+    policy: &DegradationPolicy,
+) -> Result<HostWorkerOutput, CoreError> {
+    let mut out = HostWorkerOutput::default();
+    let mut breaker = CircuitBreaker::new(policy);
+    for (processed, (index, image)) in rx.into_iter().enumerate() {
+        if injector.host_death_after() == Some(processed) {
+            std::panic::panic_any(INJECTED_DEATH_MSG);
+        }
+        if !breaker.should_attempt() {
+            out.outcomes.push((index, Err(FaultKind::BreakerOpen)));
+            out.log.push(FaultEvent::Fallback {
+                image: index,
+                kind: FaultKind::BreakerOpen,
+            });
+            continue;
+        }
+        let mut attempt: u32 = 0;
+        let mut backoff_spent = 0.0f64;
+        let outcome = loop {
+            out.attempts += 1;
+            let fault = match injector.host_fault(index, attempt) {
+                Some(HostFault::Transient) => Some(FaultKind::HostTransient),
+                Some(HostFault::Spike { latency_s }) if latency_s > policy.host_deadline_s => {
+                    Some(FaultKind::HostTimeout)
+                }
+                // A spike under the deadline completes normally.
+                Some(HostFault::Spike { .. }) | None => None,
+            };
+            match fault {
+                None => {
+                    let scores = host.forward(&image).map_err(CoreError::host)?;
+                    let p = Network::argmax_rows(&scores)?;
+                    if attempt > 0 {
+                        out.log.push(FaultEvent::Recovered {
+                            image: index,
+                            retries: attempt,
+                        });
+                    }
+                    if breaker.record_success() {
+                        out.log.push(FaultEvent::BreakerClosed { image: index });
+                    }
+                    break Ok(p[0]);
+                }
+                Some(kind) => {
+                    out.log.push(FaultEvent::HostFault {
+                        image: index,
+                        attempt,
+                        kind,
+                    });
+                    let next_backoff = policy.backoff_base_s * f64::from(1u32 << attempt.min(20));
+                    if attempt < policy.max_retries
+                        && backoff_spent + next_backoff <= policy.backoff_budget_s
+                    {
+                        backoff_spent += next_backoff;
+                        out.retries += 1;
+                        attempt += 1;
+                        continue;
+                    }
+                    if breaker.record_failure() {
+                        out.log.push(FaultEvent::BreakerOpened {
+                            image: index,
+                            consecutive_failures: breaker.consecutive_failures(),
+                        });
+                    }
+                    out.log.push(FaultEvent::Fallback { image: index, kind });
+                    break Err(kind);
+                }
+            }
+        };
+        out.virtual_backoff_s += backoff_spent;
+        out.outcomes.push((index, outcome));
+    }
+    out.breaker_trips = breaker.trips();
+    Ok(out)
 }
 
 /// Per-image outputs of the BNN + DMU stage.
@@ -388,6 +649,7 @@ pub fn host_input_shape(data: &Dataset) -> Shape {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::silence_injected_panics;
     use mp_bnn::{BnnClassifier, FinnTopology};
     use mp_nn::train::Model;
     use mp_nn::Mode;
@@ -436,6 +698,9 @@ mod tests {
         assert!(r.accuracy <= q.max_achievable_accuracy() + 1e-9);
         assert!(r.modeled_time_s > 0.0);
         assert!(r.wall_seconds.is_none());
+        // No degradation on the sequential path.
+        assert_eq!(r.degraded_count, 0);
+        assert!(r.fault_log.is_empty());
     }
 
     #[test]
@@ -446,13 +711,15 @@ mod tests {
             .run(&mut host, &data, &timing(), 0.5)
             .unwrap();
         assert_eq!(none.rerun_count, 0);
+        assert!(none.host_subset_accuracy.is_none());
         assert!((none.accuracy - none.bnn_accuracy).abs() < 1e-9);
         // Threshold 1: everything reruns — accuracy equals the host's.
         let all = MultiPrecisionPipeline::new(&hw, &dmu, 1.0)
             .run(&mut host, &data, &timing(), 0.5)
             .unwrap();
         assert_eq!(all.rerun_count, 40);
-        assert!((all.accuracy - all.host_subset_accuracy).abs() < 1e-9);
+        let subset = all.host_subset_accuracy.expect("everything reran");
+        assert!((all.accuracy - subset).abs() < 1e-9);
     }
 
     #[test]
@@ -467,6 +734,153 @@ mod tests {
         assert_eq!(seq.rerun_count, par.rerun_count);
         assert!((seq.accuracy - par.accuracy).abs() < 1e-12);
         assert!(par.wall_seconds.is_some());
+        // Zero-fault plan degrades nothing and logs nothing.
+        assert_eq!(par.degraded_count, 0);
+        assert_eq!(par.breaker_trips, 0);
+        assert!(par.fault_log.is_empty());
+        assert_eq!(seq.host_subset_accuracy, par.host_subset_accuracy);
+    }
+
+    #[test]
+    fn worker_death_degrades_instead_of_aborting() {
+        silence_injected_panics();
+        let (hw, dmu, data, mut host) = tiny_system();
+        // Threshold 1: every image is flagged for the host.
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 1.0);
+        let plan = FaultPlan::seeded(1).with_host_death_after(3);
+        let r = pipeline
+            .run_parallel_with(
+                &mut host,
+                &data,
+                &timing(),
+                0.5,
+                &plan,
+                &DegradationPolicy::default(),
+            )
+            .expect("worker death must be recoverable");
+        assert_eq!(r.predictions.len(), 40);
+        // The panic loses every host result: all flagged images degrade
+        // to their BNN predictions.
+        assert_eq!(r.degraded_count, 40);
+        assert_eq!(r.rerun_count, 0);
+        assert!((r.accuracy - r.bnn_accuracy).abs() < 1e-12);
+        assert!(r
+            .fault_log
+            .iter()
+            .any(|e| matches!(e, FaultEvent::WorkerDied { .. })));
+    }
+
+    #[test]
+    fn total_host_failure_trips_breaker_and_falls_back() {
+        let (hw, dmu, data, mut host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 1.0);
+        let plan = FaultPlan::seeded(2).with_host_error_rate(1.0);
+        let policy = DegradationPolicy {
+            max_retries: 1,
+            breaker_threshold: 3,
+            ..DegradationPolicy::default()
+        };
+        let r = pipeline
+            .run_parallel_with(&mut host, &data, &timing(), 0.5, &plan, &policy)
+            .unwrap();
+        assert_eq!(r.degraded_count, 40);
+        assert_eq!(r.rerun_count, 0);
+        assert!(r.breaker_trips >= 1);
+        // BNN-only mode: output equals the standalone BNN.
+        assert!((r.accuracy - r.bnn_accuracy).abs() < 1e-12);
+        assert!(r
+            .fault_log
+            .iter()
+            .any(|e| matches!(e, FaultEvent::BreakerOpened { .. })));
+    }
+
+    #[test]
+    fn latency_spikes_beyond_deadline_degrade() {
+        let (hw, dmu, data, mut host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 1.0);
+        // Every attempt spikes to 2 s against a 0.25 s deadline.
+        let plan = FaultPlan::seeded(3).with_host_spikes(1.0, 2.0);
+        let r = pipeline
+            .run_parallel_with(
+                &mut host,
+                &data,
+                &timing(),
+                0.5,
+                &plan,
+                &DegradationPolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(r.degraded_count, 40);
+        assert!(r.fault_log.iter().any(|e| matches!(
+            e,
+            FaultEvent::HostFault {
+                kind: FaultKind::HostTimeout,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn spikes_under_deadline_are_harmless() {
+        let (hw, dmu, data, mut host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.6);
+        let plan = FaultPlan::seeded(4).with_host_spikes(1.0, 0.01);
+        let faulty = pipeline
+            .run_parallel_with(
+                &mut host,
+                &data,
+                &timing(),
+                0.5,
+                &plan,
+                &DegradationPolicy::default(),
+            )
+            .unwrap();
+        let clean = pipeline.run(&mut host, &data, &timing(), 0.5).unwrap();
+        assert_eq!(faulty.predictions, clean.predictions);
+        assert_eq!(faulty.degraded_count, 0);
+    }
+
+    #[test]
+    fn transient_faults_recover_with_retries() {
+        let (hw, dmu, data, mut host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 1.0);
+        let plan = FaultPlan::seeded(5).with_host_error_rate(0.4);
+        let policy = DegradationPolicy {
+            max_retries: 6,
+            backoff_base_s: 1e-4,
+            backoff_budget_s: 10.0,
+            ..DegradationPolicy::default()
+        };
+        let r = pipeline
+            .run_parallel_with(&mut host, &data, &timing(), 0.5, &plan, &policy)
+            .unwrap();
+        // With a generous retry budget most images recover.
+        assert!(r.retries > 0);
+        assert!(r.rerun_count + r.degraded_count == 40);
+        assert!(r.rerun_count > 0, "some image should survive retries");
+        assert!(r.host_attempts >= 40);
+        assert!(r.virtual_backoff_s > 0.0);
+    }
+
+    #[test]
+    fn same_plan_is_byte_identical() {
+        let (hw, dmu, data, mut host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.9);
+        let plan = FaultPlan::seeded(6)
+            .with_host_error_rate(0.3)
+            .with_host_spikes(0.2, 2.0);
+        let policy = DegradationPolicy::default();
+        let a = pipeline
+            .run_parallel_with(&mut host, &data, &timing(), 0.5, &plan, &policy)
+            .unwrap();
+        let b = pipeline
+            .run_parallel_with(&mut host, &data, &timing(), 0.5, &plan, &policy)
+            .unwrap();
+        assert_eq!(a.fault_log, b.fault_log);
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.degraded_count, b.degraded_count);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.breaker_trips, b.breaker_trips);
     }
 
     #[test]

@@ -86,8 +86,7 @@ impl DesignPoint {
             .collect();
         let bram_18k: u64 = memories.iter().map(EngineMemory::bram_18k).sum();
         let memory_luts: u64 = memories.iter().map(EngineMemory::luts).sum();
-        let compute_luts: u64 =
-            DatapathModel::default().network_luts(specs, folding.engines());
+        let compute_luts: u64 = DatapathModel::default().network_luts(specs, folding.engines());
         let luts = compute_luts + memory_luts;
         // Parameter efficiency: stored bits over allocated BRAM capacity
         // across weight+threshold memories that landed in BRAM.

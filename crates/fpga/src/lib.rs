@@ -53,3 +53,4 @@ pub mod stream_sim;
 pub use design::DesignPoint;
 pub use device::Device;
 pub use folding::{EngineFolding, Folding, FoldingSearch};
+pub use stream_sim::{SimResult, StreamFaults, StreamSim};

@@ -13,6 +13,116 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Deterministic fault model for [`StreamSim`]: seeded source stalls and
+/// source-interval jitter.
+///
+/// The paper's obtained-vs-expected gap (§III-A) is dominated by the
+/// serialised input transfer; in deployment that transfer also
+/// *misbehaves* — DMA contention stalls the source, and arrival spacing
+/// jitters around its nominal interval. `StreamFaults` injects both,
+/// keyed purely on `(seed, image index)` so the same plan replays
+/// byte-identically regardless of when or where it runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamFaults {
+    /// Root seed; all per-image decisions derive from it.
+    pub seed: u64,
+    /// Probability that an image's arrival is preceded by a stall.
+    pub stall_rate: f64,
+    /// Duration of each injected stall, in seconds.
+    pub stall_s: f64,
+    /// Source-interval jitter as a fraction of the nominal interval:
+    /// each inter-arrival gap is scaled by a factor drawn uniformly from
+    /// `[1 − jitter_frac, 1 + jitter_frac]`.
+    pub jitter_frac: f64,
+}
+
+impl StreamFaults {
+    /// A fault-free plan: [`StreamSim::run_with_faults`] with this plan
+    /// is byte-identical to [`StreamSim::run`].
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            stall_rate: 0.0,
+            stall_s: 0.0,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Creates a fault-free plan carrying only a seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::none()
+        }
+    }
+
+    /// Sets the stall process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]` or `stall_s` is negative.
+    pub fn with_stalls(mut self, rate: f64, stall_s: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "stall rate must be in [0,1]");
+        assert!(stall_s >= 0.0, "stall duration must be non-negative");
+        self.stall_rate = rate;
+        self.stall_s = stall_s;
+        self
+    }
+
+    /// Sets the source-interval jitter fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `[0, 1]`.
+    pub fn with_jitter(mut self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "jitter must be in [0,1]");
+        self.jitter_frac = frac;
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        (self.stall_rate == 0.0 || self.stall_s == 0.0) && self.jitter_frac == 0.0
+    }
+
+    /// The injected stall before image `index`, in seconds (0 if none).
+    pub fn stall_before(&self, index: usize) -> f64 {
+        if self.stall_rate > 0.0 && unit_hash(self.seed, index as u64, 0) < self.stall_rate {
+            self.stall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The jitter factor applied to the gap before image `index`.
+    pub fn gap_factor(&self, index: usize) -> f64 {
+        if self.jitter_frac == 0.0 {
+            1.0
+        } else {
+            1.0 + self.jitter_frac * (2.0 * unit_hash(self.seed, index as u64, 1) - 1.0)
+        }
+    }
+}
+
+impl Default for StreamFaults {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// SplitMix64-style hash of `(seed, index, salt)` folded into `[0, 1)`.
+/// Deterministic across platforms; no RNG state to thread around.
+fn unit_hash(seed: u64, index: u64, salt: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(salt.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// Result of simulating one batch through the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
@@ -118,15 +228,38 @@ impl StreamSim {
     ///
     /// Panics if `batch` is zero.
     pub fn run(&self, batch: usize) -> SimResult {
+        self.run_with_faults(batch, &StreamFaults::none())
+    }
+
+    /// Replays `batch` images with `faults` perturbing the source: each
+    /// image's arrival is delayed by seeded stalls and its inter-arrival
+    /// gap scaled by seeded jitter. With [`StreamFaults::none`] this is
+    /// byte-identical to [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn run_with_faults(&self, batch: usize, faults: &StreamFaults) -> SimResult {
         assert!(batch > 0, "batch must be positive");
         let m = self.service_s.len();
         let cap = self.fifo_capacity;
+        let fault_free = faults.is_none();
         // departures[j][i]: when image j leaves stage i (it has also
         // secured a slot downstream — blocking-after-service).
         let mut departures = vec![vec![0.0f64; m]; batch];
         let mut latencies = Vec::with_capacity(batch);
+        let mut prev_arrival = 0.0f64;
         for j in 0..batch {
-            let arrival = j as f64 * self.source_interval_s;
+            let arrival = if fault_free {
+                j as f64 * self.source_interval_s
+            } else if j == 0 {
+                faults.stall_before(0)
+            } else {
+                prev_arrival
+                    + self.source_interval_s * faults.gap_factor(j)
+                    + faults.stall_before(j)
+            };
+            prev_arrival = arrival;
             let mut upstream = arrival;
             for i in 0..m {
                 // Server free after the previous image left.
@@ -215,6 +348,49 @@ mod tests {
     fn from_cycles_converts_clock() {
         let sim = StreamSim::from_cycles(&[100_000, 200_000], 100e6, 2);
         assert!((sim.bottleneck_interval_s() - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_faults_is_byte_identical_to_run() {
+        let sim = StreamSim::new(vec![1e-3, 2e-3, 1e-3], 2, 5e-4);
+        let plain = sim.run(100);
+        let faulty = sim.run_with_faults(100, &StreamFaults::seeded(42));
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn stalls_reduce_throughput() {
+        let sim = StreamSim::new(vec![1e-3], 2, 0.0);
+        let clean = sim.run(200);
+        let stalled = sim.run_with_faults(200, &StreamFaults::seeded(7).with_stalls(0.5, 5e-3));
+        assert!(stalled.throughput_fps < clean.throughput_fps);
+        assert!(stalled.makespan_s > clean.makespan_s);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let sim = StreamSim::new(vec![1e-3, 2e-3], 4, 1e-3);
+        let f = StreamFaults::seeded(11).with_jitter(0.5);
+        let a = sim.run_with_faults(300, &f);
+        let b = sim.run_with_faults(300, &f);
+        assert_eq!(a, b);
+        let c = sim.run_with_faults(300, &StreamFaults::seeded(12).with_jitter(0.5));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn jitter_cannot_make_gaps_negative() {
+        let f = StreamFaults::seeded(3).with_jitter(1.0);
+        for j in 0..1000 {
+            let g = f.gap_factor(j);
+            assert!((0.0..=2.0).contains(&g), "gap factor {g}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stall rate")]
+    fn bad_stall_rate_rejected() {
+        let _ = StreamFaults::none().with_stalls(1.5, 1.0);
     }
 
     #[test]

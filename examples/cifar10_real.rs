@@ -14,7 +14,7 @@ use multiprec::bnn::{BnnClassifier, FinnTopology, HardwareBnn};
 use multiprec::core::{Dmu, MultiPrecisionPipeline, PipelineTiming};
 use multiprec::dataset::cifar10;
 use multiprec::host::zoo::{self, ModelId};
-use multiprec::nn::train::{Adam, Model, Trainer};
+use multiprec::nn::train::{Adam, Trainer};
 use multiprec::nn::Network;
 use multiprec::tensor::init::TensorRng;
 

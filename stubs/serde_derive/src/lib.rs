@@ -1,0 +1,455 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Generates [`serde::Serialize`]/[`serde::Deserialize`] impls for the
+//! shapes this workspace actually derives on: non-generic structs (named,
+//! tuple or unit) and non-generic enums whose variants are unit, tuple or
+//! struct-like. Parsing is done directly on the token stream — no `syn`
+//! or `quote`, so the macro compiles with zero dependencies.
+//!
+//! Formats match real serde's JSON conventions: structs become objects,
+//! unit variants become strings, data-carrying variants become
+//! externally-tagged single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Input {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive does not support generic types (deriving on `{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: count_top_level_items(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("serde stub derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde stub derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde stub derive: cannot derive on `{other}`"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a named-struct body stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected field name, found {other}"),
+        };
+        fields.push(field);
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde stub derive: expected `:` after field name"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts comma-separated items at the top level of a token stream.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Extracts variants from an enum body stream.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_items(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let items = (0..*arity)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn serialize_variant_arm(name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => format!(
+            "{name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Named(fields) => {
+            let binders = fields.join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{name}::{vname} {{ {binders} }} => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Map(::std::vec![{entries}]))]),"
+            )
+        }
+        VariantKind::Tuple(arity) => {
+            let binders = (0..*arity)
+                .map(|idx| format!("__f{idx}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let payload = if *arity == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items = (0..*arity)
+                    .map(|idx| format!("::serde::Serialize::to_value(__f{idx})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Seq(::std::vec![{items}])")
+            };
+            format!(
+                "{name}::{vname}({binders}) => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), {payload})]),"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::NamedStruct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__value.get_field(\"{f}\")?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            (name, format!("::std::result::Result::Ok(Self {{\n{inits}\n}})"))
+        }
+        Input::TupleStruct { name, arity } => {
+            let items = (0..*arity)
+                .map(|idx| {
+                    format!("::serde::Deserialize::from_value(&__items[{idx}])?")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            (
+                name,
+                format!(
+                    "let __items = __value.as_seq()?;\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple-struct arity\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok(Self({items}))"
+                ),
+            )
+        }
+        Input::UnitStruct { name } => {
+            (name, "::std::result::Result::Ok(Self)".to_string())
+        }
+        Input::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| deserialize_variant_arm(v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            (
+                name,
+                format!(
+                    "let (__variant, __payload) = __value.variant()?;\n\
+                     match __variant {{\n{arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_variant_arm(variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => format!(
+            "\"{vname}\" => ::std::result::Result::Ok(Self::{vname}),"
+        ),
+        VariantKind::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__inner.get_field(\"{f}\")?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "\"{vname}\" => {{\n\
+                     let __inner = __payload.ok_or_else(|| ::serde::Error::custom(\
+                         \"variant `{vname}` expects fields\"))?;\n\
+                     ::std::result::Result::Ok(Self::{vname} {{\n{inits}\n}})\n\
+                 }}"
+            )
+        }
+        VariantKind::Tuple(arity) => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok(Self::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?))"
+                )
+            } else {
+                let items = (0..*arity)
+                    .map(|idx| {
+                        format!("::serde::Deserialize::from_value(&__items[{idx}])?")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "let __items = __inner.as_seq()?;\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong variant arity\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok(Self::{vname}({items}))"
+                )
+            };
+            format!(
+                "\"{vname}\" => {{\n\
+                     let __inner = __payload.ok_or_else(|| ::serde::Error::custom(\
+                         \"variant `{vname}` expects data\"))?;\n\
+                     {body}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -57,7 +57,8 @@ fn eq2_exact_form_matches_measurement() {
     let r = sys.run_pipeline(ModelId::B, &timing).expect("pipeline");
     let exact = multiprec::core::model::accuracy_exact(
         r.bnn_accuracy,
-        r.host_subset_accuracy,
+        r.host_subset_accuracy
+            .expect("some images rerun at the paper threshold"),
         r.quadrants.rerun_ratio(),
         r.quadrants.rerun_err_ratio(),
     );

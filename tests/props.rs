@@ -1,16 +1,25 @@
 //! Cross-crate property tests on the system's core invariants.
 
+use std::sync::OnceLock;
+
 use proptest::prelude::*;
 
 use multiprec::bnn::bits::{BitMatrix, BitVec};
+use multiprec::bnn::{BnnClassifier, HardwareBnn};
 use multiprec::bnn::{EngineKind, EngineSpec, FinnTopology};
 use multiprec::core::dmu::{ConfusionQuadrants, Dmu};
+use multiprec::core::fault::{silence_injected_panics, DegradationPolicy, FaultPlan};
 use multiprec::core::model;
+use multiprec::core::{MultiPrecisionPipeline, PipelineTiming};
+use multiprec::dataset::{Dataset, SynthSpec};
 use multiprec::fpga::cycle_model::{divisors, engine_cycles};
 use multiprec::fpga::folding::FoldingSearch;
 use multiprec::fpga::memory::{allocate_array, best_partition};
 use multiprec::fpga::stream_sim::StreamSim;
+use multiprec::nn::train::Model;
+use multiprec::nn::{Mode, Network};
 use multiprec::tensor::conv::{col2im, im2col, ConvGeometry};
+use multiprec::tensor::init::TensorRng;
 use multiprec::tensor::{linalg, Shape, Tensor};
 
 proptest! {
@@ -208,5 +217,133 @@ proptest! {
         let bnn_acc = q.fs + q.fs_bar;
         let acc = model::accuracy_exact(bnn_acc, host_acc, q.rerun_ratio(), q.rerun_err_ratio());
         prop_assert!((-1e-9..=1.0 + 1e-9).contains(&acc), "acc {acc} from {q:?}");
+    }
+}
+
+// ---- chaos: fault injection and graceful degradation ----
+
+/// Trained-once components shared across chaos cases (the host network is
+/// rebuilt per case because the pipeline takes it mutably).
+fn chaos_fixture() -> &'static (HardwareBnn, Dmu, Dataset) {
+    static FIXTURE: OnceLock<(HardwareBnn, Dmu, Dataset)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = TensorRng::seed_from(2018);
+        let mut bnn =
+            BnnClassifier::new(multiprec::bnn::FinnTopology::scaled(8, 8, 8), &mut rng).unwrap();
+        for _ in 0..3 {
+            let x = rng.normal(multiprec::tensor::Shape::nchw(8, 3, 8, 8), 0.0, 1.0);
+            bnn.forward_mode(&x, Mode::Train).unwrap();
+        }
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let dmu = Dmu::with_weights(vec![0.1; 10], 0.0);
+        let data = SynthSpec::tiny().generate(40).unwrap();
+        (hw, dmu, data)
+    })
+}
+
+fn chaos_host() -> Network {
+    let mut rng = TensorRng::seed_from(77);
+    Network::builder(multiprec::tensor::Shape::nchw(1, 3, 8, 8))
+        .conv2d(8, 3, 1, 1, &mut rng)
+        .unwrap()
+        .relu()
+        .global_avg_pool()
+        .linear(10, &mut rng)
+        .unwrap()
+        .build()
+}
+
+fn chaos_timing() -> PipelineTiming {
+    PipelineTiming::new(1.0 / 430.0, 1.0 / 30.0, 10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn chaos_every_image_always_predicted(
+        error_rate in 0.0f64..1.0,
+        spike_rate in 0.0f64..0.5,
+        death in proptest::option::of(0usize..30),
+        threshold in 0.3f32..1.0
+    ) {
+        silence_injected_panics();
+        let (hw, dmu, data) = chaos_fixture();
+        let mut host = chaos_host();
+        let mut plan = FaultPlan::seeded(9)
+            .with_host_error_rate(error_rate)
+            .with_host_spikes(spike_rate, 10.0);
+        if let Some(after) = death {
+            plan = plan.with_host_death_after(after);
+        }
+        let r = MultiPrecisionPipeline::new(hw, dmu, threshold)
+            .run_parallel_with(&mut host, data, &chaos_timing(), 0.5, &plan,
+                               &DegradationPolicy::default())
+            .expect("recoverable faults must not surface as errors");
+        prop_assert_eq!(r.predictions.len(), r.total_images);
+        prop_assert!(r.predictions.iter().all(|&p| p < 10));
+        prop_assert!((0.0..=1.0).contains(&r.accuracy));
+        prop_assert!(r.degraded_count <= r.total_images);
+    }
+
+    #[test]
+    fn chaos_accuracy_floor_holds(
+        error_rate in 0.0f64..1.0,
+        threshold in 0.3f32..1.0
+    ) {
+        let (hw, dmu, data) = chaos_fixture();
+        let pipeline = MultiPrecisionPipeline::new(hw, dmu, threshold);
+        let policy = DegradationPolicy::default();
+        let mut host = chaos_host();
+        let clean = pipeline
+            .run_parallel_with(&mut host, data, &chaos_timing(), 0.5,
+                               &FaultPlan::none(), &policy)
+            .unwrap();
+        let mut host = chaos_host();
+        let plan = FaultPlan::seeded(13).with_host_error_rate(error_rate);
+        let faulty = pipeline
+            .run_parallel_with(&mut host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .unwrap();
+        let n = faulty.total_images as f64;
+        // Faults only change degraded images, each worth at most 1/n of
+        // accuracy relative to the fault-free run…
+        let degraded_frac = faulty.degraded_count as f64 / n;
+        prop_assert!(
+            faulty.accuracy >= clean.accuracy - degraded_frac - 1e-9,
+            "acc {} vs clean {} with {:.3} degraded",
+            faulty.accuracy, clean.accuracy, degraded_frac
+        );
+        // …and only rerun images can ever fall back, so the BNN floor
+        // minus the rerun fraction bounds any run from below.
+        let rerun_frac = faulty.rerun_count as f64 / n;
+        prop_assert!(faulty.accuracy >= faulty.bnn_accuracy - rerun_frac - 1e-9);
+    }
+
+    #[test]
+    fn chaos_fault_log_is_byte_identical_per_seed(
+        seed in any::<u64>(),
+        error_rate in 0.0f64..1.0
+    ) {
+        let (hw, dmu, data) = chaos_fixture();
+        let pipeline = MultiPrecisionPipeline::new(hw, dmu, 0.9);
+        let policy = DegradationPolicy::default();
+        let plan = FaultPlan::seeded(seed)
+            .with_host_error_rate(error_rate)
+            .with_host_spikes(0.1, 10.0);
+        let mut host = chaos_host();
+        let a = pipeline
+            .run_parallel_with(&mut host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .unwrap();
+        let mut host = chaos_host();
+        let b = pipeline
+            .run_parallel_with(&mut host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .unwrap();
+        let log_a = serde_json::to_string(&a.fault_log).unwrap();
+        let log_b = serde_json::to_string(&b.fault_log).unwrap();
+        prop_assert_eq!(log_a, log_b);
+        prop_assert_eq!(a.predictions, b.predictions);
+        prop_assert_eq!(a.degraded_count, b.degraded_count);
+        prop_assert_eq!(a.retries, b.retries);
+        prop_assert_eq!(a.breaker_trips, b.breaker_trips);
     }
 }
