@@ -80,7 +80,7 @@ fn main() {
     let opts = CliOptions::parse();
     let config = opts.experiment_config();
     eprintln!("training system (seed {})…", opts.seed);
-    let mut system = TrainedSystem::prepare(&config).expect("system trains");
+    let system = TrainedSystem::prepare(&config).expect("system trains");
     let id = ModelId::A;
     let timing = system.paper_timing(id).expect("paper timing");
     let policy = DegradationPolicy::default();

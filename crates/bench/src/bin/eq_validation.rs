@@ -67,7 +67,7 @@ fn main() {
 
     // Eq. (2) vs the measured pipeline.
     eprintln!("training system (seed {})…", opts.seed);
-    let mut system = TrainedSystem::prepare(&config).expect("system trains");
+    let system = TrainedSystem::prepare(&config).expect("system trains");
     let mut eq2_table = TextTable::new(&[
         "system",
         "measured acc",

@@ -35,7 +35,7 @@ fn main() {
     let opts = CliOptions::parse();
     let config = opts.experiment_config();
     eprintln!("training system (seed {})…", opts.seed);
-    let mut system = TrainedSystem::prepare(&config).expect("system trains");
+    let system = TrainedSystem::prepare(&config).expect("system trains");
     let mut table = TextTable::new(&[
         "system",
         "accuracy",

@@ -1,0 +1,234 @@
+//! Throughput of the data-parallel batched inference engine against the
+//! live per-image reference paths, measured in the same process run:
+//!
+//! - **BNN**: [`HardwareBnn::infer_batch`] (the per-image
+//!   `infer_image` loop) vs [`HardwareBnn::infer_batch_with`] (scratch
+//!   reuse + unpacked ±1 first-stage weights + image sharding);
+//! - **host**: a per-image [`Network::forward`] loop vs
+//!   [`Network::infer_batch_with`] (workspace reuse + batched GEMM);
+//! - **combined**: a per-image BNN → DMU → host loop vs the
+//!   [`MultiPrecisionPipeline`] with both optimised engines.
+//!
+//! Every optimised arm is asserted bit-identical to its reference before
+//! timing is reported. Appends `results/throughput.json`.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use mp_bench::{write_record, CliOptions, TextTable};
+use mp_bnn::{BnnClassifier, FinnTopology, HardwareBnn};
+use mp_core::dmu::Dmu;
+use mp_core::{MultiPrecisionPipeline, PipelineTiming};
+use mp_dataset::{Dataset, SynthSpec};
+use mp_nn::train::Model;
+use mp_nn::{Mode, Network};
+use mp_tensor::init::TensorRng;
+use mp_tensor::{nan_aware_argmax, Parallelism, Shape};
+
+/// One baseline/optimised pair, in images per second.
+#[derive(Debug, Serialize)]
+struct ArmRecord {
+    baseline_img_per_s: f64,
+    optimized_img_per_s: f64,
+    speedup: f64,
+}
+
+impl ArmRecord {
+    fn new(n_images: usize, reps: usize, baseline_s: f64, optimized_s: f64) -> Self {
+        let total = (n_images * reps) as f64;
+        let baseline = total / baseline_s.max(f64::MIN_POSITIVE);
+        let optimized = total / optimized_s.max(f64::MIN_POSITIVE);
+        Self {
+            baseline_img_per_s: baseline,
+            optimized_img_per_s: optimized,
+            speedup: optimized / baseline,
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ThroughputRecord {
+    seed: u64,
+    smoke: bool,
+    images: usize,
+    reps: usize,
+    threads: usize,
+    bnn: ArmRecord,
+    host: ArmRecord,
+    combined: ArmRecord,
+    predictions_identical: bool,
+}
+
+/// The pre-optimisation combined pipeline: one image at a time through
+/// BNN → DMU, with a per-image host rerun for every flagged image.
+fn combined_baseline(
+    hw: &HardwareBnn,
+    dmu: &Dmu,
+    host: &mut Network,
+    data: &Dataset,
+    threshold: f32,
+) -> Vec<usize> {
+    let n = data.len();
+    let mut preds = Vec::with_capacity(n);
+    for i in 0..n {
+        let img = data.images().batch_item(i).expect("image");
+        let scores: Vec<f32> = hw
+            .infer_image(&img)
+            .expect("bnn scores")
+            .into_iter()
+            .map(|s| s as f32)
+            .collect();
+        let pred = nan_aware_argmax(&scores).expect("comparable scores");
+        if dmu.predict(&scores) >= threshold {
+            preds.push(pred);
+        } else {
+            let s = host.forward(&img).expect("host scores");
+            preds.push(Network::argmax_rows(&s).expect("argmax")[0]);
+        }
+    }
+    preds
+}
+
+fn main() {
+    let opts = CliOptions::parse();
+    let (n_images, reps) = if opts.smoke { (200, 20) } else { (600, 80) };
+    let par = Parallelism::available();
+    let threshold = 0.5f32;
+
+    // A trained-shape (not trained-to-accuracy) system: throughput does
+    // not depend on the weight values, only on the topology.
+    let mut rng = TensorRng::seed_from(opts.seed);
+    let mut bnn = BnnClassifier::new(FinnTopology::scaled(8, 8, 8), &mut rng).expect("bnn");
+    for _ in 0..3 {
+        let x = rng.normal(Shape::nchw(8, 3, 8, 8), 0.0, 1.0);
+        bnn.forward_mode(&x, Mode::Train).expect("bn stats");
+    }
+    let hw = HardwareBnn::from_classifier(&bnn).expect("hardware export");
+    let dmu = Dmu::with_weights(vec![0.1; 10], 0.0);
+    let data = SynthSpec::tiny().generate(n_images).expect("dataset");
+    let mut host = Network::builder(Shape::nchw(1, 3, 8, 8))
+        .conv2d(16, 3, 1, 1, &mut rng)
+        .expect("conv1")
+        .batch_norm()
+        .expect("bn")
+        .relu()
+        .max_pool(2)
+        .expect("pool")
+        .conv2d(16, 3, 1, 1, &mut rng)
+        .expect("conv2")
+        .relu()
+        .flatten()
+        .linear(10, &mut rng)
+        .expect("fc")
+        .softmax()
+        .build();
+
+    // --- BNN arm ---
+    let bnn_ref = hw.infer_batch(data.images()).expect("bnn reference");
+    let bnn_opt = hw
+        .infer_batch_with(data.images(), par)
+        .expect("bnn optimized");
+    assert_eq!(
+        bnn_ref.as_slice(),
+        bnn_opt.as_slice(),
+        "optimized BNN path must be bit-identical"
+    );
+    // Baseline and optimised reps are interleaved in every arm so clock
+    // drift and scheduler noise land on both sides equally.
+    let (mut bnn_base_s, mut bnn_opt_s) = (0.0f64, 0.0f64);
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(hw.infer_batch(data.images()).expect("bnn reference"));
+        bnn_base_s += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        std::hint::black_box(
+            hw.infer_batch_with(data.images(), par)
+                .expect("bnn optimized"),
+        );
+        bnn_opt_s += t.elapsed().as_secs_f64();
+    }
+
+    // --- host arm ---
+    let mut host_ref_scores: Vec<f32> = Vec::new();
+    for i in 0..n_images {
+        let img = data.images().batch_item(i).expect("image");
+        host_ref_scores.extend(host.forward(&img).expect("host forward").iter());
+    }
+    let host_opt = host
+        .infer_batch_with(data.images(), par)
+        .expect("host optimized");
+    assert_eq!(
+        host_opt.as_slice(),
+        &host_ref_scores[..],
+        "optimized host path must be bit-identical"
+    );
+    let (mut host_base_s, mut host_opt_s) = (0.0f64, 0.0f64);
+    for _ in 0..reps {
+        let t = Instant::now();
+        for i in 0..n_images {
+            let img = data.images().batch_item(i).expect("image");
+            std::hint::black_box(host.forward(&img).expect("host forward"));
+        }
+        host_base_s += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        std::hint::black_box(
+            host.infer_batch_with(data.images(), par)
+                .expect("host optimized"),
+        );
+        host_opt_s += t.elapsed().as_secs_f64();
+    }
+
+    // --- combined arm ---
+    let timing = PipelineTiming::new(1.0 / 430.0, 1.0 / 30.0, 32);
+    let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, threshold).with_parallelism(par);
+    let base_preds = combined_baseline(&hw, &dmu, &mut host, &data, threshold);
+    let opt_result = pipeline
+        .run(&host, &data, &timing, 0.5)
+        .expect("combined optimized");
+    let predictions_identical = base_preds == opt_result.predictions;
+    assert!(
+        predictions_identical,
+        "optimized pipeline must match the per-image reference predictions"
+    );
+    let (mut combined_base_s, mut combined_opt_s) = (0.0f64, 0.0f64);
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(combined_baseline(&hw, &dmu, &mut host, &data, threshold));
+        combined_base_s += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        std::hint::black_box(pipeline.run(&host, &data, &timing, 0.5).expect("combined"));
+        combined_opt_s += t.elapsed().as_secs_f64();
+    }
+
+    let record = ThroughputRecord {
+        seed: opts.seed,
+        smoke: opts.smoke,
+        images: n_images,
+        reps,
+        threads: par.threads(),
+        bnn: ArmRecord::new(n_images, reps, bnn_base_s, bnn_opt_s),
+        host: ArmRecord::new(n_images, reps, host_base_s, host_opt_s),
+        combined: ArmRecord::new(n_images, reps, combined_base_s, combined_opt_s),
+        predictions_identical,
+    };
+
+    let mut table = TextTable::new(&["arm", "baseline img/s", "optimized img/s", "speedup"]);
+    for (name, arm) in [
+        ("bnn", &record.bnn),
+        ("host", &record.host),
+        ("combined", &record.combined),
+    ] {
+        table.row(&[
+            name.into(),
+            format!("{:.1}", arm.baseline_img_per_s),
+            format!("{:.1}", arm.optimized_img_per_s),
+            format!("{:.2}x", arm.speedup),
+        ]);
+    }
+    table.print(&format!(
+        "batched inference throughput ({n_images} images x {reps} reps, {} thread(s))",
+        par.threads()
+    ));
+    write_record("throughput", &record);
+}

@@ -11,9 +11,14 @@
 //! LUT-based XNOR gates and popcount trees. [`BitVec::xnor_dot`] is the
 //! software equivalent, operating on 64-bit words.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// A bit-packed vector of ±1 values.
+///
+/// Invariant: bits at positions `len..` of the last word are always zero.
+/// Constructors and [`BitVec::set`] maintain it, and deserialisation
+/// rejects inputs that violate it, so [`BitVec::count_ones`] can sum
+/// whole words without masking.
 ///
 /// # Example
 ///
@@ -25,10 +30,33 @@ use serde::{Deserialize, Serialize};
 /// // (+1·+1) + (−1·+1) + (+1·−1) = −1
 /// assert_eq!(a.xnor_dot(&b), -1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
 pub struct BitVec {
     words: Vec<u64>,
     len: usize,
+}
+
+impl<'de> Deserialize<'de> for BitVec {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let words = Vec::<u64>::from_value(value.get_field("words")?)?;
+        let len = usize::from_value(value.get_field("len")?)?;
+        if words.len() != len.div_ceil(64) {
+            return Err(Error::custom(format!(
+                "BitVec: {} storage words cannot hold exactly {len} bits",
+                words.len()
+            )));
+        }
+        let tail = len % 64;
+        if tail > 0 {
+            let last = *words.last().expect("tail > 0 implies at least one word");
+            if last & !((1u64 << tail) - 1) != 0 {
+                return Err(Error::custom(format!(
+                    "BitVec: nonzero bits beyond len {len} in the tail word"
+                )));
+            }
+        }
+        Ok(Self { words, len })
+    }
 }
 
 impl BitVec {
@@ -55,13 +83,25 @@ impl BitVec {
 
     /// Packs a boolean slice (`true` maps to `+1`).
     pub fn from_bools(values: &[bool]) -> Self {
-        let mut v = Self::zeros(values.len());
-        for (i, &b) in values.iter().enumerate() {
-            if b {
-                v.set(i, true);
-            }
-        }
+        let mut v = Self::zeros(0);
+        v.refill_from_bools(values);
         v
+    }
+
+    /// Re-packs this vector from a boolean slice in place, reusing the
+    /// word storage. Each 64-bit word is assembled in a register rather
+    /// than with per-bit read–modify–write, so this is also the fast
+    /// path behind [`BitVec::from_bools`].
+    pub fn refill_from_bools(&mut self, values: &[bool]) {
+        self.len = values.len();
+        self.words.clear();
+        self.words.extend(values.chunks(64).map(|chunk| {
+            let mut word = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                word |= u64::from(b) << i;
+            }
+            word
+        }));
     }
 
     /// Number of ±1 entries.
@@ -119,17 +159,12 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn xnor_dot(&self, other: &BitVec) -> i32 {
         assert_eq!(self.len, other.len, "xnor_dot length mismatch");
-        let mut matches = 0u32;
-        let full_words = self.len / 64;
-        for w in 0..full_words {
-            matches += (!(self.words[w] ^ other.words[w])).count_ones();
-        }
-        let tail = self.len % 64;
-        if tail > 0 {
-            let mask = (1u64 << tail) - 1;
-            matches += ((!(self.words[full_words] ^ other.words[full_words])) & mask).count_ones();
-        }
-        2 * matches as i32 - self.len as i32
+        xnor_dot_words(&self.words, &other.words, self.len)
+    }
+
+    /// Crate-internal view of the packed words (bits above `len` zero).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Popcount of the XNOR (number of agreeing positions).
@@ -198,13 +233,44 @@ impl BitMatrix {
     ///
     /// Panics if `x.len() != self.num_cols()`.
     pub fn xnor_matvec(&self, x: &BitVec) -> Vec<i32> {
-        self.rows.iter().map(|row| row.xnor_dot(x)).collect()
+        let mut out = Vec::new();
+        self.xnor_matvec_into(x, &mut out);
+        out
+    }
+
+    /// Like [`BitMatrix::xnor_matvec`], writing into a caller-owned
+    /// accumulator (cleared first) so hot loops can reuse the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_cols()`.
+    pub fn xnor_matvec_into(&self, x: &BitVec, out: &mut Vec<i32>) {
+        out.clear();
+        out.extend(self.rows.iter().map(|row| row.xnor_dot(x)));
     }
 
     /// Total storage bits (the quantity FINN places in on-chip memory).
     pub fn weight_bits(&self) -> u64 {
         (self.num_rows() * self.cols) as u64
     }
+}
+
+/// XNOR dot product over raw packed words: the shared kernel behind
+/// [`BitVec::xnor_dot`] and the crate's word-level fast paths. Bits at
+/// and above `len` in the last word are ignored via the tail mask, so
+/// callers only need `len` valid bits per buffer.
+pub(crate) fn xnor_dot_words(a: &[u64], b: &[u64], len: usize) -> i32 {
+    let mut matches = 0u32;
+    let full_words = len / 64;
+    for w in 0..full_words {
+        matches += (!(a[w] ^ b[w])).count_ones();
+    }
+    let tail = len % 64;
+    if tail > 0 {
+        let mask = (1u64 << tail) - 1;
+        matches += ((!(a[full_words] ^ b[full_words])) & mask).count_ones();
+    }
+    2 * matches as i32 - len as i32
 }
 
 #[cfg(test)]
@@ -298,5 +364,87 @@ mod tests {
         let bools = [true, false, true];
         let signs = [1.0, -1.0, 1.0];
         assert_eq!(BitVec::from_bools(&bools), BitVec::from_signs(&signs));
+    }
+
+    #[test]
+    fn refill_from_bools_matches_fresh_pack_across_word_boundaries() {
+        let mut v = BitVec::zeros(0);
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let bools: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            v.refill_from_bools(&bools);
+            assert_eq!(v, BitVec::from_bools(&bools), "n={n}");
+            assert_eq!(v.len(), n);
+        }
+        // Shrinking reuse keeps the tail invariant: no stale high bits.
+        v.refill_from_bools(&[true; 70]);
+        v.refill_from_bools(&[true, false, true]);
+        assert_eq!(v.count_ones(), 2);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn matvec_into_reuses_buffer() {
+        let m = BitMatrix::from_signs(2, 3, &[1.0f32, -1.0, 1.0, -1.0, -1.0, 1.0]);
+        let x = BitVec::from_signs(&[1.0, 1.0, -1.0]);
+        let mut acc = vec![99i32; 7];
+        m.xnor_matvec_into(&x, &mut acc);
+        assert_eq!(acc, m.xnor_matvec(&x));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_bits() {
+        let signs: Vec<f32> = (0..70)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let v = BitVec::from_signs(&signs);
+        let restored = BitVec::from_value(&v.to_value()).unwrap();
+        assert_eq!(restored, v);
+        assert_eq!(restored.count_ones(), v.count_ones());
+
+        let m = BitMatrix::from_signs(2, 35, &[1.0f32; 70]);
+        let restored = BitMatrix::from_value(&m.to_value()).unwrap();
+        assert_eq!(restored, m);
+    }
+
+    #[test]
+    fn deserialize_rejects_forged_tail_bits() {
+        // len = 5 uses bits 0..5 of one word; a forged payload that sets a
+        // higher bit would silently inflate count_ones and corrupt every
+        // full-word xnor_dot, so it must be rejected at the boundary.
+        let mut value = BitVec::from_signs(&[1.0, -1.0, 1.0, -1.0, 1.0]).to_value();
+        if let Value::Map(entries) = &mut value {
+            for (key, field) in entries.iter_mut() {
+                if key == "words" {
+                    *field = Value::Seq(vec![Value::UInt(0b101 | (1 << 63))]);
+                }
+            }
+        } else {
+            panic!("BitVec must serialise to an object");
+        }
+        let err = BitVec::from_value(&value).unwrap_err();
+        assert!(err.to_string().contains("beyond len"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_wrong_word_count() {
+        let mut value = BitVec::from_signs(&[1.0; 5]).to_value();
+        if let Value::Map(entries) = &mut value {
+            for (key, field) in entries.iter_mut() {
+                if key == "words" {
+                    *field = Value::Seq(vec![Value::UInt(31), Value::UInt(0)]);
+                }
+            }
+        }
+        assert!(BitVec::from_value(&value).is_err());
+    }
+
+    #[test]
+    fn deserialize_accepts_exact_word_boundary() {
+        // len = 128 fills both words completely: no tail to validate.
+        let signs: Vec<f32> = (0..128)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let v = BitVec::from_signs(&signs);
+        assert_eq!(BitVec::from_value(&v.to_value()).unwrap(), v);
     }
 }

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mp_tensor::{Shape, ShapeError, Tensor};
+use mp_tensor::{Parallelism, Shape, ShapeError, Tensor};
 
 use crate::bits::{BitMatrix, BitVec};
 use crate::classifier::{BnnClassifier, Stage};
@@ -391,12 +391,413 @@ impl HardwareBnn {
         }
         Tensor::from_vec(Shape::matrix(n, classes), data)
     }
+
+    /// Optimised batched inference, bit-identical to [`Self::infer_batch`],
+    /// sharding images across `par` scoped worker threads.
+    ///
+    /// Per shard, scratch buffers are reused across images and the first
+    /// engine's weight bits are unpacked once into ±1 integers, so the
+    /// per-pixel inner loop is a branchless multiply–accumulate instead
+    /// of a bit-test per weight. Integer arithmetic in the same order as
+    /// the reference path keeps every accumulation exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the batch does not match the topology.
+    pub fn infer_batch_with(
+        &self,
+        images: &Tensor,
+        par: Parallelism,
+    ) -> Result<Tensor, ShapeError> {
+        let shape = images.shape();
+        let (c, h, w) = (
+            self.topology.channels(),
+            self.topology.height(),
+            self.topology.width(),
+        );
+        if shape.rank() != 4 || (shape.dim(1), shape.dim(2), shape.dim(3)) != (c, h, w) {
+            return Err(ShapeError::new(
+                "HardwareBnn::infer_batch_with",
+                format!("expected [N,{c},{h},{w}] batch, got {shape}"),
+            ));
+        }
+        let n = shape.dim(0);
+        let classes = self.topology.classes();
+        let image_len = c * h * w;
+        let xv = images.as_slice();
+        let chunks = par.chunks(n);
+        if chunks.len() <= 1 {
+            let data = self.infer_range(xv)?;
+            return Tensor::from_vec(Shape::matrix(n, classes), data);
+        }
+        let parts: Vec<Result<Vec<f32>, ShapeError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(start, end)| {
+                    let slice = &xv[start * image_len..end * image_len];
+                    scope.spawn(move || self.infer_range(slice))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("BNN inference worker panicked"))
+                .collect()
+        });
+        let mut data = Vec::with_capacity(n * classes);
+        for part in parts {
+            data.extend(part?);
+        }
+        Tensor::from_vec(Shape::matrix(n, classes), data)
+    }
+
+    /// Runs a contiguous run of images (raw `C·H·W` planes) through the
+    /// accelerator with shared scratch state, appending `classes` float
+    /// scores per image.
+    fn infer_range(&self, images: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        let (h, w) = (self.topology.height(), self.topology.width());
+        let image_len = self.topology.channels() * h * w;
+        let n = images.len() / image_len;
+        // Precompute the first engine's tap-offset tables once for the
+        // whole run: the ±1 dot of a patch equals
+        // `2 * (sum at positive-weight taps) - (sum over all taps)`, so
+        // each output channel only needs its positive-tap offsets into
+        // the quantised image plane — no patch gather, no multiplies.
+        let mut plan = FirstConvPlan::default();
+        if let Some(HwStage::FirstConv {
+            weights,
+            in_channels,
+            kernel,
+            ..
+        }) = self.stages.first()
+        {
+            let (c, k) = (*in_channels, *kernel);
+            for ch in 0..c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        plan.all.push((ch * h * w + ky * w + kx) as u32);
+                    }
+                }
+            }
+            plan.pos_start.push(0);
+            for r in 0..weights.num_rows() {
+                let row = weights.row(r);
+                for (i, &d) in plan.all.iter().enumerate() {
+                    if row.get(i) {
+                        plan.pos.push(d);
+                    }
+                }
+                plan.pos_start.push(plan.pos.len() as u32);
+            }
+        }
+        let mut scratch = HwScratch::default();
+        let mut out = Vec::with_capacity(n * self.topology.classes());
+        if let Some(HwStage::FirstConv {
+            weights,
+            thresholds,
+            in_channels,
+            kernel,
+            pool,
+        }) = self.stages.first()
+        {
+            let (c, k) = (*in_channels, *kernel);
+            let (oh, ow) = (h - k + 1, w - k + 1);
+            let od = weights.num_rows();
+            let plane = od * oh * ow;
+            let mut qt = Vec::new();
+            let mut bits_block = Vec::new();
+            for block in images.chunks(IMG_BLOCK * image_len) {
+                let b = block.len() / image_len;
+                self.first_conv_block(
+                    thresholds,
+                    &plan,
+                    block,
+                    (c, h, w, k, od),
+                    &mut qt,
+                    &mut bits_block,
+                );
+                for i in 0..b {
+                    let mut dims = (od, oh, ow);
+                    scratch.bits.clear();
+                    scratch
+                        .bits
+                        .extend_from_slice(&bits_block[i * plane..(i + 1) * plane]);
+                    if *pool {
+                        dims = or_pool_into(&scratch.bits, dims, &mut scratch.next);
+                        std::mem::swap(&mut scratch.bits, &mut scratch.next);
+                    }
+                    self.infer_tail(&self.stages[1..], dims, &mut scratch, &mut out)?;
+                }
+            }
+        } else {
+            // No leading fixed-point engine (not producible by
+            // `from_classifier`, which always folds the first convolution
+            // into a `FirstConv`): run the remaining engines directly.
+            let dims = (self.topology.channels(), h, w);
+            for _ in 0..n {
+                scratch.bits.clear();
+                self.infer_tail(&self.stages, dims, &mut scratch, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// First-engine pass over a block of `b <= IMG_BLOCK` images.
+    ///
+    /// The quantised planes are stored transposed (`qt[pixel][image]`),
+    /// so each tap of the `2 * pos_sum - total` dot (see
+    /// [`FirstConvPlan`]) is one contiguous `IMG_BLOCK`-lane integer add
+    /// that the compiler vectorises across images. The i32 lanes are
+    /// exact: |q| <= 128, so every partial sum is bounded by
+    /// `fan_in * 128`, far inside i32 range — bit-identical to the i64
+    /// reference path.
+    fn first_conv_block(
+        &self,
+        thresholds: &[HwThreshold],
+        plan: &FirstConvPlan,
+        images: &[f32],
+        (c, h, w, k, od): (usize, usize, usize, usize, usize),
+        qt: &mut Vec<i32>,
+        bits_block: &mut Vec<bool>,
+    ) {
+        let (oh, ow) = (h - k + 1, w - k + 1);
+        let image_len = c * h * w;
+        let b = images.len() / image_len;
+        let plane = od * oh * ow;
+        let fan_in = c * k * k;
+        assert!(fan_in <= (i32::MAX / 256) as usize);
+        debug_assert_eq!(plan.all.len(), fan_in);
+        qt.clear();
+        qt.resize(image_len * IMG_BLOCK, 0);
+        for i in 0..b {
+            let src = &images[i * image_len..(i + 1) * image_len];
+            for (p, &x) in src.iter().enumerate() {
+                qt[p * IMG_BLOCK + i] = Self::quantize_pixel(x) as i32;
+            }
+        }
+        bits_block.clear();
+        bits_block.resize(b * plane, false);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let p0 = oy * w + ox;
+                let mut total = [0i32; IMG_BLOCK];
+                for &d in &plan.all {
+                    let src = &qt[(p0 + d as usize) * IMG_BLOCK..][..IMG_BLOCK];
+                    for (t, &x) in total.iter_mut().zip(src) {
+                        *t += x;
+                    }
+                }
+                for (oc, t) in thresholds.iter().enumerate().take(od) {
+                    let taps =
+                        &plan.pos[plan.pos_start[oc] as usize..plan.pos_start[oc + 1] as usize];
+                    let mut pos_sum = [0i32; IMG_BLOCK];
+                    for &d in taps {
+                        let src = &qt[(p0 + d as usize) * IMG_BLOCK..][..IMG_BLOCK];
+                        for (s, &x) in pos_sum.iter_mut().zip(src) {
+                            *s += x;
+                        }
+                    }
+                    let out_idx = (oc * oh + oy) * ow + ox;
+                    for i in 0..b {
+                        let dot = 2 * pos_sum[i] - total[i];
+                        bits_block[i * plane + out_idx] = t.fires(i64::from(dot));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the engines after the first through one image's binary
+    /// activations (`scratch.bits`), mirroring [`Self::infer_image`]
+    /// accumulation-for-accumulation (so results are bit-identical)
+    /// while reusing `scratch` buffers instead of allocating per pixel.
+    fn infer_tail(
+        &self,
+        stages: &[HwStage],
+        mut dims: (usize, usize, usize),
+        scratch: &mut HwScratch,
+        scores_out: &mut Vec<f32>,
+    ) -> Result<(), ShapeError> {
+        let HwScratch {
+            bits,
+            next,
+            row_words,
+            patch_words,
+            patch_bits,
+            acc,
+        } = scratch;
+        let mut scored = false;
+        for stage in stages {
+            match stage {
+                HwStage::FirstConv { .. } => {
+                    return Err(ShapeError::new(
+                        "HardwareBnn::infer_batch",
+                        "fixed-point engine after the first stage",
+                    ));
+                }
+                HwStage::BinConv {
+                    weights,
+                    thresholds,
+                    in_channels,
+                    kernel,
+                    pool,
+                } => {
+                    let (c, h, w) = dims;
+                    debug_assert_eq!(c, *in_channels);
+                    let k = *kernel;
+                    let (oh, ow) = (h - k + 1, w - k + 1);
+                    let od = weights.num_rows();
+                    let fan_in = c * k * k;
+                    // Bit-plane fast path: pack each activation row into one
+                    // u64 word once, then assemble every im2col patch with
+                    // k-bit shift/mask segments instead of gathering and
+                    // re-packing `fan_in` bools per output position. The
+                    // patch words carry bits in the exact (ch, ky, kx) order
+                    // of the reference path, so the XNOR dots are identical.
+                    assert!(w <= 64 && k <= w, "activation rows wider than one word");
+                    row_words.clear();
+                    row_words.resize(c * h, 0);
+                    for (row, word) in row_words.iter_mut().enumerate() {
+                        let src = &bits[row * w..(row + 1) * w];
+                        let mut packed = 0u64;
+                        for (x, &b) in src.iter().enumerate() {
+                            packed |= u64::from(b) << x;
+                        }
+                        *word = packed;
+                    }
+                    patch_words.clear();
+                    patch_words.resize(fan_in.div_ceil(64), 0);
+                    let seg_mask = (1u64 << k) - 1;
+                    next.clear();
+                    next.resize(od * oh * ow, false);
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            patch_words.iter_mut().for_each(|w| *w = 0);
+                            let mut off = 0;
+                            for ch in 0..c {
+                                for ky in 0..k {
+                                    let seg = (row_words[ch * h + oy + ky] >> ox) & seg_mask;
+                                    let (wi, sh) = (off / 64, off % 64);
+                                    patch_words[wi] |= seg << sh;
+                                    if sh + k > 64 {
+                                        patch_words[wi + 1] |= seg >> (64 - sh);
+                                    }
+                                    off += k;
+                                }
+                            }
+                            for oc in 0..od {
+                                let dot = i64::from(crate::bits::xnor_dot_words(
+                                    weights.row(oc).words(),
+                                    patch_words,
+                                    fan_in,
+                                ));
+                                next[(oc * oh + oy) * ow + ox] = thresholds[oc].fires(dot);
+                            }
+                        }
+                    }
+                    dims = (od, oh, ow);
+                    std::mem::swap(bits, next);
+                    if *pool {
+                        dims = or_pool_into(bits, dims, next);
+                        std::mem::swap(bits, next);
+                    }
+                }
+                HwStage::BinFc {
+                    weights,
+                    thresholds,
+                } => {
+                    patch_bits.refill_from_bools(bits);
+                    weights.xnor_matvec_into(patch_bits, acc);
+                    bits.clear();
+                    bits.extend(
+                        acc.iter()
+                            .zip(thresholds)
+                            .map(|(&a, t)| t.fires(i64::from(a))),
+                    );
+                    dims = (bits.len(), 1, 1);
+                }
+                HwStage::OutputFc { weights } => {
+                    patch_bits.refill_from_bools(bits);
+                    weights.xnor_matvec_into(patch_bits, acc);
+                    scores_out.extend(acc.iter().take(self.topology.classes()).map(|&s| s as f32));
+                    scored = true;
+                }
+            }
+        }
+        if scored {
+            Ok(())
+        } else {
+            Err(ShapeError::new(
+                "HardwareBnn::infer_batch",
+                "no output engine",
+            ))
+        }
+    }
+}
+
+/// How many images the first engine processes per SIMD block in
+/// [`HardwareBnn::infer_batch_with`] (the lane count of its transposed
+/// integer accumulators).
+const IMG_BLOCK: usize = 8;
+
+/// Per-run tap-offset tables for the first engine: the ±1 dot of a
+/// patch is `2 * (sum at positive-weight taps) - (sum over all taps)`,
+/// so each output channel is a sparse gather-sum over the quantised
+/// image plane.
+#[derive(Debug, Default)]
+struct FirstConvPlan {
+    /// Offsets of every patch tap relative to the window origin.
+    all: Vec<u32>,
+    /// Positive-weight tap offsets, concatenated per output channel.
+    pos: Vec<u32>,
+    /// Range bounds into `pos` per output channel (`od + 1` entries).
+    pos_start: Vec<u32>,
+}
+
+/// Reusable per-thread scratch for [`HardwareBnn::infer_batch_with`].
+#[derive(Debug)]
+struct HwScratch {
+    /// Current binary activation plane.
+    bits: Vec<bool>,
+    /// Next binary activation plane (swapped each stage).
+    next: Vec<bool>,
+    /// Activation rows bit-packed one word per row.
+    row_words: Vec<u64>,
+    /// One bit-packed im2col patch of binary activations.
+    patch_words: Vec<u64>,
+    /// Bit-packed FC input vector.
+    patch_bits: BitVec,
+    /// Integer accumulator row for the FC engines.
+    acc: Vec<i32>,
+}
+
+impl Default for HwScratch {
+    fn default() -> Self {
+        Self {
+            bits: Vec::new(),
+            next: Vec::new(),
+            row_words: Vec::new(),
+            patch_words: Vec::new(),
+            patch_bits: BitVec::zeros(0),
+            acc: Vec::new(),
+        }
+    }
 }
 
 /// 2×2 OR pooling over binary activations (`max` of ±1 values).
-fn or_pool(bits: &[bool], (c, h, w): (usize, usize, usize)) -> (Vec<bool>, (usize, usize, usize)) {
+fn or_pool(bits: &[bool], dims: (usize, usize, usize)) -> (Vec<bool>, (usize, usize, usize)) {
+    let mut out = Vec::new();
+    let out_dims = or_pool_into(bits, dims, &mut out);
+    (out, out_dims)
+}
+
+fn or_pool_into(
+    bits: &[bool],
+    (c, h, w): (usize, usize, usize),
+    out: &mut Vec<bool>,
+) -> (usize, usize, usize) {
     let (oh, ow) = (h / 2, w / 2);
-    let mut out = vec![false; c * oh * ow];
+    out.clear();
+    out.resize(c * oh * ow, false);
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -410,7 +811,7 @@ fn or_pool(bits: &[bool], (c, h, w): (usize, usize, usize)) -> (Vec<bool>, (usiz
             }
         }
     }
-    (out, (c, oh, ow))
+    (c, oh, ow)
 }
 
 #[cfg(test)]
@@ -485,6 +886,35 @@ mod tests {
         let batch = rng.normal(Shape::nchw(3, 3, 8, 8), 0.0, 1.0);
         let t = hw.infer_batch(&batch).unwrap();
         assert_eq!(t.shape().dims(), &[3, 10]);
+    }
+
+    #[test]
+    fn batched_path_is_bit_identical_to_reference_across_threads() {
+        let bnn = trained_tiny(80);
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let mut rng = TensorRng::seed_from(81);
+        for n in [1usize, 4, 7] {
+            let batch = rng.normal(Shape::nchw(n, 3, 8, 8), 0.0, 1.0);
+            let reference = hw.infer_batch(&batch).unwrap();
+            for threads in [1usize, 2, 5] {
+                let got = hw
+                    .infer_batch_with(&batch, mp_tensor::Parallelism::new(threads))
+                    .unwrap();
+                assert_eq!(reference.shape(), got.shape());
+                assert_eq!(reference.as_slice(), got.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_path_rejects_mismatched_batch_shape() {
+        let bnn = trained_tiny(82);
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let mut rng = TensorRng::seed_from(83);
+        let bad = rng.normal(Shape::nchw(2, 3, 4, 4), 0.0, 1.0);
+        assert!(hw
+            .infer_batch_with(&bad, mp_tensor::Parallelism::sequential())
+            .is_err());
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! are clamped to `[-1, 1]` so the estimator stays in its valid region.
 
 use mp_nn::{Layer, LayerCost, Mode};
-use mp_tensor::conv::{col2im, im2col, ConvGeometry};
+use mp_tensor::conv::{col2im, im2col, im2col_slice_into, ConvGeometry};
 use mp_tensor::init::TensorRng;
-use mp_tensor::{linalg, Shape, ShapeError, Tensor};
+use mp_tensor::{linalg, Shape, ShapeError, Tensor, Workspace};
 
 /// `sign(x)` with `sign(0) = +1`, the BinaryNet convention.
 pub fn binarize(x: f32) -> f32 {
@@ -63,6 +63,10 @@ impl Layer for SignActivation {
         if mode.is_train() {
             self.cached_input = Some(input.clone());
         }
+        Ok(input.map(binarize))
+    }
+
+    fn infer(&self, input: &Tensor, _ws: &mut Workspace) -> Result<Tensor, ShapeError> {
         Ok(input.map(binarize))
     }
 
@@ -199,6 +203,42 @@ impl Layer for BinConv2d {
             self.cached_cols = cols_cache;
             self.cached_input_shape = Some(input.shape().clone());
         }
+        Tensor::from_vec(Shape::nchw(n, self.out_channels, oh, ow), out)
+    }
+
+    fn infer(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        // `forward` clamps latent weights before binarising; clamping to
+        // [-1, 1] never changes a weight's sign (and preserves zero), so
+        // binarising unclamped weights is bit-identical without mutation.
+        let (n, oh, ow) = self.check_input(input.shape())?;
+        let (c, h, w) = (
+            input.shape().dim(1),
+            input.shape().dim(2),
+            input.shape().dim(3),
+        );
+        let pixels = oh * ow;
+        let image_len = c * h * w;
+        let mut wb_buf = ws.take(self.weight.len());
+        wb_buf.clear();
+        wb_buf.extend(self.weight.iter().map(|&w| binarize(w)));
+        let wb = Tensor::from_vec(self.weight.shape().clone(), wb_buf)?;
+        let mut out = ws.take(n * self.out_channels * pixels);
+        out.clear();
+        let mut cols_buf = ws.take(c * self.geom.kernel * self.geom.kernel * pixels);
+        let mut y = ws.take(self.out_channels * pixels);
+        let xv = input.as_slice();
+        for img in 0..n {
+            let image = &xv[img * image_len..(img + 1) * image_len];
+            let (rows, cols) = im2col_slice_into(image, c, h, w, self.geom, &mut cols_buf)?;
+            let patches =
+                Tensor::from_vec(Shape::matrix(rows, cols), std::mem::take(&mut cols_buf))?;
+            linalg::matmul_into(&wb, &patches, &mut y)?;
+            cols_buf = patches.into_vec();
+            out.extend_from_slice(&y);
+        }
+        ws.put(cols_buf);
+        ws.put(y);
+        ws.put(wb.into_vec());
         Tensor::from_vec(Shape::nchw(n, self.out_channels, oh, ow), out)
     }
 
@@ -350,6 +390,19 @@ impl Layer for BinLinear {
             self.cached_input = Some(input.clone());
         }
         Ok(y)
+    }
+
+    fn infer(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        // See BinConv2d::infer: skipping the latent clamp is bit-safe.
+        let n = self.check_input(input.shape())?;
+        let mut wb_buf = ws.take(self.weight.len());
+        wb_buf.clear();
+        wb_buf.extend(self.weight.iter().map(|&w| binarize(w)));
+        let wb = Tensor::from_vec(self.weight.shape().clone(), wb_buf)?;
+        let mut y = ws.take(n * self.out_features);
+        linalg::matmul_transpose_b_into(input, &wb, &mut y)?;
+        ws.put(wb.into_vec());
+        Tensor::from_vec(Shape::matrix(n, self.out_features), y)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {
@@ -596,6 +649,10 @@ impl Layer for QuantActivation {
         if mode.is_train() {
             self.cached_input = Some(input.clone());
         }
+        Ok(input.map(|x| self.quantize(x)))
+    }
+
+    fn infer(&self, input: &Tensor, _ws: &mut Workspace) -> Result<Tensor, ShapeError> {
         Ok(input.map(|x| self.quantize(x)))
     }
 

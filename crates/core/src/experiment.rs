@@ -14,7 +14,7 @@ use mp_host::ArmHost;
 use mp_nn::train::{Adam, Optimizer, Trainer};
 use mp_nn::Network;
 use mp_tensor::init::TensorRng;
-use mp_tensor::{Shape, Tensor};
+use mp_tensor::{Parallelism, Shape, Tensor};
 
 use crate::dmu::Dmu;
 use crate::fault::{DegradationPolicy, FaultPlan};
@@ -235,21 +235,44 @@ impl TrainedSystem {
     ///
     /// Returns [`CoreError`] on shape inconsistencies.
     pub fn run_pipeline(
-        &mut self,
+        &self,
         id: ModelId,
         timing: &PipelineTiming,
     ) -> Result<PipelineResult, CoreError> {
-        let threshold = self.config.threshold;
+        self.run_pipeline_with(id, timing, Parallelism::sequential())
+    }
+
+    /// Like [`run_pipeline`](Self::run_pipeline), sharding host
+    /// re-inference across `parallelism` worker threads. Predictions are
+    /// bit-identical for every setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on shape inconsistencies.
+    pub fn run_pipeline_with(
+        &self,
+        id: ModelId,
+        timing: &PipelineTiming,
+        parallelism: Parallelism,
+    ) -> Result<PipelineResult, CoreError> {
         let global_acc = self.host_accuracy(id);
-        let hw = &self.hw;
-        let dmu = &self.dmu;
-        let test = &self.test;
-        let (_, host, _) = self
-            .hosts
-            .iter_mut()
+        MultiPrecisionPipeline::new(&self.hw, &self.dmu, self.config.threshold)
+            .with_parallelism(parallelism)
+            .run(self.host(id), &self.test, timing, global_acc)
+    }
+
+    /// The trained host network for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is missing (cannot happen for systems produced by
+    /// [`prepare`](Self::prepare)).
+    pub fn host(&self, id: ModelId) -> &Network {
+        self.hosts
+            .iter()
             .find(|(h, _, _)| *h == id)
-            .expect("host model present");
-        MultiPrecisionPipeline::new(hw, dmu, threshold).run(host, test, timing, global_acc)
+            .map(|(_, net, _)| net)
+            .expect("host model present")
     }
 
     /// Runs the *parallel* multi-precision pipeline with host model `id`
@@ -262,24 +285,21 @@ impl TrainedSystem {
     /// plan/policy, or real (non-injected) host errors — never for
     /// recoverable injected faults.
     pub fn run_pipeline_chaos(
-        &mut self,
+        &self,
         id: ModelId,
         timing: &PipelineTiming,
         plan: &FaultPlan,
         policy: &DegradationPolicy,
     ) -> Result<PipelineResult, CoreError> {
-        let threshold = self.config.threshold;
         let global_acc = self.host_accuracy(id);
-        let hw = &self.hw;
-        let dmu = &self.dmu;
-        let test = &self.test;
-        let (_, host, _) = self
-            .hosts
-            .iter_mut()
-            .find(|(h, _, _)| *h == id)
-            .expect("host model present");
-        MultiPrecisionPipeline::new(hw, dmu, threshold)
-            .run_parallel_with(host, test, timing, global_acc, plan, policy)
+        MultiPrecisionPipeline::new(&self.hw, &self.dmu, self.config.threshold).run_parallel_with(
+            self.host(id),
+            &self.test,
+            timing,
+            global_acc,
+            plan,
+            policy,
+        )
     }
 
     /// Paper-scale timing for host model `id`: the ZC702's measured
@@ -385,7 +405,7 @@ mod tests {
 
     #[test]
     fn smoke_profile_trains_end_to_end() {
-        let mut system = TrainedSystem::prepare(&ExperimentConfig::smoke(7)).unwrap();
+        let system = TrainedSystem::prepare(&ExperimentConfig::smoke(7)).unwrap();
         assert_eq!(system.train.len(), 120);
         assert_eq!(system.test.len(), 60);
         assert_eq!(system.hosts.len(), 3);

@@ -26,7 +26,7 @@ use crossbeam::channel::{self, TrySendError};
 use mp_bnn::HardwareBnn;
 use mp_dataset::Dataset;
 use mp_nn::Network;
-use mp_tensor::{Shape, Tensor};
+use mp_tensor::{nan_aware_argmax, Parallelism, Shape, ShapeError, Tensor};
 
 use crate::dmu::{ConfusionQuadrants, Dmu};
 use crate::fault::{
@@ -123,10 +123,14 @@ pub struct MultiPrecisionPipeline<'a> {
     hw: &'a HardwareBnn,
     dmu: &'a Dmu,
     threshold: f32,
+    parallelism: Parallelism,
 }
 
 impl<'a> MultiPrecisionPipeline<'a> {
     /// Creates a pipeline at a DMU confidence `threshold`.
+    ///
+    /// Host re-inference runs sequentially by default; see
+    /// [`with_parallelism`](Self::with_parallelism).
     ///
     /// # Panics
     ///
@@ -136,12 +140,33 @@ impl<'a> MultiPrecisionPipeline<'a> {
             (0.0..=1.0).contains(&threshold),
             "threshold must be in [0,1]"
         );
-        Self { hw, dmu, threshold }
+        Self {
+            hw,
+            dmu,
+            threshold,
+            parallelism: Parallelism::sequential(),
+        }
+    }
+
+    /// Shards host re-inference batches across `parallelism` worker
+    /// threads. Predictions are bit-identical for every setting, and the
+    /// fault log stays seed-deterministic: fault decisions depend only on
+    /// arrival order, `(image, attempt)` and breaker state, never on how
+    /// the deferred inference batch is sharded.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The DMU confidence threshold.
     pub fn threshold(&self) -> f32 {
         self.threshold
+    }
+
+    /// The host-side data parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Runs the full set through BNN → DMU → host, with modelled timing.
@@ -154,14 +179,14 @@ impl<'a> MultiPrecisionPipeline<'a> {
     /// Returns [`CoreError`] on shape inconsistencies.
     pub fn run(
         &self,
-        host: &mut Network,
+        host: &Network,
         data: &Dataset,
         timing: &PipelineTiming,
         host_global_accuracy: f64,
     ) -> Result<PipelineResult, CoreError> {
         let stage = self.classify_and_flag(data)?;
         let rerun_indices: Vec<usize> = stage.flagged_indices();
-        let host_preds = infer_host_subset(host, data, &rerun_indices)?;
+        let host_preds = infer_host_subset(host, data, &rerun_indices, self.parallelism)?;
         self.finish(
             data,
             timing,
@@ -188,7 +213,7 @@ impl<'a> MultiPrecisionPipeline<'a> {
     /// one of them (the pipeline degrades instead).
     pub fn run_parallel(
         &self,
-        host: &mut Network,
+        host: &Network,
         data: &Dataset,
         timing: &PipelineTiming,
         host_global_accuracy: f64,
@@ -238,7 +263,7 @@ impl<'a> MultiPrecisionPipeline<'a> {
     /// never for recoverable injected faults.
     pub fn run_parallel_with(
         &self,
-        host: &mut Network,
+        host: &Network,
         data: &Dataset,
         timing: &PipelineTiming,
         host_global_accuracy: f64,
@@ -258,13 +283,14 @@ impl<'a> MultiPrecisionPipeline<'a> {
         let (tx, rx) = channel::bounded::<(usize, Tensor)>(timing.batch_size);
         let policy = *policy;
         let injector_ref = &injector;
+        let host_par = self.parallelism;
         type WorkerJoin = Result<HostWorkerOutput, CoreError>;
         let (stage, backpressure_events, worker_out) = std::thread::scope(
             |scope| -> Result<(StageOutput, usize, WorkerJoin), CoreError> {
                 // Host worker: re-infers flagged images as they arrive,
                 // applying the degradation policy per image.
                 let worker = scope.spawn(move || -> Result<HostWorkerOutput, CoreError> {
-                    host_worker_loop(host, rx, injector_ref, &policy)
+                    host_worker_loop(host, rx, injector_ref, &policy, host_par)
                 });
                 // "FPGA" side: classify image i, flag, send to the host.
                 let mut stage = StageOutput::with_capacity(n);
@@ -274,7 +300,15 @@ impl<'a> MultiPrecisionPipeline<'a> {
                     let image = data.images().batch_item(i)?;
                     let scores = self.hw.infer_image(&image).map_err(CoreError::fpga)?;
                     let scores_f: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
-                    let pred = argmax(&scores_f);
+                    // Satellite fix: the old local argmax silently predicted
+                    // class 0 for an all-NaN row; use the shared NaN-aware
+                    // helper and surface the failure instead.
+                    let pred = nan_aware_argmax(&scores_f).ok_or_else(|| {
+                        CoreError::fpga(ShapeError::new(
+                            "pipeline",
+                            format!("image {i}: BNN scores have no comparable maximum"),
+                        ))
+                    })?;
                     let p = self.dmu.predict(&scores_f);
                     let keep = p >= self.threshold;
                     stage.push(pred, keep);
@@ -368,7 +402,10 @@ impl<'a> MultiPrecisionPipeline<'a> {
     }
 
     fn classify_and_flag(&self, data: &Dataset) -> Result<StageOutput, CoreError> {
-        let scores = self.hw.infer_batch(data.images())?;
+        let scores = self
+            .hw
+            .infer_batch_with(data.images(), self.parallelism)
+            .map_err(CoreError::fpga)?;
         let preds = Network::argmax_rows(&scores)?;
         let keep_flags = self.dmu.estimate_batch(&scores, self.threshold)?;
         let mut stage = StageOutput::with_capacity(data.len());
@@ -471,18 +508,34 @@ struct HostWorkerOutput {
     virtual_backoff_s: f64,
 }
 
+/// Images accumulated by the host worker before a batched flush (and the
+/// chunk size of [`infer_host_subset`], so both executors build identical
+/// batches).
+const HOST_BATCH: usize = 32;
+
 /// The host worker: drains the channel, applying fault injection, the
 /// retry/backoff budget, the per-image deadline, and the circuit
 /// breaker. Injected worker death panics (deliberately — the producer
 /// side must survive a genuinely dead thread, not a polite error).
+///
+/// Fault decisions depend only on arrival order, `(image, attempt)` and
+/// breaker state — never on inference results — so images that survive
+/// the policy are *deferred* into a pending batch and re-inferred through
+/// the data-parallel engine. The fault log stays byte-identical to the
+/// per-image path for every `par` setting; each prediction is
+/// bit-identical because every layer treats batch rows independently.
 fn host_worker_loop(
-    host: &mut Network,
+    host: &Network,
     rx: channel::Receiver<(usize, Tensor)>,
     injector: &FaultInjector,
     policy: &DegradationPolicy,
+    par: Parallelism,
 ) -> Result<HostWorkerOutput, CoreError> {
     let mut out = HostWorkerOutput::default();
     let mut breaker = CircuitBreaker::new(policy);
+    // Outcome slots awaiting a prediction, and their images.
+    let mut pending_slots: Vec<usize> = Vec::new();
+    let mut pending_images: Vec<Tensor> = Vec::new();
     for (processed, (index, image)) in rx.into_iter().enumerate() {
         if injector.host_death_after() == Some(processed) {
             std::panic::panic_any(INJECTED_DEATH_MSG);
@@ -497,7 +550,7 @@ fn host_worker_loop(
         }
         let mut attempt: u32 = 0;
         let mut backoff_spent = 0.0f64;
-        let outcome = loop {
+        let survived = loop {
             out.attempts += 1;
             let fault = match injector.host_fault(index, attempt) {
                 Some(HostFault::Transient) => Some(FaultKind::HostTransient),
@@ -509,8 +562,6 @@ fn host_worker_loop(
             };
             match fault {
                 None => {
-                    let scores = host.forward(&image).map_err(CoreError::host)?;
-                    let p = Network::argmax_rows(&scores)?;
                     if attempt > 0 {
                         out.log.push(FaultEvent::Recovered {
                             image: index,
@@ -520,7 +571,7 @@ fn host_worker_loop(
                     if breaker.record_success() {
                         out.log.push(FaultEvent::BreakerClosed { image: index });
                     }
-                    break Ok(p[0]);
+                    break None;
                 }
                 Some(kind) => {
                     out.log.push(FaultEvent::HostFault {
@@ -544,15 +595,66 @@ fn host_worker_loop(
                         });
                     }
                     out.log.push(FaultEvent::Fallback { image: index, kind });
-                    break Err(kind);
+                    break Some(kind);
                 }
             }
         };
         out.virtual_backoff_s += backoff_spent;
-        out.outcomes.push((index, outcome));
+        match survived {
+            None => {
+                pending_slots.push(out.outcomes.len());
+                // Placeholder prediction, overwritten by the next flush.
+                out.outcomes.push((index, Ok(usize::MAX)));
+                if pending_images.len() + 1 >= HOST_BATCH {
+                    pending_images.push(image);
+                    flush_pending(
+                        host,
+                        &mut pending_slots,
+                        &mut pending_images,
+                        &mut out.outcomes,
+                        par,
+                    )?;
+                } else {
+                    pending_images.push(image);
+                }
+            }
+            Some(kind) => out.outcomes.push((index, Err(kind))),
+        }
     }
+    flush_pending(
+        host,
+        &mut pending_slots,
+        &mut pending_images,
+        &mut out.outcomes,
+        par,
+    )?;
     out.breaker_trips = breaker.trips();
     Ok(out)
+}
+
+/// Re-infers the worker's pending images as one sharded batch and writes
+/// each prediction into its reserved outcome slot.
+fn flush_pending(
+    host: &Network,
+    slots: &mut Vec<usize>,
+    images: &mut Vec<Tensor>,
+    outcomes: &mut [(usize, Result<usize, FaultKind>)],
+    par: Parallelism,
+) -> Result<(), CoreError> {
+    if images.is_empty() {
+        return Ok(());
+    }
+    let batch = Tensor::stack_batch(images)?;
+    let scores = host
+        .infer_batch_with(&batch, par)
+        .map_err(CoreError::host)?;
+    let preds = Network::argmax_rows(&scores)?;
+    for (&slot, pred) in slots.iter().zip(preds) {
+        outcomes[slot].1 = Ok(pred);
+    }
+    slots.clear();
+    images.clear();
+    Ok(())
 }
 
 /// Per-image outputs of the BNN + DMU stage.
@@ -612,30 +714,24 @@ fn modeled_batch_time(kept: &[bool], timing: &PipelineTiming) -> f64 {
     total
 }
 
-fn argmax(scores: &[f32]) -> usize {
-    let mut best = 0;
-    for (i, &s) in scores.iter().enumerate() {
-        if s > scores[best] {
-            best = i;
-        }
-    }
-    best
-}
-
-/// Re-infers `indices` of `data` on the host network, batched.
+/// Re-infers `indices` of `data` on the host network, batched and
+/// sharded across `par` worker threads.
 fn infer_host_subset(
-    host: &mut Network,
+    host: &Network,
     data: &Dataset,
     indices: &[usize],
+    par: Parallelism,
 ) -> Result<Vec<usize>, CoreError> {
     let mut preds = Vec::with_capacity(indices.len());
-    for chunk in indices.chunks(32) {
+    for chunk in indices.chunks(HOST_BATCH) {
         let images: Vec<Tensor> = chunk
             .iter()
             .map(|&i| data.images().batch_item(i))
             .collect::<Result<_, _>>()?;
         let batch = Tensor::stack_batch(&images)?;
-        let scores = host.forward(&batch)?;
+        let scores = host
+            .infer_batch_with(&batch, par)
+            .map_err(CoreError::host)?;
         preds.extend(Network::argmax_rows(&scores)?);
     }
     Ok(preds)
@@ -684,9 +780,9 @@ mod tests {
 
     #[test]
     fn run_produces_consistent_accounting() {
-        let (hw, dmu, data, mut host) = tiny_system();
+        let (hw, dmu, data, host) = tiny_system();
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.5);
-        let r = pipeline.run(&mut host, &data, &timing(), 0.5).unwrap();
+        let r = pipeline.run(&host, &data, &timing(), 0.5).unwrap();
         assert_eq!(r.total_images, 40);
         assert_eq!(r.predictions.len(), 40);
         // Quadrants sum to 1.
@@ -705,17 +801,17 @@ mod tests {
 
     #[test]
     fn threshold_extremes() {
-        let (hw, dmu, data, mut host) = tiny_system();
+        let (hw, dmu, data, host) = tiny_system();
         // Threshold 0: nothing reruns — accuracy equals the BNN's.
         let none = MultiPrecisionPipeline::new(&hw, &dmu, 0.0)
-            .run(&mut host, &data, &timing(), 0.5)
+            .run(&host, &data, &timing(), 0.5)
             .unwrap();
         assert_eq!(none.rerun_count, 0);
         assert!(none.host_subset_accuracy.is_none());
         assert!((none.accuracy - none.bnn_accuracy).abs() < 1e-9);
         // Threshold 1: everything reruns — accuracy equals the host's.
         let all = MultiPrecisionPipeline::new(&hw, &dmu, 1.0)
-            .run(&mut host, &data, &timing(), 0.5)
+            .run(&host, &data, &timing(), 0.5)
             .unwrap();
         assert_eq!(all.rerun_count, 40);
         let subset = all.host_subset_accuracy.expect("everything reran");
@@ -724,12 +820,10 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_functionally() {
-        let (hw, dmu, data, mut host) = tiny_system();
+        let (hw, dmu, data, host) = tiny_system();
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.6);
-        let seq = pipeline.run(&mut host, &data, &timing(), 0.5).unwrap();
-        let par = pipeline
-            .run_parallel(&mut host, &data, &timing(), 0.5)
-            .unwrap();
+        let seq = pipeline.run(&host, &data, &timing(), 0.5).unwrap();
+        let par = pipeline.run_parallel(&host, &data, &timing(), 0.5).unwrap();
         assert_eq!(seq.predictions, par.predictions);
         assert_eq!(seq.rerun_count, par.rerun_count);
         assert!((seq.accuracy - par.accuracy).abs() < 1e-12);
@@ -744,13 +838,13 @@ mod tests {
     #[test]
     fn worker_death_degrades_instead_of_aborting() {
         silence_injected_panics();
-        let (hw, dmu, data, mut host) = tiny_system();
+        let (hw, dmu, data, host) = tiny_system();
         // Threshold 1: every image is flagged for the host.
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 1.0);
         let plan = FaultPlan::seeded(1).with_host_death_after(3);
         let r = pipeline
             .run_parallel_with(
-                &mut host,
+                &host,
                 &data,
                 &timing(),
                 0.5,
@@ -772,7 +866,7 @@ mod tests {
 
     #[test]
     fn total_host_failure_trips_breaker_and_falls_back() {
-        let (hw, dmu, data, mut host) = tiny_system();
+        let (hw, dmu, data, host) = tiny_system();
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 1.0);
         let plan = FaultPlan::seeded(2).with_host_error_rate(1.0);
         let policy = DegradationPolicy {
@@ -781,7 +875,7 @@ mod tests {
             ..DegradationPolicy::default()
         };
         let r = pipeline
-            .run_parallel_with(&mut host, &data, &timing(), 0.5, &plan, &policy)
+            .run_parallel_with(&host, &data, &timing(), 0.5, &plan, &policy)
             .unwrap();
         assert_eq!(r.degraded_count, 40);
         assert_eq!(r.rerun_count, 0);
@@ -796,13 +890,13 @@ mod tests {
 
     #[test]
     fn latency_spikes_beyond_deadline_degrade() {
-        let (hw, dmu, data, mut host) = tiny_system();
+        let (hw, dmu, data, host) = tiny_system();
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 1.0);
         // Every attempt spikes to 2 s against a 0.25 s deadline.
         let plan = FaultPlan::seeded(3).with_host_spikes(1.0, 2.0);
         let r = pipeline
             .run_parallel_with(
-                &mut host,
+                &host,
                 &data,
                 &timing(),
                 0.5,
@@ -822,12 +916,12 @@ mod tests {
 
     #[test]
     fn spikes_under_deadline_are_harmless() {
-        let (hw, dmu, data, mut host) = tiny_system();
+        let (hw, dmu, data, host) = tiny_system();
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.6);
         let plan = FaultPlan::seeded(4).with_host_spikes(1.0, 0.01);
         let faulty = pipeline
             .run_parallel_with(
-                &mut host,
+                &host,
                 &data,
                 &timing(),
                 0.5,
@@ -835,14 +929,14 @@ mod tests {
                 &DegradationPolicy::default(),
             )
             .unwrap();
-        let clean = pipeline.run(&mut host, &data, &timing(), 0.5).unwrap();
+        let clean = pipeline.run(&host, &data, &timing(), 0.5).unwrap();
         assert_eq!(faulty.predictions, clean.predictions);
         assert_eq!(faulty.degraded_count, 0);
     }
 
     #[test]
     fn transient_faults_recover_with_retries() {
-        let (hw, dmu, data, mut host) = tiny_system();
+        let (hw, dmu, data, host) = tiny_system();
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 1.0);
         let plan = FaultPlan::seeded(5).with_host_error_rate(0.4);
         let policy = DegradationPolicy {
@@ -852,7 +946,7 @@ mod tests {
             ..DegradationPolicy::default()
         };
         let r = pipeline
-            .run_parallel_with(&mut host, &data, &timing(), 0.5, &plan, &policy)
+            .run_parallel_with(&host, &data, &timing(), 0.5, &plan, &policy)
             .unwrap();
         // With a generous retry budget most images recover.
         assert!(r.retries > 0);
@@ -863,18 +957,60 @@ mod tests {
     }
 
     #[test]
+    fn parallel_host_inference_is_bit_identical_to_sequential() {
+        let (hw, dmu, data, host) = tiny_system();
+        let base = MultiPrecisionPipeline::new(&hw, &dmu, 0.6)
+            .run(&host, &data, &timing(), 0.5)
+            .unwrap();
+        for threads in [2usize, 3, 5] {
+            let par = MultiPrecisionPipeline::new(&hw, &dmu, 0.6)
+                .with_parallelism(Parallelism::new(threads))
+                .run(&host, &data, &timing(), 0.5)
+                .unwrap();
+            assert_eq!(base.predictions, par.predictions, "threads={threads}");
+            assert_eq!(base.rerun_count, par.rerun_count);
+            assert_eq!(base.host_subset_accuracy, par.host_subset_accuracy);
+        }
+    }
+
+    #[test]
+    fn fault_accounting_is_invariant_under_parallelism() {
+        let (hw, dmu, data, host) = tiny_system();
+        let plan = FaultPlan::seeded(7)
+            .with_host_error_rate(0.3)
+            .with_host_spikes(0.2, 2.0);
+        let policy = DegradationPolicy::default();
+        let run_at = |threads: usize| {
+            MultiPrecisionPipeline::new(&hw, &dmu, 0.9)
+                .with_parallelism(Parallelism::new(threads))
+                .run_parallel_with(&host, &data, &timing(), 0.5, &plan, &policy)
+                .unwrap()
+        };
+        let seq = run_at(1);
+        for threads in [2usize, 4] {
+            let par = run_at(threads);
+            assert_eq!(seq.fault_log, par.fault_log, "threads={threads}");
+            assert_eq!(seq.predictions, par.predictions);
+            assert_eq!(seq.degraded_count, par.degraded_count);
+            assert_eq!(seq.retries, par.retries);
+            assert_eq!(seq.breaker_trips, par.breaker_trips);
+            assert_eq!(seq.host_attempts, par.host_attempts);
+        }
+    }
+
+    #[test]
     fn same_plan_is_byte_identical() {
-        let (hw, dmu, data, mut host) = tiny_system();
+        let (hw, dmu, data, host) = tiny_system();
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.9);
         let plan = FaultPlan::seeded(6)
             .with_host_error_rate(0.3)
             .with_host_spikes(0.2, 2.0);
         let policy = DegradationPolicy::default();
         let a = pipeline
-            .run_parallel_with(&mut host, &data, &timing(), 0.5, &plan, &policy)
+            .run_parallel_with(&host, &data, &timing(), 0.5, &plan, &policy)
             .unwrap();
         let b = pipeline
-            .run_parallel_with(&mut host, &data, &timing(), 0.5, &plan, &policy)
+            .run_parallel_with(&host, &data, &timing(), 0.5, &plan, &policy)
             .unwrap();
         assert_eq!(a.fault_log, b.fault_log);
         assert_eq!(a.predictions, b.predictions);

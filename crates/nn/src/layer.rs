@@ -1,6 +1,6 @@
 use std::fmt;
 
-use mp_tensor::{Shape, ShapeError, Tensor};
+use mp_tensor::{Shape, ShapeError, Tensor, Workspace};
 
 use crate::LayerCost;
 
@@ -32,7 +32,10 @@ impl Mode {
 ///
 /// `backward` may rely on state cached by the *most recent* `forward` in
 /// [`Mode::Train`]; calling it in any other sequence is an error.
-pub trait Layer: fmt::Debug + Send {
+///
+/// Layers are `Send + Sync`: [`Layer::infer`] takes `&self`, so a shared
+/// network can run batch shards on several scoped threads at once.
+pub trait Layer: fmt::Debug + Send + Sync {
     /// Human-readable layer label (e.g. `"conv3x3-64"`).
     fn name(&self) -> String;
 
@@ -49,6 +52,19 @@ pub trait Layer: fmt::Debug + Send {
     ///
     /// Returns [`ShapeError`] on a shape mismatch.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, ShapeError>;
+
+    /// Read-only inference pass.
+    ///
+    /// Must produce bit-identical output to `forward(input, Mode::Infer)`
+    /// but never mutates the layer, so a shared `&Network` can serve many
+    /// threads. Hot layers lower through the `_into` kernels in
+    /// [`mp_tensor::linalg`]/[`mp_tensor::conv`], borrowing scratch space
+    /// from `ws` instead of allocating per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on a shape mismatch.
+    fn infer(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError>;
 
     /// Backpropagates `grad_output`, accumulating parameter gradients and
     /// returning the gradient with respect to the layer input.

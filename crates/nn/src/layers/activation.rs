@@ -1,4 +1,4 @@
-use mp_tensor::{Shape, ShapeError, Tensor};
+use mp_tensor::{Shape, ShapeError, Tensor, Workspace};
 
 use crate::layer::{cached, Layer, Mode};
 
@@ -45,6 +45,10 @@ impl Layer for Relu {
         Ok(input.map(|x| x.max(0.0)))
     }
 
+    fn infer(&self, input: &Tensor, _ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {
         let input = cached(&self.cached_input, "Relu")?;
         input.zip_with(grad_output, |x, g| if x > 0.0 { g } else { 0.0 })
@@ -87,6 +91,10 @@ impl Layer for Sigmoid {
             self.cached_output = Some(out.clone());
         }
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor, _ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        Ok(input.map(Self::eval))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {

@@ -1,4 +1,4 @@
-use mp_tensor::{Shape, ShapeError, Tensor};
+use mp_tensor::{Shape, ShapeError, Tensor, Workspace};
 
 use crate::layer::{Layer, Mode};
 
@@ -223,6 +223,29 @@ impl Layer for BatchNorm {
                 inv_std: inv_stds,
                 input_shape: shape,
             });
+        }
+        Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor, _ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        let (n, _) = self.geometry(input.shape())?;
+        let shape = input.shape().clone();
+        let mut out = Tensor::zeros(shape.clone());
+        #[allow(clippy::needless_range_loop)] // c indexes stats and params alike
+        for c in 0..self.features {
+            let (bstride, coff, p) = Self::channel_offsets(&shape, c);
+            let mean = self.running_mean.as_slice()[c];
+            let var = self.running_var.as_slice()[c];
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            let gamma = self.gamma.as_slice()[c];
+            let beta = self.beta.as_slice()[c];
+            for img in 0..n {
+                let base = img * bstride + coff;
+                for i in base..base + p {
+                    let xhat = (input.as_slice()[i] - mean) * inv_std;
+                    out.as_mut_slice()[i] = gamma * xhat + beta;
+                }
+            }
         }
         Ok(out)
     }

@@ -1,6 +1,6 @@
-use mp_tensor::conv::{col2im, im2col, ConvGeometry};
+use mp_tensor::conv::{col2im, im2col, im2col_slice_into, ConvGeometry};
 use mp_tensor::init::TensorRng;
-use mp_tensor::{linalg, Shape, ShapeError, Tensor};
+use mp_tensor::{linalg, Shape, ShapeError, Tensor, Workspace};
 
 use crate::layer::{Layer, Mode};
 use crate::LayerCost;
@@ -169,6 +169,51 @@ impl Layer for Conv2d {
             self.cached_cols = cols_cache;
             self.cached_input_shape = Some(input.shape().clone());
         }
+        Tensor::from_vec(Shape::nchw(n, self.out_channels, oh, ow), out)
+    }
+
+    fn infer(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        let (n, c, oh, ow) = self.check_input(input.shape())?;
+        let (h, w) = (input.shape().dim(2), input.shape().dim(3));
+        let pixels = oh * ow;
+        let image_len = c * h * w;
+        let fan_in = c * self.geom.kernel * self.geom.kernel;
+        let xv = input.as_slice();
+        // Batch-level GEMM: scatter every image's im2col columns into one
+        // `[fan_in, n·pixels]` patch matrix and multiply once. Each output
+        // element accumulates over the same K entries in the same order as
+        // a per-image product, so results are bit-identical while the GEMM
+        // amortises its tile setup over the whole batch.
+        let mut cols_one = ws.take(fan_in * pixels);
+        let mut cols_all = ws.take(fan_in * n * pixels);
+        cols_all.clear();
+        cols_all.resize(fan_in * n * pixels, 0.0);
+        for img in 0..n {
+            let image = &xv[img * image_len..(img + 1) * image_len];
+            let (rows, cols) = im2col_slice_into(image, c, h, w, self.geom, &mut cols_one)?;
+            debug_assert_eq!((rows, cols), (fan_in, pixels));
+            for r in 0..rows {
+                let dst = r * n * pixels + img * pixels;
+                cols_all[dst..dst + pixels]
+                    .copy_from_slice(&cols_one[r * pixels..(r + 1) * pixels]);
+            }
+        }
+        let patches = Tensor::from_vec(Shape::matrix(fan_in, n * pixels), cols_all)?;
+        let mut y = ws.take(self.out_channels * n * pixels);
+        linalg::matmul_into(&self.weight, &patches, &mut y)?;
+        // Reorder `[oc, n·pixels]` to `[n, oc, pixels]`, adding the bias.
+        let mut out = ws.take(n * self.out_channels * pixels);
+        out.clear();
+        for img in 0..n {
+            for oc in 0..self.out_channels {
+                let b = self.bias.as_slice()[oc];
+                let src = &y[oc * n * pixels + img * pixels..][..pixels];
+                out.extend(src.iter().map(|&v| v + b));
+            }
+        }
+        ws.put(patches.into_vec());
+        ws.put(y);
+        ws.put(cols_one);
         Tensor::from_vec(Shape::nchw(n, self.out_channels, oh, ow), out)
     }
 

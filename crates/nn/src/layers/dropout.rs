@@ -1,5 +1,5 @@
 use mp_tensor::init::TensorRng;
-use mp_tensor::{Shape, ShapeError, Tensor};
+use mp_tensor::{Shape, ShapeError, Tensor, Workspace};
 
 use crate::layer::{cached, Layer, Mode};
 
@@ -82,6 +82,10 @@ impl Layer for Dropout {
         let out = input.zip_with(&mask, |x, m| x * m)?;
         self.cached_mask = Some(mask);
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor, _ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        Ok(input.clone())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {

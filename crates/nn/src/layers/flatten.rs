@@ -1,4 +1,4 @@
-use mp_tensor::{Shape, ShapeError, Tensor};
+use mp_tensor::{Shape, ShapeError, Tensor, Workspace};
 
 use crate::layer::{Layer, Mode};
 
@@ -51,6 +51,10 @@ impl Layer for Flatten {
             self.cached_input_shape = Some(input.shape().clone());
         }
         input.reshape(out_shape)
+    }
+
+    fn infer(&self, input: &Tensor, _ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        input.reshape(self.output_shape(input.shape())?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {

@@ -1,5 +1,5 @@
 use mp_tensor::init::TensorRng;
-use mp_tensor::{linalg, Shape, ShapeError, Tensor};
+use mp_tensor::{linalg, Shape, ShapeError, Tensor, Workspace};
 
 use crate::layer::{cached, Layer, Mode};
 use crate::LayerCost;
@@ -135,6 +135,19 @@ impl Layer for Linear {
             self.cached_input = Some(input.clone());
         }
         Ok(y)
+    }
+
+    fn infer(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        let n = self.check_input(input.shape())?;
+        let mut y = ws.take(n * self.out_features);
+        linalg::matmul_transpose_b_into(input, &self.weight, &mut y)?;
+        for row in 0..n {
+            let slice = &mut y[row * self.out_features..(row + 1) * self.out_features];
+            for (v, &b) in slice.iter_mut().zip(self.bias.iter()) {
+                *v += b;
+            }
+        }
+        Tensor::from_vec(Shape::matrix(n, self.out_features), y)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {

@@ -1,4 +1,4 @@
-use mp_tensor::{Shape, ShapeError, Tensor};
+use mp_tensor::{Shape, ShapeError, Tensor, Workspace};
 
 use crate::layer::{Layer, Mode};
 use crate::LayerCost;
@@ -122,6 +122,13 @@ impl Layer for LocalResponseNorm {
             });
         }
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor, _ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        self.output_shape(input.shape())?;
+        let scale = self.compute_scale(input)?;
+        let beta = self.beta;
+        input.zip_with(&scale, |x, s| x * s.powf(-beta))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {

@@ -1,5 +1,5 @@
 use mp_tensor::conv::ConvGeometry;
-use mp_tensor::{Shape, ShapeError, Tensor};
+use mp_tensor::{Shape, ShapeError, Tensor, Workspace};
 
 use crate::layer::{Layer, Mode};
 
@@ -118,6 +118,39 @@ impl Layer for MaxPool2d {
         Tensor::from_vec(out_shape, out)
     }
 
+    fn infer(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let (n, c, h, w) = check_nchw(input.shape(), "MaxPool2d")?;
+        let (oh, ow) = (out_shape.dim(2), out_shape.dim(3));
+        let k = self.geom.kernel;
+        let s = self.geom.stride;
+        let mut out = ws.take(out_shape.len());
+        out.clear();
+        out.resize(out_shape.len(), 0.0);
+        let xv = input.as_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                let obase = (img * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let v = xv[base + (oy * s + ky) * w + (ox * s + kx)];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        out[obase + oy * ow + ox] = best;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {
         let (in_shape, argmax) = self.cached_argmax.take().ok_or_else(|| {
             ShapeError::new(
@@ -220,6 +253,37 @@ impl Layer for AvgPool2d {
         Tensor::from_vec(out_shape, out)
     }
 
+    fn infer(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let (n, c, h, w) = check_nchw(input.shape(), "AvgPool2d")?;
+        let (oh, ow) = (out_shape.dim(2), out_shape.dim(3));
+        let k = self.geom.kernel;
+        let s = self.geom.stride;
+        let norm = 1.0 / (k * k) as f32;
+        let mut out = ws.take(out_shape.len());
+        out.clear();
+        out.resize(out_shape.len(), 0.0);
+        let xv = input.as_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                let obase = (img * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                acc += xv[base + (oy * s + ky) * w + (ox * s + kx)];
+                            }
+                        }
+                        out[obase + oy * ow + ox] = acc * norm;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {
         let in_shape = self.cached_input_shape.take().ok_or_else(|| {
             ShapeError::new(
@@ -302,6 +366,22 @@ impl Layer for GlobalAvgPool {
         }
         if mode.is_train() {
             self.cached_input_shape = Some(input.shape().clone());
+        }
+        Tensor::from_vec(Shape::matrix(n, c), out)
+    }
+
+    fn infer(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        let (n, c, h, w) = check_nchw(input.shape(), "GlobalAvgPool")?;
+        let plane = h * w;
+        let norm = 1.0 / plane as f32;
+        let mut out = ws.take(n * c);
+        out.clear();
+        out.resize(n * c, 0.0);
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                out[img * c + ch] = input.as_slice()[base..base + plane].iter().sum::<f32>() * norm;
+            }
         }
         Tensor::from_vec(Shape::matrix(n, c), out)
     }

@@ -1,4 +1,4 @@
-use mp_tensor::{Shape, ShapeError, Tensor};
+use mp_tensor::{Shape, ShapeError, Tensor, Workspace};
 
 use crate::layer::{cached, Layer, Mode};
 
@@ -85,6 +85,10 @@ impl Layer for Softmax {
             self.cached_output = Some(out.clone());
         }
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor, _ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        Self::eval(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, ShapeError> {

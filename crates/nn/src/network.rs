@@ -1,7 +1,7 @@
 use std::fmt;
 
 use mp_tensor::init::TensorRng;
-use mp_tensor::{Shape, ShapeError, Tensor};
+use mp_tensor::{nan_aware_argmax, Parallelism, Shape, ShapeError, Tensor, Workspace};
 
 use crate::layer::{Layer, Mode};
 use crate::layers::{
@@ -9,6 +9,15 @@ use crate::layers::{
     MaxPool2d, Relu, Sigmoid, Softmax,
 };
 use crate::LayerCost;
+
+/// Sub-batch size of the shard executor in
+/// [`Network::infer_batch_with`]: large enough to amortise per-call
+/// dispatch, small enough that a sub-batch's inter-layer activations
+/// stay L1/L2-resident.
+const INFER_SUB_BATCH: usize = 16;
+
+/// One worker's share of a batched inference: output dims + row data.
+type InferShard = Result<(Vec<usize>, Vec<f32>), ShapeError>;
 
 /// A sequential network of [`Layer`]s.
 ///
@@ -102,6 +111,145 @@ impl Network {
         Ok(x)
     }
 
+    /// Read-only inference over a shared `&self`.
+    ///
+    /// Bit-identical to [`Network::forward`] but never mutates the
+    /// network, so one network can serve several threads at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `input` does not fit the first layer.
+    pub fn infer(&self, input: &Tensor) -> Result<Tensor, ShapeError> {
+        let mut ws = Workspace::new();
+        self.infer_with(input, &mut ws)
+    }
+
+    /// Read-only inference using caller-provided scratch space.
+    ///
+    /// Inter-layer activations are recycled through `ws`, so repeated
+    /// calls (one per batch of a stream) run allocation-free in the
+    /// steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `input` does not fit the first layer.
+    pub fn infer_with(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+        let mut layers = self.layers.iter();
+        let Some(first) = layers.next() else {
+            return Ok(input.clone());
+        };
+        let mut x = first.infer(input, ws)?;
+        for layer in layers {
+            let y = layer.infer(&x, ws)?;
+            ws.put(std::mem::replace(&mut x, y).into_vec());
+        }
+        Ok(x)
+    }
+
+    /// Batched inference with a throwaway workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `input` does not fit the first layer.
+    pub fn infer_batch(&self, input: &Tensor) -> Result<Tensor, ShapeError> {
+        self.infer_batch_with(input, Parallelism::sequential())
+    }
+
+    /// Batched inference, sharding rows of `input` across `par` scoped
+    /// worker threads.
+    ///
+    /// Each shard walks its rows in cache-friendly sub-batches through a
+    /// reused [`Workspace`]. Every layer computes batch items
+    /// independently at inference time with the same kernels regardless
+    /// of batch size, so the result is bit-identical to the sequential
+    /// path at any thread count and any sub-batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `input` does not fit the first layer.
+    pub fn infer_batch_with(&self, input: &Tensor, par: Parallelism) -> Result<Tensor, ShapeError> {
+        let n = if input.shape().rank() == 0 {
+            0
+        } else {
+            input.shape().dim(0)
+        };
+        if n == 0 {
+            let mut ws = Workspace::new();
+            return self.infer_with(input, &mut ws);
+        }
+        let stride = input.len() / n;
+        let xv = input.as_slice();
+        let dims = input.shape().dims();
+        let chunks = par.chunks(n);
+        let parts: Vec<InferShard> = if chunks.len() <= 1 {
+            vec![self.infer_rows(dims, xv, stride)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(start, end)| {
+                        let rows = &xv[start * stride..end * stride];
+                        scope.spawn(move || self.infer_rows(dims, rows, stride))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("inference worker panicked"))
+                    .collect()
+            })
+        };
+        let mut out: Option<(Vec<usize>, Vec<f32>)> = None;
+        for part in parts {
+            let (part_dims, part_data) = part?;
+            match &mut out {
+                None => out = Some((part_dims, part_data)),
+                Some((dims, data)) => {
+                    dims[0] += part_dims[0];
+                    data.extend_from_slice(&part_data);
+                }
+            }
+        }
+        let (dims, data) = out.expect("parallel inference produced no shards");
+        Tensor::from_vec(Shape::new(dims), data)
+    }
+
+    /// Runs a contiguous run of batch rows through the network in
+    /// sub-batches of [`INFER_SUB_BATCH`] with one shared workspace, so
+    /// inter-layer activations stay cache-resident instead of streaming
+    /// a monolithic batch's worth of intermediates through memory.
+    fn infer_rows(&self, dims: &[usize], rows: &[f32], stride: usize) -> InferShard {
+        let count = rows.len() / stride.max(1);
+        let mut ws = Workspace::new();
+        let mut out: Option<(Vec<usize>, Vec<f32>)> = None;
+        let mut start = 0;
+        while start < count {
+            let end = (start + INFER_SUB_BATCH).min(count);
+            let mut sub_dims = dims.to_vec();
+            sub_dims[0] = end - start;
+            let mut buf = ws.take((end - start) * stride);
+            buf.extend_from_slice(&rows[start * stride..end * stride]);
+            let sub = Tensor::from_vec(Shape::new(sub_dims), buf)?;
+            let y = self.infer_with(&sub, &mut ws)?;
+            ws.put(sub.into_vec());
+            match &mut out {
+                None => {
+                    let mut out_dims = y.shape().dims().to_vec();
+                    let mut data = Vec::with_capacity(y.len() / (end - start) * count);
+                    data.extend_from_slice(y.as_slice());
+                    out_dims[0] = end - start;
+                    out = Some((out_dims, data));
+                }
+                Some((out_dims, data)) => {
+                    out_dims[0] += y.shape().dim(0);
+                    data.extend_from_slice(y.as_slice());
+                }
+            }
+            ws.put(y.into_vec());
+            start = end;
+        }
+        out.ok_or_else(|| ShapeError::new("Network::infer_batch_with", "empty shard"))
+    }
+
     /// Backpropagates a loss gradient through all layers.
     ///
     /// # Errors
@@ -169,9 +317,14 @@ impl Network {
 
     /// Predicted class (argmax) per row of a `[N, classes]` score matrix.
     ///
+    /// NaN scores are skipped rather than poisoning the comparison; a row
+    /// with no comparable score at all (empty or all-NaN) is an error
+    /// instead of silently predicting class 0.
+    ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] if `scores` is not rank-2.
+    /// Returns [`ShapeError`] if `scores` is not rank-2 or a row contains
+    /// no comparable (non-NaN) score.
     pub fn argmax_rows(scores: &Tensor) -> Result<Vec<usize>, ShapeError> {
         if scores.shape().rank() != 2 {
             return Err(ShapeError::new(
@@ -183,12 +336,12 @@ impl Network {
         let mut out = Vec::with_capacity(n);
         for row in 0..n {
             let slice = &scores.as_slice()[row * k..(row + 1) * k];
-            let mut best = 0;
-            for (i, &v) in slice.iter().enumerate() {
-                if v > slice[best] {
-                    best = i;
-                }
-            }
+            let best = nan_aware_argmax(slice).ok_or_else(|| {
+                ShapeError::new(
+                    "argmax_rows",
+                    format!("row {row} has no comparable score (empty or all NaN)"),
+                )
+            })?;
             out.push(best);
         }
         Ok(out)
@@ -500,6 +653,80 @@ mod tests {
         let scores = Tensor::from_vec([2, 3], vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.3]).unwrap();
         assert_eq!(Network::argmax_rows(&scores).unwrap(), vec![1, 0]);
         assert!(Network::argmax_rows(&Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn argmax_rows_skips_nan_and_rejects_all_nan_rows() {
+        // A NaN score must not hijack the comparison: the best finite
+        // score wins even when class 0 is NaN.
+        let scores =
+            Tensor::from_vec([2, 3], vec![f32::NAN, 0.2, 0.9, -1.0, f32::NAN, -2.0]).unwrap();
+        assert_eq!(Network::argmax_rows(&scores).unwrap(), vec![2, 0]);
+        // An all-NaN row used to silently predict class 0; now it errors.
+        let poisoned = Tensor::from_vec([1, 2], vec![f32::NAN, f32::NAN]).unwrap();
+        let err = Network::argmax_rows(&poisoned).unwrap_err();
+        assert!(err.to_string().contains("NaN"));
+    }
+
+    fn sample_net(r: &mut TensorRng) -> Network {
+        Network::builder(Shape::nchw(1, 2, 8, 8))
+            .conv2d(4, 3, 1, 1, r)
+            .unwrap()
+            .batch_norm()
+            .unwrap()
+            .relu()
+            .max_pool(2)
+            .unwrap()
+            .conv2d(6, 3, 1, 0, r)
+            .unwrap()
+            .relu()
+            .flatten()
+            .linear(10, r)
+            .unwrap()
+            .softmax()
+            .build()
+    }
+
+    #[test]
+    fn infer_is_bit_identical_to_forward() {
+        let mut r = rng();
+        let mut net = sample_net(&mut r);
+        let x = r.normal(Shape::nchw(5, 2, 8, 8), 0.0, 1.0);
+        let expected = net.forward(&x).unwrap();
+        let got = net.infer(&x).unwrap();
+        assert_eq!(expected.shape(), got.shape());
+        assert_eq!(expected.as_slice(), got.as_slice());
+    }
+
+    #[test]
+    fn infer_with_reuses_workspace_buffers() {
+        let mut r = rng();
+        let net = sample_net(&mut r);
+        let x = r.normal(Shape::nchw(2, 2, 8, 8), 0.0, 1.0);
+        let mut ws = Workspace::new();
+        let first = net.infer_with(&x, &mut ws).unwrap();
+        assert!(ws.pooled() > 0, "inference should recycle buffers");
+        let second = net.infer_with(&x, &mut ws).unwrap();
+        assert_eq!(first.as_slice(), second.as_slice());
+    }
+
+    #[test]
+    fn parallel_batched_inference_matches_sequential_bit_for_bit() {
+        let mut r = rng();
+        let net = sample_net(&mut r);
+        for batch in [1usize, 2, 5, 8] {
+            let x = r.normal(Shape::nchw(batch, 2, 8, 8), 0.0, 1.0);
+            let sequential = net.infer_batch(&x).unwrap();
+            for threads in [2usize, 3, 7] {
+                let parallel = net.infer_batch_with(&x, Parallelism::new(threads)).unwrap();
+                assert_eq!(sequential.shape(), parallel.shape());
+                assert_eq!(
+                    sequential.as_slice(),
+                    parallel.as_slice(),
+                    "batch {batch} × {threads} threads diverged"
+                );
+            }
+        }
     }
 
     #[test]

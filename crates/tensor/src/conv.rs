@@ -50,9 +50,19 @@ impl ConvGeometry {
 
     /// Output spatial extent for an input extent of `input`.
     ///
-    /// Returns 0 when the window does not fit.
+    /// Returns 0 when the window does not fit, including when
+    /// `input + 2·padding` would overflow `usize` — absurd padding must
+    /// not wrap around and report a bogus (tiny) output size in release
+    /// builds.
     pub fn output_dim(&self, input: usize) -> usize {
-        let padded = input + 2 * self.padding;
+        let padded = match self
+            .padding
+            .checked_mul(2)
+            .and_then(|both| input.checked_add(both))
+        {
+            Some(padded) => padded,
+            None => return 0,
+        };
         if padded < self.kernel {
             0
         } else {
@@ -73,6 +83,24 @@ impl ConvGeometry {
 /// Returns [`ShapeError`] if `image` is not a `[1, C, H, W]` tensor or the
 /// window does not fit the padded input.
 pub fn im2col(image: &Tensor, geom: ConvGeometry) -> Result<Tensor, ShapeError> {
+    let mut out = Vec::new();
+    let (rows, cols) = im2col_into(image, geom, &mut out)?;
+    Tensor::from_vec(Shape::matrix(rows, cols), out)
+}
+
+/// [`im2col`] writing into a reusable caller-owned buffer.
+///
+/// `out` is cleared and resized to `C·K·K × OH·OW`, reusing its existing
+/// capacity; returns the `(rows, cols)` of the patch matrix.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`im2col`].
+pub fn im2col_into(
+    image: &Tensor,
+    geom: ConvGeometry,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize), ShapeError> {
     let shape = image.shape();
     if shape.rank() != 4 || shape.dim(0) != 1 {
         return Err(ShapeError::new(
@@ -81,6 +109,38 @@ pub fn im2col(image: &Tensor, geom: ConvGeometry) -> Result<Tensor, ShapeError> 
         ));
     }
     let (c, h, w) = (shape.dim(1), shape.dim(2), shape.dim(3));
+    im2col_slice_into(image.as_slice(), c, h, w, geom, out)
+}
+
+/// [`im2col`] over a raw `C·H·W` plane slice, writing into a reusable
+/// buffer.
+///
+/// This is the zero-copy entry point batched inference uses: one image of
+/// an NCHW batch can be lowered directly from its slice of the batch
+/// tensor, without first materialising a `[1, C, H, W]` copy.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `image` is not exactly `c·h·w` elements or
+/// the window does not fit the padded input.
+pub fn im2col_slice_into(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize), ShapeError> {
+    if image.len() != c * h * w {
+        return Err(ShapeError::new(
+            "im2col",
+            format!(
+                "expected {c}×{h}×{w} = {} elements, got {}",
+                c * h * w,
+                image.len()
+            ),
+        ));
+    }
     let oh = geom.output_dim(h);
     let ow = geom.output_dim(w);
     if oh == 0 || ow == 0 {
@@ -95,10 +155,10 @@ pub fn im2col(image: &Tensor, geom: ConvGeometry) -> Result<Tensor, ShapeError> 
     let k = geom.kernel;
     let cols = oh * ow;
     let rows = c * k * k;
-    let mut out = vec![0.0f32; rows * cols];
-    let img = image.as_slice();
+    out.clear();
+    out.resize(rows * cols, 0.0);
     for ch in 0..c {
-        let plane = &img[ch * h * w..(ch + 1) * h * w];
+        let plane = &image[ch * h * w..(ch + 1) * h * w];
         for ky in 0..k {
             for kx in 0..k {
                 let row = (ch * k + ky) * k + kx;
@@ -120,7 +180,7 @@ pub fn im2col(image: &Tensor, geom: ConvGeometry) -> Result<Tensor, ShapeError> 
             }
         }
     }
-    Tensor::from_vec(Shape::matrix(rows, cols), out)
+    Ok((rows, cols))
 }
 
 /// Adjoint of [`im2col`]: scatters a patch-matrix gradient back to image
@@ -196,9 +256,40 @@ mod tests {
     }
 
     #[test]
+    fn output_dim_overflow_returns_zero() {
+        // Regression: `input + 2·padding` used to wrap in release builds
+        // and report a bogus output size.
+        let g = ConvGeometry::new(3, 1, usize::MAX / 2 + 1);
+        assert_eq!(g.output_dim(10), 0);
+        let h = ConvGeometry::new(3, 1, 1);
+        assert_eq!(h.output_dim(usize::MAX - 1), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "kernel must be positive")]
     fn zero_kernel_panics() {
         let _ = ConvGeometry::new(0, 1, 0);
+    }
+
+    #[test]
+    fn im2col_into_matches_allocating_path_and_reuses_buffer() {
+        let img = Tensor::from_fn(Shape::nchw(1, 2, 5, 4), |i| (i as f32) * 0.3 - 2.0);
+        let geom = ConvGeometry::new(3, 1, 1);
+        let want = im2col(&img, geom).unwrap();
+        let mut buf = vec![7.0f32; 3]; // stale contents must be overwritten
+        let (rows, cols) = im2col_into(&img, geom, &mut buf).unwrap();
+        assert_eq!((rows, cols), (want.shape().dim(0), want.shape().dim(1)));
+        assert_eq!(buf.as_slice(), want.as_slice());
+        let cap = buf.capacity();
+        im2col_into(&img, geom, &mut buf).unwrap();
+        assert_eq!(buf.capacity(), cap);
+
+        // The slice entry point lowers straight out of a batch tensor.
+        let plane = img.as_slice();
+        let (r2, c2) = im2col_slice_into(plane, 2, 5, 4, geom, &mut buf).unwrap();
+        assert_eq!((r2, c2), (rows, cols));
+        assert_eq!(buf.as_slice(), want.as_slice());
+        assert!(im2col_slice_into(&plane[1..], 2, 5, 4, geom, &mut buf).is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 mod error;
 mod shape;
 mod tensor;
+mod workspace;
 
 pub mod conv;
 pub mod init;
@@ -42,4 +43,5 @@ pub mod linalg;
 
 pub use error::ShapeError;
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{nan_aware_argmax, Tensor};
+pub use workspace::{Parallelism, Workspace};

@@ -4,6 +4,14 @@
 //! convolutions (via [`crate::conv::im2col`]) and fully-connected layers.
 //! [`matmul_transpose_a`] / [`matmul_transpose_b`] cover the two transposed
 //! products backpropagation needs without materialising transposed copies.
+//!
+//! Every product also has an `_into` variant that writes into a reusable
+//! caller-owned buffer (see [`crate::Workspace`]) so hot inference loops can
+//! run without per-call allocations.
+//!
+//! All kernels propagate non-finite values: `0 × NaN = NaN` and
+//! `0 × ∞ = NaN` reach the output instead of being skipped, so upstream
+//! numerical blowups surface instead of being masked by zero weights.
 
 use crate::{Shape, ShapeError, Tensor};
 
@@ -20,10 +28,152 @@ fn expect_matrix(t: &Tensor, op: &str, name: &str) -> Result<(usize, usize), Sha
     Ok((t.shape().dim(0), t.shape().dim(1)))
 }
 
+/// Core GEMM micro-kernel: `out[i][j] += sum_k a[i][k] * b[k][j]`.
+///
+/// Blocked over `m` and `k`, with the `k` loop unrolled by four so each
+/// pass over an output row folds four rank-1 updates into one. `out` must
+/// already be zeroed (or hold a partial sum to accumulate onto).
+fn gemm_kernel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                let mut kk = k0;
+                while kk + 4 <= k1 {
+                    let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+                    let b0 = &b[kk * n..(kk + 1) * n];
+                    let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+                    let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+                    let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                    }
+                    kk += 4;
+                }
+                for kr in kk..k1 {
+                    let aik = arow[kr];
+                    let brow = &b[kr * n..(kr + 1) * n];
+                    for (o, &bkj) in orow.iter_mut().zip(brow) {
+                        *o += aik * bkj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `aᵀ × b` micro-kernel: `out[i][j] += sum_k a[k][i] * b[k][j]`.
+///
+/// Mirrors [`gemm_kernel`]'s blocking and unroll grouping exactly, so the
+/// result is bit-identical to `gemm_kernel` run on a materialised `aᵀ`.
+fn gemm_ta_kernel(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let orow = &mut out[i * n..(i + 1) * n];
+                let mut kk = k0;
+                while kk + 4 <= k1 {
+                    let a0 = a[kk * m + i];
+                    let a1 = a[(kk + 1) * m + i];
+                    let a2 = a[(kk + 2) * m + i];
+                    let a3 = a[(kk + 3) * m + i];
+                    let b0 = &b[kk * n..(kk + 1) * n];
+                    let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+                    let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+                    let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                    }
+                    kk += 4;
+                }
+                for kr in kk..k1 {
+                    let aki = a[kr * m + i];
+                    let brow = &b[kr * n..(kr + 1) * n];
+                    for (o, &bkj) in orow.iter_mut().zip(brow) {
+                        *o += aki * bkj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `a × bᵀ` micro-kernel: `out[i][j] = dot(a_row_i, b_row_j)`.
+///
+/// Both operands are walked along contiguous rows; the dot is split over
+/// four accumulators to break the serial FP dependency chain.
+fn gemm_tb_kernel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc0 = 0.0f32;
+            let mut acc1 = 0.0f32;
+            let mut acc2 = 0.0f32;
+            let mut acc3 = 0.0f32;
+            let mut kk = 0;
+            while kk + 4 <= k {
+                acc0 += arow[kk] * brow[kk];
+                acc1 += arow[kk + 1] * brow[kk + 1];
+                acc2 += arow[kk + 2] * brow[kk + 2];
+                acc3 += arow[kk + 3] * brow[kk + 3];
+                kk += 4;
+            }
+            let mut acc = (acc0 + acc1) + (acc2 + acc3);
+            for kr in kk..k {
+                acc += arow[kr] * brow[kr];
+            }
+            *o += acc;
+        }
+    }
+}
+
+fn check_inner(op: &str, what: &str, ka: usize, kb: usize) -> Result<(), ShapeError> {
+    if ka != kb {
+        return Err(ShapeError::new(op, format!("{what} differ: {ka} vs {kb}")));
+    }
+    Ok(())
+}
+
+/// Zero-fills `out` to exactly `len` elements, reusing its capacity.
+fn reset(out: &mut Vec<f32>, len: usize) {
+    out.clear();
+    out.resize(len, 0.0);
+}
+
+/// Matrix product `a × b` written into a reusable buffer.
+///
+/// `out` is cleared and resized to `m × n`; its existing capacity is
+/// reused, so repeated calls with the same buffer do not allocate.
+/// Returns the `(rows, cols)` of the product.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the inner
+/// dimensions disagree.
+pub fn matmul_into(
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize), ShapeError> {
+    let (m, ka) = expect_matrix(a, "matmul", "a")?;
+    let (kb, n) = expect_matrix(b, "matmul", "b")?;
+    check_inner("matmul", "inner dimensions", ka, kb)?;
+    reset(out, m * n);
+    gemm_kernel(m, ka, n, a.as_slice(), b.as_slice(), out);
+    Ok((m, n))
+}
+
 /// Matrix product `a × b` for row-major matrices.
 ///
-/// Uses i-k-j loop order with cache blocking, which vectorises well on the
-/// innermost contiguous axis.
+/// Uses i-k-j loop order with cache blocking and a four-way unrolled
+/// inner update, which vectorises well on the innermost contiguous axis.
 ///
 /// # Errors
 ///
@@ -43,38 +193,31 @@ fn expect_matrix(t: &Tensor, op: &str, name: &str) -> Result<(usize, usize), Sha
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
-    let (m, ka) = expect_matrix(a, "matmul", "a")?;
-    let (kb, n) = expect_matrix(b, "matmul", "b")?;
-    if ka != kb {
-        return Err(ShapeError::new(
-            "matmul",
-            format!("inner dimensions differ: {ka} vs {kb}"),
-        ));
-    }
-    let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
-        for k0 in (0..ka).step_by(BLOCK) {
-            let k1 = (k0 + BLOCK).min(ka);
-            for i in i0..i1 {
-                let arow = &av[i * ka..(i + 1) * ka];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for k in k0..k1 {
-                    let aik = arow[k];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let brow = &bv[k * n..(k + 1) * n];
-                    for (o, &bkj) in orow.iter_mut().zip(brow) {
-                        *o += aik * bkj;
-                    }
-                }
-            }
-        }
-    }
+    let mut out = Vec::new();
+    let (m, n) = matmul_into(a, b, &mut out)?;
     Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// Matrix product `aᵀ × b` written into a reusable buffer.
+///
+/// Same buffer contract as [`matmul_into`]. Bit-identical to
+/// `matmul_into(transpose(a), b, out)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the row counts
+/// of `a` and `b` disagree.
+pub fn matmul_transpose_a_into(
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize), ShapeError> {
+    let (ka, m) = expect_matrix(a, "matmul_transpose_a", "a")?;
+    let (kb, n) = expect_matrix(b, "matmul_transpose_a", "b")?;
+    check_inner("matmul_transpose_a", "row counts", ka, kb)?;
+    reset(out, m * n);
+    gemm_ta_kernel(ka, m, n, a.as_slice(), b.as_slice(), out);
+    Ok((m, n))
 }
 
 /// Matrix product `aᵀ × b` without materialising `aᵀ`.
@@ -84,31 +227,30 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
 /// Returns [`ShapeError`] if either input is not rank-2 or the row counts
 /// of `a` and `b` disagree.
 pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
-    let (ka, m) = expect_matrix(a, "matmul_transpose_a", "a")?;
-    let (kb, n) = expect_matrix(b, "matmul_transpose_a", "b")?;
-    if ka != kb {
-        return Err(ShapeError::new(
-            "matmul_transpose_a",
-            format!("row counts differ: {ka} vs {kb}"),
-        ));
-    }
-    let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    for k in 0..ka {
-        let arow = &av[k * m..(k + 1) * m];
-        let brow = &bv[k * n..(k + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow) {
-                *o += aki * bkj;
-            }
-        }
-    }
+    let mut out = Vec::new();
+    let (m, n) = matmul_transpose_a_into(a, b, &mut out)?;
     Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// Matrix product `a × bᵀ` written into a reusable buffer.
+///
+/// Same buffer contract as [`matmul_into`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the column
+/// counts of `a` and `b` disagree.
+pub fn matmul_transpose_b_into(
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize), ShapeError> {
+    let (m, ka) = expect_matrix(a, "matmul_transpose_b", "a")?;
+    let (n, kb) = expect_matrix(b, "matmul_transpose_b", "b")?;
+    check_inner("matmul_transpose_b", "column counts", ka, kb)?;
+    reset(out, m * n);
+    gemm_tb_kernel(m, ka, n, a.as_slice(), b.as_slice(), out);
+    Ok((m, n))
 }
 
 /// Matrix product `a × bᵀ` without materialising `bᵀ`.
@@ -118,29 +260,8 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> 
 /// Returns [`ShapeError`] if either input is not rank-2 or the column
 /// counts of `a` and `b` disagree.
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
-    let (m, ka) = expect_matrix(a, "matmul_transpose_b", "a")?;
-    let (n, kb) = expect_matrix(b, "matmul_transpose_b", "b")?;
-    if ka != kb {
-        return Err(ShapeError::new(
-            "matmul_transpose_b",
-            format!("column counts differ: {ka} vs {kb}"),
-        ));
-    }
-    let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    for i in 0..m {
-        let arow = &av[i * ka..(i + 1) * ka];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bv[j * kb..(j + 1) * kb];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
-    }
+    let mut out = Vec::new();
+    let (m, n) = matmul_transpose_b_into(a, b, &mut out)?;
     Tensor::from_vec(Shape::matrix(m, n), out)
 }
 
@@ -251,7 +372,11 @@ mod tests {
             let fast = matmul(&a, &b).unwrap();
             let slow = matmul_reference(&a, &b).unwrap();
             for (x, y) in fast.iter().zip(slow.iter()) {
-                assert!((x - y).abs() < 1e-3, "mismatch {x} vs {y} at ({m},{k},{n})");
+                // Mixed tolerance: the unrolled kernel groups partial sums
+                // differently from the naive loop, so large magnitudes can
+                // differ in the last f32 ulp (|y|·2⁻²³ ≈ 0.1 at 9e5).
+                let tol = 1e-3 + y.abs() * 1e-6;
+                assert!((x - y).abs() < tol, "mismatch {x} vs {y} at ({m},{k},{n})");
             }
         }
     }
@@ -279,6 +404,19 @@ mod tests {
         let got2 = matmul_transpose_b(&a, &c).unwrap();
         for (x, y) in got2.iter().zip(want2.iter()) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_a_is_bit_identical_to_explicit_transpose_across_block_edges() {
+        // The unroll grouping in gemm_ta_kernel must mirror gemm_kernel so
+        // reordered summation cannot introduce drift between the two paths.
+        for (k, m, n) in [(5, 7, 3), (64, 65, 9), (130, 66, 4)] {
+            let a = seq([k, m]);
+            let b = seq([k, n]);
+            let want = matmul(&transpose(&a).unwrap(), &b).unwrap();
+            let got = matmul_transpose_a(&a, &b).unwrap();
+            assert_eq!(got.as_slice(), want.as_slice(), "({k},{m},{n})");
         }
     }
 
@@ -314,5 +452,81 @@ mod tests {
         let a = seq([n, n]);
         assert_eq!(matmul(&eye, &a).unwrap(), a);
         assert_eq!(matmul(&a, &eye).unwrap(), a);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match_allocating_paths() {
+        let a = seq([5, 9]);
+        let b = seq([9, 7]);
+        let mut buf = Vec::new();
+        let (m, n) = matmul_into(&a, &b, &mut buf).unwrap();
+        assert_eq!((m, n), (5, 7));
+        assert_eq!(buf.as_slice(), matmul(&a, &b).unwrap().as_slice());
+        let cap = buf.capacity();
+
+        // Smaller product into the same buffer: no reallocation.
+        let c = seq([3, 9]);
+        matmul_into(&c, &b, &mut buf).unwrap();
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_slice(), matmul(&c, &b).unwrap().as_slice());
+
+        let ta = seq([9, 5]);
+        matmul_transpose_a_into(&ta, &b, &mut buf).unwrap();
+        assert_eq!(
+            buf.as_slice(),
+            matmul_transpose_a(&ta, &b).unwrap().as_slice()
+        );
+
+        let tb = seq([7, 9]);
+        matmul_transpose_b_into(&a, &tb, &mut buf).unwrap();
+        assert_eq!(
+            buf.as_slice(),
+            matmul_transpose_b(&a, &tb).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_weights() {
+        // Regression: the old kernel skipped a[i][k] == 0.0, so a zero
+        // weight silently swallowed a NaN/inf activation.
+        let a = Tensor::from_vec([1, 2], vec![0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec([2, 2], vec![f32::NAN, f32::INFINITY, 1.0, 2.0]).unwrap();
+        let y = matmul(&a, &b).unwrap();
+        assert!(y.as_slice()[0].is_nan(), "0 × NaN must propagate");
+        assert!(
+            y.as_slice()[1].is_nan(),
+            "0 × ∞ must propagate (inf + finite stays NaN-free, 0·∞ = NaN)"
+        );
+    }
+
+    #[test]
+    fn matmul_transpose_a_propagates_nan_through_zero_weights() {
+        let a = Tensor::from_vec([2, 1], vec![0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec([2, 2], vec![f32::NAN, f32::INFINITY, 1.0, 2.0]).unwrap();
+        let y = matmul_transpose_a(&a, &b).unwrap();
+        assert!(y.as_slice()[0].is_nan());
+        assert!(y.as_slice()[1].is_nan());
+    }
+
+    #[test]
+    fn matmul_transpose_b_propagates_nan_through_zero_weights() {
+        let a = Tensor::from_vec([1, 2], vec![0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec([1, 2], vec![f32::NAN, 1.0]).unwrap();
+        let y = matmul_transpose_b(&a, &b).unwrap();
+        assert!(y.as_slice()[0].is_nan());
+    }
+
+    #[test]
+    fn nan_rows_stay_nan_across_all_variants() {
+        let a = Tensor::from_fn([3, 4], |i| if i < 4 { f32::NAN } else { 1.0 });
+        let b = seq([4, 5]);
+        let y = matmul(&a, &b).unwrap();
+        assert!(y.as_slice()[..5].iter().all(|v| v.is_nan()));
+        assert!(y.as_slice()[5..].iter().all(|v| v.is_finite()));
+
+        let bt = seq([5, 4]);
+        let yt = matmul_transpose_b(&a, &bt).unwrap();
+        assert!(yt.as_slice()[..5].iter().all(|v| v.is_nan()));
+        assert!(yt.as_slice()[5..].iter().all(|v| v.is_finite()));
     }
 }

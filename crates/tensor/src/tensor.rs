@@ -267,18 +267,13 @@ impl Tensor {
         self.data.iter().copied().reduce(f32::min)
     }
 
-    /// Index of the maximum element (first on ties), or `None` when empty.
+    /// Index of the maximum element (first on ties), or `None` when the
+    /// tensor is empty or every element is NaN.
+    ///
+    /// NaN elements are ignored rather than poisoning the comparison; see
+    /// [`nan_aware_argmax`].
     pub fn argmax(&self) -> Option<usize> {
-        if self.data.is_empty() {
-            return None;
-        }
-        let mut best = 0;
-        for (i, &x) in self.data.iter().enumerate() {
-            if x > self.data[best] {
-                best = i;
-            }
-        }
-        Some(best)
+        nan_aware_argmax(&self.data)
     }
 
     /// Extracts image `n` from an NCHW batch as a `[1, C, H, W]` tensor.
@@ -441,6 +436,29 @@ impl AddAssign<&Tensor> for Tensor {
     }
 }
 
+/// Index of the largest finite-or-comparable value in `values`, skipping
+/// NaN entries; first index wins ties. Returns `None` when the slice is
+/// empty or all-NaN.
+///
+/// This is the single argmax used for classification everywhere in the
+/// workspace (`Tensor::argmax`, `Network::argmax_rows`, the pipeline's
+///// BNN score stage): a NaN score must never be silently reported as
+/// "class 0", it must be skipped — and an all-NaN row must surface as an
+/// explicit `None` the caller turns into an error.
+pub fn nan_aware_argmax(values: &[f32]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, &x) in values.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some(b) if values[b] >= x => {}
+            _ => best = Some(i),
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +535,20 @@ mod tests {
     fn argmax_takes_first_on_ties() {
         let t = Tensor::from_vec([3], vec![1.0, 1.0, 0.0]).unwrap();
         assert_eq!(t.argmax(), Some(0));
+    }
+
+    #[test]
+    fn argmax_skips_nan_instead_of_defaulting_to_zero() {
+        assert_eq!(nan_aware_argmax(&[f32::NAN, 1.0, 2.0]), Some(2));
+        assert_eq!(nan_aware_argmax(&[1.0, f32::NAN, 0.5]), Some(0));
+        assert_eq!(nan_aware_argmax(&[f32::NAN, f32::NAN]), None);
+        assert_eq!(nan_aware_argmax(&[]), None);
+        assert_eq!(
+            nan_aware_argmax(&[f32::NEG_INFINITY, f32::INFINITY]),
+            Some(1)
+        );
+        let t = Tensor::from_vec([3], vec![f32::NAN, 0.1, 0.9]).unwrap();
+        assert_eq!(t.argmax(), Some(2));
     }
 
     #[test]

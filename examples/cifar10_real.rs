@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let timing = PipelineTiming::new(1.0 / 430.15, 1.0 / 29.68, 100);
     let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.84);
-    let result = pipeline.run(&mut host, &test, &timing, host_acc)?;
+    let result = pipeline.run(&host, &test, &timing, host_acc)?;
     println!(
         "\nreal CIFAR-10 results: BNN {:.1}% → multi-precision {:.1}% \
          ({:.1}% of images rerun) at {:.1} img/s modelled",

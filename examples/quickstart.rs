@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.synth.noise_std = 0.35;
     config.synth.blend = 0.2;
     println!("training BNN + hosts + DMU on synthetic images…");
-    let mut system = TrainedSystem::prepare(&config)?;
+    let system = TrainedSystem::prepare(&config)?;
     println!(
         "BNN (hardware XNOR-popcount path): {:.1}% test accuracy",
         100.0 * system.bnn_test_accuracy

@@ -12,7 +12,7 @@ fn system(seed: u64) -> TrainedSystem {
 
 #[test]
 fn pipeline_runs_for_all_host_models() {
-    let mut sys = system(1);
+    let sys = system(1);
     for id in ModelId::ALL {
         let timing = sys.paper_timing(id).expect("timing");
         let r = sys.run_pipeline(id, &timing).expect("pipeline");
@@ -33,7 +33,7 @@ fn pipeline_runs_for_all_host_models() {
 
 #[test]
 fn multi_precision_throughput_sits_between_host_and_bnn() {
-    let mut sys = system(2);
+    let sys = system(2);
     let timing = sys.paper_timing(ModelId::A).expect("timing");
     let r = sys.run_pipeline(ModelId::A, &timing).expect("pipeline");
     let host_fps = 1.0 / timing.t_fp_img_s;
@@ -52,7 +52,7 @@ fn multi_precision_throughput_sits_between_host_and_bnn() {
 
 #[test]
 fn eq2_exact_form_matches_measurement() {
-    let mut sys = system(3);
+    let sys = system(3);
     let timing = sys.paper_timing(ModelId::B).expect("timing");
     let r = sys.run_pipeline(ModelId::B, &timing).expect("pipeline");
     let exact = multiprec::core::model::accuracy_exact(
@@ -71,21 +71,14 @@ fn eq2_exact_form_matches_measurement() {
 
 #[test]
 fn sequential_and_parallel_executors_agree() {
-    let mut sys = system(4);
+    let sys = system(4);
     let timing = sys.paper_timing(ModelId::A).expect("timing");
     let global = sys.host_accuracy(ModelId::A);
-    let hw = sys.hw.clone();
-    let dmu = sys.dmu.clone();
-    let test = sys.test.clone();
-    let (_, host, _) = sys
-        .hosts
-        .iter_mut()
-        .find(|(h, _, _)| *h == ModelId::A)
-        .expect("host");
-    let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.84);
-    let seq = pipeline.run(host, &test, &timing, global).expect("seq");
+    let host = sys.host(ModelId::A);
+    let pipeline = MultiPrecisionPipeline::new(&sys.hw, &sys.dmu, 0.84);
+    let seq = pipeline.run(host, &sys.test, &timing, global).expect("seq");
     let par = pipeline
-        .run_parallel(host, &test, &timing, global)
+        .run_parallel(host, &sys.test, &timing, global)
         .expect("par");
     assert_eq!(seq.predictions, par.predictions);
     assert_eq!(seq.quadrants, par.quadrants);

@@ -20,7 +20,7 @@ use multiprec::nn::train::Model;
 use multiprec::nn::{Mode, Network};
 use multiprec::tensor::conv::{col2im, im2col, ConvGeometry};
 use multiprec::tensor::init::TensorRng;
-use multiprec::tensor::{linalg, Shape, Tensor};
+use multiprec::tensor::{linalg, Parallelism, Shape, Tensor};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -222,8 +222,7 @@ proptest! {
 
 // ---- chaos: fault injection and graceful degradation ----
 
-/// Trained-once components shared across chaos cases (the host network is
-/// rebuilt per case because the pipeline takes it mutably).
+/// Trained-once components shared across chaos cases.
 fn chaos_fixture() -> &'static (HardwareBnn, Dmu, Dataset) {
     static FIXTURE: OnceLock<(HardwareBnn, Dmu, Dataset)> = OnceLock::new();
     FIXTURE.get_or_init(|| {
@@ -269,7 +268,7 @@ proptest! {
     ) {
         silence_injected_panics();
         let (hw, dmu, data) = chaos_fixture();
-        let mut host = chaos_host();
+        let host = chaos_host();
         let mut plan = FaultPlan::seeded(9)
             .with_host_error_rate(error_rate)
             .with_host_spikes(spike_rate, 10.0);
@@ -277,7 +276,7 @@ proptest! {
             plan = plan.with_host_death_after(after);
         }
         let r = MultiPrecisionPipeline::new(hw, dmu, threshold)
-            .run_parallel_with(&mut host, data, &chaos_timing(), 0.5, &plan,
+            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan,
                                &DegradationPolicy::default())
             .expect("recoverable faults must not surface as errors");
         prop_assert_eq!(r.predictions.len(), r.total_images);
@@ -294,15 +293,15 @@ proptest! {
         let (hw, dmu, data) = chaos_fixture();
         let pipeline = MultiPrecisionPipeline::new(hw, dmu, threshold);
         let policy = DegradationPolicy::default();
-        let mut host = chaos_host();
+        let host = chaos_host();
         let clean = pipeline
-            .run_parallel_with(&mut host, data, &chaos_timing(), 0.5,
+            .run_parallel_with(&host, data, &chaos_timing(), 0.5,
                                &FaultPlan::none(), &policy)
             .unwrap();
-        let mut host = chaos_host();
+        let host = chaos_host();
         let plan = FaultPlan::seeded(13).with_host_error_rate(error_rate);
         let faulty = pipeline
-            .run_parallel_with(&mut host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan, &policy)
             .unwrap();
         let n = faulty.total_images as f64;
         // Faults only change degraded images, each worth at most 1/n of
@@ -330,13 +329,13 @@ proptest! {
         let plan = FaultPlan::seeded(seed)
             .with_host_error_rate(error_rate)
             .with_host_spikes(0.1, 10.0);
-        let mut host = chaos_host();
+        let host = chaos_host();
         let a = pipeline
-            .run_parallel_with(&mut host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan, &policy)
             .unwrap();
-        let mut host = chaos_host();
+        let host = chaos_host();
         let b = pipeline
-            .run_parallel_with(&mut host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan, &policy)
             .unwrap();
         let log_a = serde_json::to_string(&a.fault_log).unwrap();
         let log_b = serde_json::to_string(&b.fault_log).unwrap();
@@ -345,5 +344,62 @@ proptest! {
         prop_assert_eq!(a.degraded_count, b.degraded_count);
         prop_assert_eq!(a.retries, b.retries);
         prop_assert_eq!(a.breaker_trips, b.breaker_trips);
+    }
+
+    // ---- data-parallel batched inference ----
+
+    #[test]
+    fn parallel_batched_inference_bit_identical_to_per_image(
+        n in 1usize..9,
+        threads in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        let host = chaos_host();
+        let mut rng = TensorRng::seed_from(seed);
+        let batch = rng.normal(Shape::nchw(n, 3, 8, 8), 0.0, 1.0);
+        // Reference: one image at a time through the workspace engine
+        // (itself bit-identical to `forward` in Infer mode, tested in
+        // mp-nn).
+        let mut reference: Vec<f32> = Vec::new();
+        for i in 0..n {
+            let img = batch.batch_item(i).unwrap();
+            reference.extend(host.infer(&img).unwrap().iter());
+        }
+        let sharded = host
+            .infer_batch_with(&batch, Parallelism::new(threads))
+            .unwrap();
+        prop_assert_eq!(sharded.as_slice(), &reference[..]);
+    }
+
+    #[test]
+    fn chaos_fault_accounting_invariant_under_parallelism(
+        error_rate in 0.0f64..1.0,
+        spike_rate in 0.0f64..0.5,
+        threads in 2usize..6,
+        seed in any::<u64>()
+    ) {
+        let (hw, dmu, data) = chaos_fixture();
+        let policy = DegradationPolicy::default();
+        let plan = FaultPlan::seeded(seed)
+            .with_host_error_rate(error_rate)
+            .with_host_spikes(spike_rate, 10.0);
+        let host = chaos_host();
+        let seq = MultiPrecisionPipeline::new(hw, dmu, 0.9)
+            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .unwrap();
+        let par = MultiPrecisionPipeline::new(hw, dmu, 0.9)
+            .with_parallelism(Parallelism::new(threads))
+            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .unwrap();
+        // Sharding the deferred host batches must not perturb fault
+        // accounting or predictions in any way.
+        let log_seq = serde_json::to_string(&seq.fault_log).unwrap();
+        let log_par = serde_json::to_string(&par.fault_log).unwrap();
+        prop_assert_eq!(log_seq, log_par);
+        prop_assert_eq!(seq.predictions, par.predictions);
+        prop_assert_eq!(seq.degraded_count, par.degraded_count);
+        prop_assert_eq!(seq.retries, par.retries);
+        prop_assert_eq!(seq.host_attempts, par.host_attempts);
+        prop_assert_eq!(seq.breaker_trips, par.breaker_trips);
     }
 }
