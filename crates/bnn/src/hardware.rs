@@ -66,6 +66,62 @@ impl HwThreshold {
     }
 }
 
+/// Observed accumulator extremes of one engine during a traced
+/// inference ([`HardwareBnn::infer_image_traced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccRange {
+    /// Smallest accumulation seen.
+    pub min: i64,
+    /// Largest accumulation seen.
+    pub max: i64,
+}
+
+impl AccRange {
+    /// The empty range (`min > max`), before any observation.
+    pub fn empty() -> Self {
+        Self {
+            min: i64::MAX,
+            max: i64::MIN,
+        }
+    }
+
+    /// Whether no accumulation was observed.
+    pub fn is_empty(&self) -> bool {
+        self.min > self.max
+    }
+
+    /// Widens the range to include `acc`.
+    pub fn observe(&mut self, acc: i64) {
+        self.min = self.min.min(acc);
+        self.max = self.max.max(acc);
+    }
+
+    /// Merges another observed range into this one.
+    pub fn merge(&mut self, other: AccRange) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Structural facts about one synthesised engine, exposed for static
+/// analysis (mp-verify) without handing out the weight memories.
+#[derive(Debug, Clone)]
+pub struct StageSummary {
+    /// Weight-matrix columns: the engine's accumulation fan-in.
+    pub fan_in: usize,
+    /// Weight-matrix rows: output channels (or features).
+    pub out_channels: usize,
+    /// Fixed-point first stage (Q2.6 pixels) rather than ±1 inputs.
+    pub first: bool,
+    /// Accumulate-only output stage (no thresholds by design).
+    pub output: bool,
+    /// Whether a 2×2 OR-pool follows the engine.
+    pub pool: bool,
+    /// Folded thresholds, one per output channel (empty for the output
+    /// stage).
+    pub thresholds: Vec<HwThreshold>,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum HwStage {
     /// First engine: fixed-point pixels × binary weights.
@@ -213,6 +269,61 @@ impl HardwareBnn {
         self.topology.engines()
     }
 
+    /// Per-engine structural summaries for static analysis: fan-in,
+    /// output width, threshold tables, and stage role.
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        self.stages
+            .iter()
+            .map(|stage| match stage {
+                HwStage::FirstConv {
+                    weights,
+                    thresholds,
+                    pool,
+                    ..
+                } => StageSummary {
+                    fan_in: weights.num_cols(),
+                    out_channels: weights.num_rows(),
+                    first: true,
+                    output: false,
+                    pool: *pool,
+                    thresholds: thresholds.clone(),
+                },
+                HwStage::BinConv {
+                    weights,
+                    thresholds,
+                    pool,
+                    ..
+                } => StageSummary {
+                    fan_in: weights.num_cols(),
+                    out_channels: weights.num_rows(),
+                    first: false,
+                    output: false,
+                    pool: *pool,
+                    thresholds: thresholds.clone(),
+                },
+                HwStage::BinFc {
+                    weights,
+                    thresholds,
+                } => StageSummary {
+                    fan_in: weights.num_cols(),
+                    out_channels: weights.num_rows(),
+                    first: false,
+                    output: false,
+                    pool: false,
+                    thresholds: thresholds.clone(),
+                },
+                HwStage::OutputFc { weights } => StageSummary {
+                    fan_in: weights.num_cols(),
+                    out_channels: weights.num_rows(),
+                    first: false,
+                    output: true,
+                    pool: false,
+                    thresholds: Vec::new(),
+                },
+            })
+            .collect()
+    }
+
     /// Quantises one pixel to the first engine's fixed-point grid.
     pub fn quantize_pixel(x: f32) -> i64 {
         (x.clamp(-INPUT_QUANT_RANGE, INPUT_QUANT_RANGE) * INPUT_QUANT_SCALE).round() as i64
@@ -225,6 +336,34 @@ impl HardwareBnn {
     ///
     /// Returns [`ShapeError`] when the image does not match the topology.
     pub fn infer_image(&self, image: &Tensor) -> Result<Vec<i64>, ShapeError> {
+        self.infer_image_obs(image, &mut |_, _| {})
+    }
+
+    /// [`Self::infer_image`] with per-engine accumulator extremes
+    /// recorded: returns the scores plus one observed [`AccRange`] per
+    /// engine. The soundness property tests compare these runtime
+    /// ranges against mp-verify's static intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the image does not match the topology.
+    pub fn infer_image_traced(
+        &self,
+        image: &Tensor,
+    ) -> Result<(Vec<i64>, Vec<AccRange>), ShapeError> {
+        let mut ranges = vec![AccRange::empty(); self.stages.len()];
+        let scores = self.infer_image_obs(image, &mut |stage, acc| ranges[stage].observe(acc))?;
+        Ok((scores, ranges))
+    }
+
+    /// Reference inference with an observer called on every integer
+    /// accumulation `(stage index, acc)` before thresholding. The no-op
+    /// observer of [`Self::infer_image`] monomorphises away.
+    fn infer_image_obs<F: FnMut(usize, i64)>(
+        &self,
+        image: &Tensor,
+        obs: &mut F,
+    ) -> Result<Vec<i64>, ShapeError> {
         let want = Shape::nchw(
             1,
             self.topology.channels(),
@@ -244,7 +383,7 @@ impl HardwareBnn {
             self.topology.width(),
         );
         let mut scores: Option<Vec<i64>> = None;
-        for stage in &self.stages {
+        for (si, stage) in self.stages.iter().enumerate() {
             match stage {
                 HwStage::FirstConv {
                     weights,
@@ -278,6 +417,7 @@ impl HardwareBnn {
                                 for (i, &x) in patch.iter().enumerate() {
                                     acc += if row.get(i) { x } else { -x };
                                 }
+                                obs(si, acc);
                                 out[(oc * oh + oy) * ow + ox] = thresholds[oc].fires(acc);
                             }
                         }
@@ -317,6 +457,7 @@ impl HardwareBnn {
                             }
                             for oc in 0..od {
                                 let acc = weights.row(oc).xnor_dot(&patch) as i64;
+                                obs(si, acc);
                                 out[(oc * oh + oy) * ow + ox] = thresholds[oc].fires(acc);
                             }
                         }
@@ -338,13 +479,19 @@ impl HardwareBnn {
                     bits = acc
                         .iter()
                         .zip(thresholds)
-                        .map(|(&a, t)| t.fires(a as i64))
+                        .map(|(&a, t)| {
+                            obs(si, a as i64);
+                            t.fires(a as i64)
+                        })
                         .collect();
                     dims = (bits.len(), 1, 1);
                 }
                 HwStage::OutputFc { weights } => {
                     let x = BitVec::from_bools(&bits);
                     let acc = weights.xnor_matvec(&x);
+                    for &a in &acc {
+                        obs(si, i64::from(a));
+                    }
                     scores = Some(
                         acc.into_iter()
                             .take(self.topology.classes())

@@ -39,5 +39,5 @@ pub mod ste;
 mod topology;
 
 pub use classifier::BnnClassifier;
-pub use hardware::HardwareBnn;
+pub use hardware::{AccRange, HardwareBnn, StageSummary};
 pub use topology::{EngineKind, EngineSpec, FinnTopology};

@@ -8,14 +8,51 @@
 //! procedure the paper describes for producing the configurations of
 //! Fig. 3.
 
-use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use serde::{Deserialize, Error, Serialize, Value};
 
 use mp_bnn::EngineSpec;
 
 use crate::cycle_model::{engine_cycles, valid_p, valid_s};
 
+/// A degenerate folding request: `P` or `S` was zero.
+///
+/// Zero tiles would divide by zero in the cycle model (eqs. 3–4) and
+/// allocate nothing in the memory model, so folding constructors reject
+/// them with this typed error (mp-verify's `MP0301` is the static twin
+/// of this runtime check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldingError {
+    /// The rejected PE count.
+    pub p: usize,
+    /// The rejected SIMD lane count.
+    pub s: usize,
+    /// Index of the offending engine, when known.
+    pub engine: Option<usize>,
+}
+
+impl fmt::Display for FoldingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.engine {
+            Some(i) => write!(
+                f,
+                "engine {i}: folding P={} S={} is degenerate (P and S must be positive)",
+                self.p, self.s
+            ),
+            None => write!(
+                f,
+                "folding P={} S={} is degenerate (P and S must be positive)",
+                self.p, self.s
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FoldingError {}
+
 /// The `(P, S)` choice for one engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub struct EngineFolding {
     /// Processing elements (rows of the weight tile).
     pub p: usize,
@@ -28,15 +65,42 @@ impl EngineFolding {
     ///
     /// # Panics
     ///
-    /// Panics if `p` or `s` is zero.
+    /// Panics if `p` or `s` is zero; use [`Self::try_new`] to handle
+    /// the degenerate case gracefully.
     pub fn new(p: usize, s: usize) -> Self {
-        assert!(p > 0 && s > 0, "P and S must be positive");
-        Self { p, s }
+        match Self::try_new(p, s) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a folding, rejecting zero `P`/`S` with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FoldingError`] if `p` or `s` is zero.
+    pub fn try_new(p: usize, s: usize) -> Result<Self, FoldingError> {
+        if p == 0 || s == 0 {
+            return Err(FoldingError { p, s, engine: None });
+        }
+        Ok(Self { p, s })
     }
 
     /// Multiplier (XNOR-lane) count `P·S`.
     pub fn lanes(&self) -> usize {
         self.p * self.s
+    }
+}
+
+// Manual Deserialize: the fields are public (struct-literal
+// construction can still produce zeros for tests), but data read back
+// from disk must not smuggle a degenerate folding past the
+// constructors.
+impl<'de> Deserialize<'de> for EngineFolding {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let p = usize::from_value(value.get_field("p")?)?;
+        let s = usize::from_value(value.get_field("s")?)?;
+        EngineFolding::try_new(p, s).map_err(Error::custom)
     }
 }
 
@@ -48,7 +112,41 @@ pub struct Folding {
 
 impl Folding {
     /// Creates a folding from per-engine choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any engine's `P` or `S` is zero (possible via the
+    /// public fields of [`EngineFolding`]); use [`Self::try_new`] to
+    /// handle it gracefully.
     pub fn new(engines: Vec<EngineFolding>) -> Self {
+        match Self::try_new(engines) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a folding, validating every engine's `(P, S)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FoldingError`] naming the first degenerate engine.
+    pub fn try_new(engines: Vec<EngineFolding>) -> Result<Self, FoldingError> {
+        for (i, f) in engines.iter().enumerate() {
+            if f.p == 0 || f.s == 0 {
+                return Err(FoldingError {
+                    p: f.p,
+                    s: f.s,
+                    engine: Some(i),
+                });
+            }
+        }
+        Ok(Self { engines })
+    }
+
+    /// Creates a folding without validation, for constructing
+    /// deliberately broken configurations in tests and for mp-verify's
+    /// golden fixtures. Anything downstream may panic on zeros.
+    pub fn new_unchecked(engines: Vec<EngineFolding>) -> Self {
         Self { engines }
     }
 
@@ -133,8 +231,12 @@ impl<'a> FoldingSearch<'a> {
                 }
             }
         }
-        // Unreachable target: run fully parallel.
-        best.unwrap_or_else(|| EngineFolding::new(spec.weight_rows(), spec.weight_cols()))
+        // Unreachable target: run fully parallel. The `.max(1)` keeps
+        // the fallback non-degenerate even for a zero-dimension spec
+        // (which mp-verify reports as MP0109 separately).
+        best.unwrap_or_else(|| {
+            EngineFolding::new(spec.weight_rows().max(1), spec.weight_cols().max(1))
+        })
     }
 
     /// Rate-balanced folding: every engine meets `target_cycles` as
@@ -254,5 +356,74 @@ mod tests {
         let f = Folding::new(vec![EngineFolding::new(2, 4), EngineFolding::new(3, 5)]);
         assert_eq!(f.total_pe(), 5);
         assert_eq!(f.total_lanes(), 23);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_p_or_s() {
+        assert_eq!(
+            EngineFolding::try_new(0, 4),
+            Err(FoldingError {
+                p: 0,
+                s: 4,
+                engine: None
+            })
+        );
+        assert_eq!(
+            EngineFolding::try_new(4, 0),
+            Err(FoldingError {
+                p: 4,
+                s: 0,
+                engine: None
+            })
+        );
+        assert!(EngineFolding::try_new(1, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn new_panics_on_zero() {
+        let _ = EngineFolding::new(0, 1);
+    }
+
+    #[test]
+    fn folding_try_new_names_the_offending_engine() {
+        let err = Folding::try_new(vec![EngineFolding::new(1, 1), EngineFolding { p: 2, s: 0 }])
+            .unwrap_err();
+        assert_eq!(err.engine, Some(1));
+        assert!(err.to_string().contains("engine 1"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "engine 0")]
+    fn folding_new_panics_on_smuggled_zero() {
+        let _ = Folding::new(vec![EngineFolding { p: 0, s: 3 }]);
+    }
+
+    #[test]
+    fn deserialize_rejects_zero_folding() {
+        let good = EngineFolding::new(2, 3);
+        let round = EngineFolding::from_value(&good.to_value()).expect("valid folding");
+        assert_eq!(round, good);
+        let bad = EngineFolding { p: 0, s: 3 };
+        assert!(EngineFolding::from_value(&bad.to_value()).is_err());
+        // A folding containing a zero engine fails as a whole.
+        let f = Folding::new_unchecked(vec![EngineFolding { p: 1, s: 0 }]);
+        assert!(Folding::from_value(&f.to_value()).is_err());
+    }
+
+    #[test]
+    fn fold_engine_never_degenerate() {
+        let engines = engines();
+        for spec in &engines {
+            for target in [1u64, 1_000, 100_000, u64::MAX] {
+                let f = FoldingSearch::fold_engine(spec, target);
+                assert!(f.p > 0 && f.s > 0, "{}: {f:?}", spec.name);
+            }
+        }
+        // Even a zero-dimension spec yields a usable (1, 1) fallback.
+        let mut broken = engines[0].clone();
+        broken.out_channels = 0;
+        let f = FoldingSearch::fold_engine(&broken, 1_000);
+        assert!(f.p > 0 && f.s > 0);
     }
 }

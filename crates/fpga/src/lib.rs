@@ -52,5 +52,6 @@ pub mod stream_sim;
 
 pub use design::DesignPoint;
 pub use device::Device;
-pub use folding::{EngineFolding, Folding, FoldingSearch};
+pub use folding::{EngineFolding, Folding, FoldingError, FoldingSearch};
+pub use memory::MemoryModel;
 pub use stream_sim::{SimResult, StreamFaults, StreamSim};

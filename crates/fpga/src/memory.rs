@@ -103,15 +103,21 @@ fn bram_blocks(depth: u64, width: u64) -> u64 {
 /// `partition_blocks > 1` models `array_partition block factor=N`: the
 /// array splits into `N` sub-arrays of `ceil(depth/N)` words, each
 /// rounded and mapped independently, plus a small muxing LUT overhead
-/// per extra partition.
+/// per extra partition. A factor larger than the depth is clamped to
+/// the depth — partitions with no words hold no memory and cost
+/// nothing, matching how the pragma degenerates to `complete`
+/// partitioning.
 ///
 /// # Panics
 ///
-/// Panics if `width` or `partition_blocks` is zero.
+/// Panics if `width` or `partition_blocks` is zero, or if
+/// `depth × width` overflows `u64` (no real array does).
 pub fn allocate_array(depth: u64, width: u64, partition_blocks: u64) -> ArrayAlloc {
     assert!(width > 0, "array width must be positive");
     assert!(partition_blocks > 0, "partition count must be positive");
-    let stored_bits = depth * width;
+    let stored_bits = depth
+        .checked_mul(width)
+        .expect("array size overflows u64 bits");
     if stored_bits == 0 {
         return ArrayAlloc::default();
     }
@@ -122,14 +128,11 @@ pub fn allocate_array(depth: u64, width: u64, partition_blocks: u64) -> ArrayAll
             stored_bits,
         };
     }
-    let sub_depth = depth.div_ceil(partition_blocks);
-    let bram = partition_blocks * bram_blocks(sub_depth, width);
+    let blocks = partition_blocks.min(depth);
+    let sub_depth = depth.div_ceil(blocks);
+    let bram = blocks * bram_blocks(sub_depth, width);
     // Output muxing across partitions.
-    let mux_luts = if partition_blocks > 1 {
-        (partition_blocks - 1) * width
-    } else {
-        0
-    };
+    let mux_luts = (blocks - 1) * width;
     ArrayAlloc {
         bram_18k: bram,
         luts: mux_luts,
@@ -143,9 +146,16 @@ pub fn allocate_array(depth: u64, width: u64, partition_blocks: u64) -> ArrayAll
 /// the pragma only "if the allocated BRAMs can be reduced". Deep files
 /// spanning multiple power-of-two units benefit; files using a fraction
 /// of one BRAM cannot be improved (paper §III-A).
+///
+/// Degenerate arrays (zero depth, or any size that maps to LUTs) always
+/// return a factor of 1: there is nothing to partition.
 pub fn best_partition(depth: u64, width: u64) -> u64 {
+    assert!(width > 0, "array width must be positive");
     let mut best_blocks = 1;
     let mut best = allocate_array(depth, width, 1);
+    if best.bram_18k == 0 {
+        return 1;
+    }
     for factor in 2..=8u64.min(depth.max(1)) {
         let cand = allocate_array(depth, width, factor);
         if cand.bram_18k < best.bram_18k {
@@ -374,5 +384,47 @@ mod tests {
     #[should_panic(expected = "width must be positive")]
     fn zero_width_rejected() {
         let _ = allocate_array(10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition count must be positive")]
+    fn zero_partition_rejected() {
+        let _ = allocate_array(10, 8, 0);
+    }
+
+    #[test]
+    fn oversized_partition_factor_clamps_to_depth() {
+        // Depth 2 of 1024-bit words is BRAM-mapped; a factor of 8 must
+        // not allocate 8 BRAMs for 2 words.
+        let clamped = allocate_array(2, 1024, 8);
+        let exact = allocate_array(2, 1024, 2);
+        assert_eq!(clamped.bram_18k, exact.bram_18k);
+        assert_eq!(clamped.luts, exact.luts);
+        assert_eq!(clamped.stored_bits, 2 * 1024);
+    }
+
+    #[test]
+    fn zero_depth_with_any_partition_costs_nothing() {
+        assert_eq!(allocate_array(0, 8, 5), ArrayAlloc::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflowing_array_size_rejected() {
+        let _ = allocate_array(u64::MAX, 2, 1);
+    }
+
+    #[test]
+    fn best_partition_of_degenerate_arrays_is_one() {
+        assert_eq!(best_partition(0, 8), 1);
+        assert_eq!(best_partition(1, 1), 1);
+        // LUT-mapped array: nothing to partition.
+        assert_eq!(best_partition(64, 16), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn best_partition_rejects_zero_width() {
+        let _ = best_partition(10, 0);
     }
 }

@@ -84,6 +84,16 @@ pub trait Layer: fmt::Debug + Send + Sync {
         let _ = visitor;
     }
 
+    /// Visits each parameter (and persistent statistic) tensor
+    /// read-only, for analyses that scan a shared `&Network` — e.g.
+    /// mp-verify's NaN/Inf taint pass. No gradients are visited.
+    ///
+    /// The default implementation visits nothing, which is correct for
+    /// parameter-free layers.
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Tensor)) {
+        let _ = visitor;
+    }
+
     /// Clears accumulated gradients.
     ///
     /// The default implementation does nothing, which is correct for

@@ -305,6 +305,16 @@ impl Layer for BatchNorm {
         visitor(&mut self.beta, &mut self.beta_grad);
     }
 
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Tensor)) {
+        visitor(&self.gamma);
+        visitor(&self.beta);
+        // Running statistics feed inference directly; a NaN here
+        // poisons outputs just like a NaN weight, so the read-only
+        // scan includes them.
+        visitor(&self.running_mean);
+        visitor(&self.running_var);
+    }
+
     fn zero_grads(&mut self) {
         self.gamma_grad.map_inplace(|_| 0.0);
         self.beta_grad.map_inplace(|_| 0.0);

@@ -270,6 +270,11 @@ impl Layer for Conv2d {
         visitor(&mut self.bias, &mut self.bias_grad);
     }
 
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Tensor)) {
+        visitor(&self.weight);
+        visitor(&self.bias);
+    }
+
     fn zero_grads(&mut self) {
         self.weight_grad.map_inplace(|_| 0.0);
         self.bias_grad.map_inplace(|_| 0.0);

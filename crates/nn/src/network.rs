@@ -209,7 +209,12 @@ impl Network {
                 }
             }
         }
-        let (dims, data) = out.expect("parallel inference produced no shards");
+        let (dims, data) = out.ok_or_else(|| {
+            ShapeError::new(
+                "Network::infer_batch_with",
+                "parallel inference produced no shards",
+            )
+        })?;
         Tensor::from_vec(Shape::new(dims), data)
     }
 
@@ -268,6 +273,15 @@ impl Network {
     pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         for layer in &mut self.layers {
             layer.visit_params(visitor);
+        }
+    }
+
+    /// Visits every parameter (and persistent statistic) tensor
+    /// read-only, tagged with its layer index — the scan mp-verify's
+    /// NaN/Inf taint pass runs over a shared `&Network`.
+    pub fn visit_layer_params(&self, visitor: &mut dyn FnMut(usize, &Tensor)) {
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.visit_params_ref(&mut |t| visitor(i, t));
         }
     }
 
@@ -546,15 +560,28 @@ impl NetworkBuilder {
     /// # Panics
     ///
     /// Panics if a deferred shape error from an infallible-style step is
-    /// pending; check [`shape`](Self::shape) to handle it gracefully.
+    /// pending; use [`try_build`](Self::try_build) (or check
+    /// [`shape`](Self::shape)) to handle it gracefully.
     pub fn build(self) -> Network {
-        if let Err(e) = &self.current {
-            panic!("network builder has a deferred shape error: {e}");
+        match self.try_build() {
+            Ok(net) => net,
+            Err(e) => panic!("network builder has a deferred shape error: {e}"),
         }
-        Network {
+    }
+
+    /// Finishes the network, surfacing any deferred shape error as a
+    /// typed result instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ShapeError`] recorded by an infallible-style
+    /// builder step.
+    pub fn try_build(self) -> Result<Network, ShapeError> {
+        self.current?;
+        Ok(Network {
             input_shape: self.input_shape,
             layers: self.layers,
-        }
+        })
     }
 }
 

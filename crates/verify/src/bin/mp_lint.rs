@@ -1,0 +1,186 @@
+//! `mp-lint`: static design-rule checking over the shipped
+//! configurations.
+//!
+//! Runs all three mp-verify passes over the paper topology (anchor
+//! folding, naive and partitioned memory), the scaled topologies, the
+//! partially-binarised variant, every folding-sweep design point behind
+//! Figs. 3–4, and the host model zoo with a DMU attached — then writes
+//! `results/lint_report.json` and exits non-zero if any error-severity
+//! diagnostic was found.
+//!
+//! ```text
+//! cargo run --release -p mp-verify --bin mp_lint [-- --quiet]
+//! ```
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use mp_bnn::FinnTopology;
+use mp_core::dmu::Dmu;
+use mp_fpga::device::Device;
+use mp_fpga::folding::FoldingSearch;
+use mp_fpga::memory::MemoryModel;
+use mp_host::zoo::{self, ModelId};
+use mp_tensor::init::TensorRng;
+use mp_verify::{verify, Report, Severity, VerifyTarget};
+
+/// The whole lint run, as written to `results/lint_report.json`.
+#[derive(Debug, Serialize)]
+struct LintReport {
+    tool: String,
+    targets: usize,
+    errors: usize,
+    warnings: usize,
+    infos: usize,
+    reports: Vec<Report>,
+}
+
+fn results_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join("lint_report.json")
+}
+
+fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet" || a == "-q");
+    let zc702 = Device::zc702();
+    let mut reports: Vec<Report> = Vec::new();
+
+    // 1. The paper topology at its anchor operating point (~430 img/s),
+    //    with and without block array partitioning. These are the
+    //    shipped designs, so budgets are hard errors.
+    let paper = FinnTopology::paper();
+    let engines = paper.engines();
+    let search = FoldingSearch::new(&engines);
+    let anchor = search.balanced(232_558);
+    let dmu = Dmu::new(paper.classes());
+    for (name, memory) in [
+        ("paper-anchor-partitioned", MemoryModel::partitioned()),
+        ("paper-anchor-naive", MemoryModel::naive()),
+    ] {
+        let target = VerifyTarget::from_topology(name, &paper, zc702.clone())
+            .with_folding(anchor.clone())
+            .with_memory(memory)
+            .with_dmu(&dmu);
+        reports.push(verify(&target));
+    }
+
+    // 2. The reduced-scale training topologies.
+    for (name, topo) in [
+        ("scaled-16x16-div4", FinnTopology::scaled(16, 16, 4)),
+        ("scaled-8x8-div8", FinnTopology::scaled(8, 8, 8)),
+    ] {
+        let e = topo.engines();
+        let folding = FoldingSearch::new(&e).balanced(100_000);
+        let target = VerifyTarget::from_topology(name, &topo, zc702.clone())
+            .with_folding(folding)
+            .with_memory(MemoryModel::partitioned());
+        reports.push(verify(&target));
+    }
+
+    // 3. The partially-binarised future-work variant: 4-bit inner
+    //    activations on the larger device, as an exploratory point.
+    {
+        let mut target =
+            VerifyTarget::from_topology("paper-partially-binarised-4bit", &paper, Device::zu3eg())
+                .exploratory();
+        target.engines = paper.engines_partially_binarised(4);
+        let folding = FoldingSearch::new(&target.engines).balanced(232_558);
+        target.folding = Some(folding);
+        target.memory = MemoryModel::partitioned();
+        reports.push(verify(&target));
+    }
+
+    // 4. Every design point of the Figs. 3–4 folding sweep, naive and
+    //    partitioned. Sweep points are exploratory by design (the
+    //    figures chart utilisation up to and beyond the device), so
+    //    over-subscription reports as a warning, not an error.
+    for (variant, memory) in [
+        ("fig3-naive", MemoryModel::naive()),
+        ("fig4-partitioned", MemoryModel::partitioned()),
+    ] {
+        for (i, folding) in search.sweep(25_000, 1_000_000, 16).into_iter().enumerate() {
+            let name = format!("{variant}-point-{i:02}-pe{}", folding.total_pe());
+            let target = VerifyTarget::from_topology(name, &paper, zc702.clone())
+                .with_folding(folding)
+                .with_memory(memory)
+                .exploratory();
+            reports.push(verify(&target));
+        }
+    }
+
+    // 5. The host model zoo (paper-scale builds), checked against the
+    //    10-class pipeline interface with the DMU attached.
+    let mut rng = TensorRng::seed_from(2018);
+    for id in ModelId::ALL {
+        match zoo::build_paper(id, &mut rng) {
+            Ok(net) => {
+                let target = VerifyTarget::host_only(
+                    format!("host-model-{}", id.name()),
+                    &net,
+                    paper.classes(),
+                    zc702.clone(),
+                )
+                .with_dmu(&dmu);
+                reports.push(verify(&target));
+            }
+            Err(e) => {
+                let mut r = Report::new(format!("host-model-{}", id.name()));
+                r.push(
+                    mp_verify::codes::HOST_SHAPE,
+                    Severity::Error,
+                    "dataflow",
+                    "host",
+                    format!("model failed to build: {e}"),
+                );
+                reports.push(r);
+            }
+        }
+    }
+
+    let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
+    let warnings: usize = reports.iter().map(|r| r.count(Severity::Warning)).sum();
+    let infos: usize = reports.iter().map(|r| r.count(Severity::Info)).sum();
+
+    if !quiet {
+        for r in &reports {
+            if r.diagnostics.is_empty() {
+                println!("{}: clean", r.target);
+            } else {
+                print!("{}", r.render_human());
+            }
+        }
+    }
+    println!(
+        "mp-lint: {} target(s), {errors} error(s), {warnings} warning(s), {infos} info",
+        reports.len()
+    );
+
+    let lint = LintReport {
+        tool: "mp-lint".to_owned(),
+        targets: reports.len(),
+        errors,
+        warnings,
+        infos,
+        reports,
+    };
+    let path = results_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match serde_json::to_string_pretty(&lint) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("mp-lint: could not write {}: {e}", path.display());
+            } else {
+                println!("mp-lint: wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("mp-lint: serialization failed: {e}"),
+    }
+
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,353 @@
+//! Pass 1: dataflow and shape checking.
+//!
+//! Walks the engine chain the way the streaming fabric would, deriving
+//! each engine's output interface (channels × height × width, after the
+//! optional 2×2 OR-pool) and checking the next engine consumes exactly
+//! that. Host networks are checked through their own
+//! `Network::output_shape` shape algebra; the DMU's input width must
+//! equal the BNN class count it scores.
+
+use mp_bnn::{EngineKind, EngineSpec};
+
+use crate::diag::{codes, Report, Severity};
+use crate::{engine_site, VerifyTarget};
+
+const PASS: &str = "dataflow";
+
+/// The `(channels, height, width)` interface an engine presents to its
+/// successor, including the 2×2 pool halving (floor division, matching
+/// `FinnTopology::engines`).
+fn output_interface(spec: &EngineSpec) -> (usize, usize, usize) {
+    let (mut h, mut w) = (spec.out_height, spec.out_width);
+    if spec.pool_after {
+        h /= 2;
+        w /= 2;
+    }
+    (spec.out_channels, h, w)
+}
+
+pub(crate) fn check(target: &VerifyTarget, report: &mut Report) {
+    check_engines(target, report);
+    check_dmu(target, report);
+    check_host(target, report);
+}
+
+fn check_engines(target: &VerifyTarget, report: &mut Report) {
+    let engines = &target.engines;
+    if engines.is_empty() {
+        return;
+    }
+
+    if let Some((c, h, w)) = target.image {
+        let e0 = &engines[0];
+        if (e0.in_channels, e0.in_height, e0.in_width) != (c, h, w) {
+            report.push(
+                codes::INPUT_MISMATCH,
+                Severity::Error,
+                PASS,
+                engine_site(0, e0),
+                format!(
+                    "first engine consumes {}x{}x{} but the input image is {c}x{h}x{w}",
+                    e0.in_channels, e0.in_height, e0.in_width
+                ),
+            );
+        }
+    }
+
+    let mut seen_fc = false;
+    for (i, e) in engines.iter().enumerate() {
+        let site = engine_site(i, e);
+
+        if e.weight_rows() == 0 || e.weight_cols() == 0 || e.output_pixels() == 0 {
+            report.push(
+                codes::DEGENERATE_ENGINE,
+                Severity::Error,
+                PASS,
+                site.clone(),
+                format!(
+                    "degenerate engine: weight matrix {}x{}, {} output pixels",
+                    e.weight_rows(),
+                    e.weight_cols(),
+                    e.output_pixels()
+                ),
+            );
+        }
+
+        match e.kind {
+            EngineKind::Conv => {
+                if seen_fc {
+                    report.push(
+                        codes::CHANNEL_CHAIN,
+                        Severity::Error,
+                        PASS,
+                        site.clone(),
+                        "conv engine appears after an FC engine; the flattened \
+                         feature vector cannot be re-imaged"
+                            .to_owned(),
+                    );
+                }
+                // Valid (unpadded) convolution geometry.
+                if e.in_height < e.kernel || e.in_width < e.kernel {
+                    report.push(
+                        codes::SPATIAL_CHAIN,
+                        Severity::Error,
+                        PASS,
+                        site.clone(),
+                        format!(
+                            "{}x{} input is smaller than the {}x{} kernel",
+                            e.in_height, e.in_width, e.kernel, e.kernel
+                        ),
+                    );
+                } else if e.out_height != e.in_height - e.kernel + 1
+                    || e.out_width != e.in_width - e.kernel + 1
+                {
+                    report.push(
+                        codes::SPATIAL_CHAIN,
+                        Severity::Error,
+                        PASS,
+                        site.clone(),
+                        format!(
+                            "output {}x{} is not the valid-convolution result of \
+                             {}x{} input with a {}x{} kernel",
+                            e.out_height, e.out_width, e.in_height, e.in_width, e.kernel, e.kernel
+                        ),
+                    );
+                }
+                if e.pool_after && (e.out_height % 2 != 0 || e.out_width % 2 != 0) {
+                    report.push(
+                        codes::ODD_POOL,
+                        Severity::Warning,
+                        PASS,
+                        site.clone(),
+                        format!(
+                            "2x2 pool over odd {}x{} output drops a border row/column",
+                            e.out_height, e.out_width
+                        ),
+                    );
+                }
+            }
+            EngineKind::Fc => {
+                seen_fc = true;
+                if e.pool_after {
+                    report.push(
+                        codes::POOL_PLACEMENT,
+                        Severity::Error,
+                        PASS,
+                        site.clone(),
+                        "pool_after on an FC engine: pooling needs a spatial feature map"
+                            .to_owned(),
+                    );
+                }
+                if e.kernel != 1
+                    || e.in_height != 1
+                    || e.in_width != 1
+                    || e.out_height != 1
+                    || e.out_width != 1
+                {
+                    report.push(
+                        codes::SPATIAL_CHAIN,
+                        Severity::Error,
+                        PASS,
+                        site.clone(),
+                        "FC engine carries a spatial extent (kernel and all \
+                         spatial dims must be 1)"
+                            .to_owned(),
+                    );
+                }
+            }
+        }
+
+        // Interface to the next engine.
+        if let Some(next) = engines.get(i + 1) {
+            let (oc, oh, ow) = output_interface(e);
+            let next_site = engine_site(i + 1, next);
+            match next.kind {
+                EngineKind::Conv => {
+                    if next.in_channels != oc {
+                        report.push(
+                            codes::CHANNEL_CHAIN,
+                            Severity::Error,
+                            PASS,
+                            next_site.clone(),
+                            format!(
+                                "consumes {} channels but engine {i} produces {oc}",
+                                next.in_channels
+                            ),
+                        );
+                    }
+                    if (next.in_height, next.in_width) != (oh, ow) {
+                        report.push(
+                            codes::SPATIAL_CHAIN,
+                            Severity::Error,
+                            PASS,
+                            next_site,
+                            format!(
+                                "consumes {}x{} pixels but engine {i} produces {oh}x{ow}",
+                                next.in_height, next.in_width
+                            ),
+                        );
+                    }
+                }
+                EngineKind::Fc => {
+                    let features = oc * oh * ow;
+                    if next.in_channels != features {
+                        report.push(
+                            codes::CHANNEL_CHAIN,
+                            Severity::Error,
+                            PASS,
+                            next_site,
+                            format!(
+                                "consumes {} features but engine {i} flattens to \
+                                 {oc}x{oh}x{ow} = {features}",
+                                next.in_channels
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let last = engines.len() - 1;
+    let out = &engines[last];
+    if target.classes > out.out_channels {
+        report.push(
+            codes::CLASS_WIDTH,
+            Severity::Error,
+            PASS,
+            engine_site(last, out),
+            format!(
+                "{} classes cannot be read from a {}-wide output engine",
+                target.classes, out.out_channels
+            ),
+        );
+    }
+}
+
+fn check_dmu(target: &VerifyTarget, report: &mut Report) {
+    if let Some(dmu) = target.dmu {
+        if dmu.classes() != target.classes {
+            report.push(
+                codes::DMU_WIDTH,
+                Severity::Error,
+                PASS,
+                "dmu",
+                format!(
+                    "DMU scores {} classes but the BNN produces {}",
+                    dmu.classes(),
+                    target.classes
+                ),
+            );
+        }
+    }
+}
+
+fn check_host(target: &VerifyTarget, report: &mut Report) {
+    let Some(net) = target.host else {
+        return;
+    };
+    match net.output_shape(net.input_shape()) {
+        Err(e) => {
+            report.push(
+                codes::HOST_SHAPE,
+                Severity::Error,
+                PASS,
+                "host",
+                format!("network rejects its own input shape: {e}"),
+            );
+        }
+        Ok(shape) => {
+            let features = shape.dim(shape.rank() - 1);
+            if features != target.classes {
+                report.push(
+                    codes::HOST_CLASSES,
+                    Severity::Error,
+                    PASS,
+                    "host",
+                    format!(
+                        "output is {features}-wide ({shape}) but the pipeline \
+                         classifies {} classes",
+                        target.classes
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use mp_bnn::FinnTopology;
+    use mp_fpga::device::Device;
+
+    fn paper_target() -> VerifyTarget<'static> {
+        VerifyTarget::from_topology("t", &FinnTopology::paper(), Device::zc702())
+    }
+
+    #[test]
+    fn paper_chain_is_clean() {
+        let report = verify(&paper_target());
+        assert!(!report.has_errors(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn broken_channel_chain_is_mp0101() {
+        let mut t = paper_target();
+        t.engines[3].in_channels = 96; // engine 2 produces 128
+        let report = verify(&t);
+        assert!(report.has_code(codes::CHANNEL_CHAIN));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn broken_spatial_chain_is_mp0102() {
+        let mut t = paper_target();
+        t.engines[1].in_height = 29; // engine 0 produces 30
+        let report = verify(&t);
+        assert!(report.has_code(codes::SPATIAL_CHAIN));
+    }
+
+    #[test]
+    fn pool_on_fc_is_mp0103() {
+        let mut t = paper_target();
+        t.engines[7].pool_after = true;
+        let report = verify(&t);
+        assert!(report.has_code(codes::POOL_PLACEMENT));
+    }
+
+    #[test]
+    fn wrong_image_is_mp0104() {
+        let mut t = paper_target();
+        t.image = Some((3, 28, 28));
+        let report = verify(&t);
+        assert!(report.has_code(codes::INPUT_MISMATCH));
+    }
+
+    #[test]
+    fn too_many_classes_is_mp0108() {
+        let mut t = paper_target();
+        t.classes = 100; // final engine is 64-wide
+        let report = verify(&t);
+        assert!(report.has_code(codes::CLASS_WIDTH));
+    }
+
+    #[test]
+    fn zero_width_engine_is_mp0109() {
+        let mut t = paper_target();
+        t.engines[2].out_channels = 0;
+        let report = verify(&t);
+        assert!(report.has_code(codes::DEGENERATE_ENGINE));
+    }
+
+    #[test]
+    fn odd_pool_is_a_warning_not_error() {
+        // 31x31 input: conv output 29x29 is odd, then pooled.
+        let topo = FinnTopology::new(3, 31, 31, vec![8, 8], vec![true, false], vec![16], 10);
+        let t = VerifyTarget::from_topology("odd", &topo, Device::zc702());
+        let report = verify(&t);
+        assert!(report.has_code(codes::ODD_POOL));
+        assert!(!report.has_errors(), "{}", report.render_human());
+    }
+}

@@ -1,0 +1,266 @@
+//! The diagnostic model: stable codes, severities, spans, reports.
+//!
+//! Every check in the verifier emits [`Diagnostic`] records with a
+//! stable `MP0xxx` code so downstream tooling (CI gates, golden tests,
+//! dashboards) can match on behaviour instead of message text. Codes
+//! are grouped by pass:
+//!
+//! | range | pass |
+//! |---|---|
+//! | `MP01xx` | dataflow / shape checking |
+//! | `MP02xx` | interval abstract interpretation |
+//! | `MP03xx` | folding & resource legality |
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// Stable diagnostic codes. The numeric part never changes meaning;
+/// retired codes are not reused.
+pub mod codes {
+    /// Engine-to-engine channel/feature chaining mismatch.
+    pub const CHANNEL_CHAIN: &str = "MP0101";
+    /// Engine-to-engine spatial (pixel) chaining mismatch.
+    pub const SPATIAL_CHAIN: &str = "MP0102";
+    /// Pool flag inconsistency (pool on an FC engine).
+    pub const POOL_PLACEMENT: &str = "MP0103";
+    /// First engine does not match the declared input image.
+    pub const INPUT_MISMATCH: &str = "MP0104";
+    /// DMU input width differs from the BNN class count.
+    pub const DMU_WIDTH: &str = "MP0105";
+    /// Host network rejects its own input shape.
+    pub const HOST_SHAPE: &str = "MP0106";
+    /// Host network output width differs from the class count.
+    pub const HOST_CLASSES: &str = "MP0107";
+    /// Class count exceeds the final engine's output width.
+    pub const CLASS_WIDTH: &str = "MP0108";
+    /// Engine with a zero dimension (no weights or no pixels).
+    pub const DEGENERATE_ENGINE: &str = "MP0109";
+    /// 2×2 pool over an odd spatial extent drops a border row/column.
+    pub const ODD_POOL: &str = "MP0110";
+
+    /// Accumulator interval escapes the i32 fast-path range.
+    pub const ACC_OVERFLOW: &str = "MP0201";
+    /// Threshold word too narrow for the accumulator interval.
+    pub const THRESHOLD_NARROW: &str = "MP0202";
+    /// Folded threshold saturates: the channel is constant.
+    pub const THRESHOLD_SATURATED: &str = "MP0203";
+    /// Threshold present/absent where the engine chain needs the
+    /// opposite (missing on an inner engine, unused on the output).
+    pub const THRESHOLD_PLACEMENT: &str = "MP0204";
+    /// Folded threshold count differs from the engine's output channels.
+    pub const THRESHOLD_COUNT: &str = "MP0205";
+    /// NaN parameter: poisons every downstream layer (taint).
+    pub const NAN_TAINT: &str = "MP0206";
+    /// Non-finite (infinite) parameter.
+    pub const INF_PARAM: &str = "MP0207";
+
+    /// Zero or degenerate `P`/`S` in a folding.
+    pub const FOLDING_ZERO: &str = "MP0301";
+    /// `P` exceeds weight rows or `S` exceeds weight columns.
+    pub const FOLDING_RANGE: &str = "MP0302";
+    /// `P`/`S` does not divide the weight-matrix dimension (padding).
+    pub const FOLDING_NON_DIVISOR: &str = "MP0303";
+    /// Folding engine count differs from the spec list.
+    pub const FOLDING_COUNT: &str = "MP0304";
+    /// Cycle model disagrees with eqs. (3)–(4) recomputed independently.
+    pub const CYCLE_MODEL: &str = "MP0305";
+    /// BRAM-18K demand exceeds the device budget.
+    pub const BRAM_BUDGET: &str = "MP0306";
+    /// LUT demand exceeds the device budget.
+    pub const LUT_BUDGET: &str = "MP0307";
+    /// Engine is over-provisioned: a cheaper folding meets the same
+    /// bottleneck (rate imbalance wastes lanes).
+    pub const BOTTLENECK_IMBALANCE: &str = "MP0308";
+    /// Resource use within budget but above 90 % of the device.
+    pub const NEAR_BUDGET: &str = "MP0309";
+}
+
+/// How bad a diagnostic is.
+///
+/// Ordered: `Info < Warning < Error`, so `report.max_severity()` is a
+/// simple max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Severity {
+    /// Observation; never fails a gate.
+    Info,
+    /// Suspicious but executable; lints and near-limits.
+    Warning,
+    /// The configuration is wrong: running it would panic, overflow,
+    /// or not fit the device.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: a coded, located, levelled message.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Diagnostic {
+    /// Stable `MP0xxx` code (see [`codes`]).
+    pub code: String,
+    /// Severity level.
+    pub severity: Severity,
+    /// The pass that produced it: `dataflow`, `interval` or `resource`.
+    pub pass: String,
+    /// Where in the configuration: `"engine 3 (3x3-conv-128)"`,
+    /// `"host layer 2 (conv5x5-32)"`, `"device"`, …
+    pub site: String,
+    /// Human explanation with the offending numbers inline.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders as a compiler-style one-liner.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.site, self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// All diagnostics for one verified target.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Report {
+    /// The target's name (configuration label).
+    pub target: String,
+    /// Findings in emission order (pass order: dataflow, interval,
+    /// resource).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report for `target`.
+    pub fn new(target: impl Into<String>) -> Self {
+        Self {
+            target: target.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(
+        &mut self,
+        code: &str,
+        severity: Severity,
+        pass: &str,
+        site: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code: code.to_owned(),
+            severity,
+            pass: pass.to_owned(),
+            site: site.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Whether any diagnostic is [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The worst severity present, if any diagnostic exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// All codes present, in emission order (with repeats).
+    pub fn codes(&self) -> Vec<&str> {
+        self.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    /// Whether `code` was emitted at least once.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Compiler-style multi-line rendering, one line per diagnostic plus
+    /// a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{}: {}\n", self.target, d.render()));
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s), {} info\n",
+            self.target,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_counts_and_max() {
+        let mut r = Report::new("t");
+        assert_eq!(r.max_severity(), None);
+        r.push(codes::ODD_POOL, Severity::Warning, "dataflow", "e0", "odd");
+        r.push(codes::DMU_WIDTH, Severity::Error, "dataflow", "dmu", "bad");
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        assert!(r.has_code(codes::DMU_WIDTH));
+        assert!(!r.has_code(codes::ACC_OVERFLOW));
+        assert_eq!(r.codes(), vec![codes::ODD_POOL, codes::DMU_WIDTH]);
+    }
+
+    #[test]
+    fn render_is_compiler_style() {
+        let mut r = Report::new("paper");
+        r.push(
+            codes::BRAM_BUDGET,
+            Severity::Error,
+            "resource",
+            "device",
+            "290 > 280 BRAM-18K",
+        );
+        let line = r.diagnostics[0].render();
+        assert!(line.starts_with("error[MP0306] device:"), "{line}");
+        assert!(r.render_human().contains("1 error(s)"));
+    }
+
+    #[test]
+    fn diagnostics_serialize_to_json() {
+        let mut r = Report::new("t");
+        r.push(codes::CHANNEL_CHAIN, Severity::Error, "dataflow", "e1", "x");
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(json.contains("MP0101"), "{json}");
+        assert!(json.contains("Error"), "{json}");
+    }
+}

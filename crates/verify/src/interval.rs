@@ -1,0 +1,361 @@
+//! Pass 2: interval abstract interpretation.
+//!
+//! The XNOR-popcount datapath computes, per output channel,
+//! `acc = 2·pos_sum − total` where `total` is the engine's fan-in
+//! (`K·K·ID` weight columns), so a fully-binarised accumulator is
+//! bounded by `[-fan_in, +fan_in]` regardless of weights or inputs. A
+//! `b`-bit input stage (the first engine's Q2.6 pixels, or a
+//! partially-binarised inner layer) scales the bound to
+//! `fan_in · 2^(b-1)`: pixels are clamped to `±2` and quantised at
+//! scale 64, so `|x| ≤ 128 = 2^(8-1)` exactly. These intervals are
+//! *sound*: the soundness property test in `tests/props.rs` drives the
+//! bit-exact hardware model and asserts every observed accumulator
+//! stays inside them.
+//!
+//! From the intervals the pass proves: the i32 fast-path in
+//! `HardwareBnn::infer_batch_with` cannot overflow (`2·bound` must fit
+//! an `i32`), the per-engine threshold words are wide enough to
+//! represent every reachable accumulation, and — when a folded
+//! [`HardwareBnn`](mp_bnn::HardwareBnn) is attached — no threshold
+//! saturates into a constant-activation channel. Host float layers get
+//! a NaN/Inf taint scan: one non-finite parameter poisons every
+//! downstream layer of the sequential network.
+
+use mp_bnn::hardware::HwThreshold;
+use mp_bnn::EngineSpec;
+
+use crate::diag::{codes, Report, Severity};
+use crate::{engine_site, VerifyTarget};
+
+const PASS: &str = "interval";
+
+/// A closed integer interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The symmetric interval `[-mag, mag]`.
+    pub fn symmetric(mag: i64) -> Self {
+        Self { lo: -mag, hi: mag }
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn magnitude(&self) -> i64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+}
+
+/// Static accumulator interval of one engine: inputs in
+/// `[-2^(b-1), 2^(b-1)]` for `b = input_bits` (b=1 gives the binary
+/// `±1` case), weights `±1`, fan-in summands.
+pub fn engine_accumulator_interval(spec: &EngineSpec) -> Interval {
+    accumulator_interval(spec.weight_cols(), spec.input_bits)
+}
+
+/// Static accumulator interval from raw fan-in and input width.
+pub fn accumulator_interval(fan_in: usize, input_bits: usize) -> Interval {
+    let bits = input_bits.clamp(1, 32) as u32;
+    let mag = 1i64 << (bits - 1);
+    Interval::symmetric(mag.saturating_mul(fan_in as i64))
+}
+
+/// Signed range of a `bits`-wide threshold word.
+fn threshold_word_range(bits: usize) -> Interval {
+    let bits = bits.clamp(1, 62) as u32;
+    Interval {
+        lo: -(1i64 << (bits - 1)),
+        hi: (1i64 << (bits - 1)) - 1,
+    }
+}
+
+pub(crate) fn check(target: &VerifyTarget, report: &mut Report) {
+    check_engine_intervals(target, report);
+    check_hardware_thresholds(target, report);
+    check_host_taint(target, report);
+}
+
+fn check_engine_intervals(target: &VerifyTarget, report: &mut Report) {
+    let last = target.engines.len().wrapping_sub(1);
+    for (i, e) in target.engines.iter().enumerate() {
+        let site = engine_site(i, e);
+        let acc = engine_accumulator_interval(e);
+
+        // The optimized batch path accumulates in i32 lanes; the
+        // reference path uses i64. Prove the i32 path safe with the
+        // same 2x headroom `infer_batch_with` asserts.
+        if acc.magnitude().saturating_mul(2) > i64::from(i32::MAX) {
+            report.push(
+                codes::ACC_OVERFLOW,
+                Severity::Error,
+                PASS,
+                site.clone(),
+                format!(
+                    "accumulator interval [{}, {}] escapes the i32 fast path \
+                     (|acc|*2 > i32::MAX); fan-in {} at {} input bits",
+                    acc.lo,
+                    acc.hi,
+                    e.weight_cols(),
+                    e.input_bits
+                ),
+            );
+        }
+
+        if e.threshold_bits > 0 {
+            let word = threshold_word_range(e.threshold_bits);
+            if acc.lo < word.lo || acc.hi > word.hi {
+                report.push(
+                    codes::THRESHOLD_NARROW,
+                    Severity::Error,
+                    PASS,
+                    site.clone(),
+                    format!(
+                        "{}-bit threshold word [{}, {}] cannot represent every \
+                         reachable accumulation in [{}, {}]",
+                        e.threshold_bits, word.lo, word.hi, acc.lo, acc.hi
+                    ),
+                );
+            }
+            if i == last {
+                report.push(
+                    codes::THRESHOLD_PLACEMENT,
+                    Severity::Warning,
+                    PASS,
+                    site.clone(),
+                    "output engine carries threshold memory it never uses \
+                     (scores feed the DMU unactivated)"
+                        .to_owned(),
+                );
+            }
+        } else if i != last {
+            report.push(
+                codes::THRESHOLD_PLACEMENT,
+                Severity::Error,
+                PASS,
+                site,
+                "inner engine has no activation thresholds: its integer \
+                 accumulations cannot re-binarise for the next engine"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// Classifies a folded threshold against the engine's reachable
+/// accumulator interval: `Some(true)` fires for every reachable value,
+/// `Some(false)` for none, `None` when the channel can go both ways.
+fn constant_activation(t: &HwThreshold, acc: Interval) -> Option<bool> {
+    if t.negate {
+        // Fires when acc <= bound.
+        if t.bound >= acc.hi {
+            Some(true)
+        } else if t.bound < acc.lo {
+            Some(false)
+        } else {
+            None
+        }
+    } else {
+        // Fires when acc >= bound.
+        if t.bound <= acc.lo {
+            Some(true)
+        } else if t.bound > acc.hi {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+fn check_hardware_thresholds(target: &VerifyTarget, report: &mut Report) {
+    let Some(hw) = target.hw else {
+        return;
+    };
+    for (i, stage) in hw.stage_summaries().iter().enumerate() {
+        let site = format!("hw stage {i}");
+        let acc = accumulator_interval(stage.fan_in, if stage.first { 8 } else { 1 });
+
+        if !stage.output && stage.thresholds.len() != stage.out_channels {
+            report.push(
+                codes::THRESHOLD_COUNT,
+                Severity::Error,
+                PASS,
+                site.clone(),
+                format!(
+                    "{} folded thresholds for {} output channels",
+                    stage.thresholds.len(),
+                    stage.out_channels
+                ),
+            );
+            continue;
+        }
+
+        let constant = stage
+            .thresholds
+            .iter()
+            .filter(|t| constant_activation(t, acc).is_some())
+            .count();
+        if constant > 0 {
+            report.push(
+                codes::THRESHOLD_SATURATED,
+                Severity::Warning,
+                PASS,
+                site,
+                format!(
+                    "{constant} of {} channels have saturated thresholds \
+                     (constant activation regardless of input; degenerate \
+                     batch-norm fold)",
+                    stage.thresholds.len()
+                ),
+            );
+        }
+    }
+}
+
+fn check_host_taint(target: &VerifyTarget, report: &mut Report) {
+    let Some(net) = target.host else {
+        return;
+    };
+    let names = net.layer_names();
+    let mut nan_counts = vec![0usize; names.len()];
+    let mut inf_counts = vec![0usize; names.len()];
+    net.visit_layer_params(&mut |layer, tensor| {
+        for &v in tensor.as_slice() {
+            if v.is_nan() {
+                nan_counts[layer] += 1;
+            } else if v.is_infinite() {
+                inf_counts[layer] += 1;
+            }
+        }
+    });
+    for (i, name) in names.iter().enumerate() {
+        let site = format!("host layer {i} ({name})");
+        if nan_counts[i] > 0 {
+            let downstream = names.len() - 1 - i;
+            report.push(
+                codes::NAN_TAINT,
+                Severity::Error,
+                PASS,
+                site.clone(),
+                format!(
+                    "{} NaN parameter(s): NaN propagates through every \
+                     arithmetic layer, tainting all {downstream} downstream \
+                     layer(s) and the final scores",
+                    nan_counts[i]
+                ),
+            );
+        }
+        if inf_counts[i] > 0 {
+            report.push(
+                codes::INF_PARAM,
+                Severity::Warning,
+                PASS,
+                site,
+                format!(
+                    "{} infinite parameter(s): overflow risk, and 0*inf \
+                     products become NaN",
+                    inf_counts[i]
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use mp_bnn::FinnTopology;
+    use mp_fpga::device::Device;
+
+    #[test]
+    fn binary_engine_interval_is_fan_in() {
+        let engines = FinnTopology::paper().engines();
+        let acc = engine_accumulator_interval(&engines[1]);
+        assert_eq!(acc, Interval::symmetric(576));
+    }
+
+    #[test]
+    fn first_engine_interval_scales_with_pixel_width() {
+        let engines = FinnTopology::paper().engines();
+        // fan-in 27, 8-bit pixels clamped to ±128.
+        let acc = engine_accumulator_interval(&engines[0]);
+        assert_eq!(acc, Interval::symmetric(27 * 128));
+    }
+
+    #[test]
+    fn paper_threshold_widths_are_proven_sufficient() {
+        let topo = FinnTopology::paper();
+        let t = crate::VerifyTarget::from_topology("t", &topo, Device::zc702());
+        let report = verify(&t);
+        assert!(!report.has_code(codes::THRESHOLD_NARROW));
+        assert!(!report.has_code(codes::ACC_OVERFLOW));
+    }
+
+    #[test]
+    fn narrow_threshold_word_is_mp0202() {
+        let topo = FinnTopology::paper();
+        let mut t = crate::VerifyTarget::from_topology("t", &topo, Device::zc702());
+        // Engine 1 reaches ±576; an 8-bit word ends at ±128.
+        t.engines[1].threshold_bits = 8;
+        let report = verify(&t);
+        assert!(report.has_code(codes::THRESHOLD_NARROW));
+    }
+
+    #[test]
+    fn missing_inner_threshold_is_mp0204() {
+        let topo = FinnTopology::paper();
+        let mut t = crate::VerifyTarget::from_topology("t", &topo, Device::zc702());
+        t.engines[2].threshold_bits = 0;
+        let report = verify(&t);
+        assert!(report.has_code(codes::THRESHOLD_PLACEMENT));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn partially_binarised_intervals_still_fit_16_bit_words() {
+        // 4-bit inner activations: fan-in 576 × 8 = ±4608 < ±32768.
+        let topo = FinnTopology::paper();
+        let mut t = crate::VerifyTarget::from_topology("t", &topo, Device::zc702());
+        t.engines = topo.engines_partially_binarised(4);
+        let report = verify(&t);
+        assert!(
+            !report.has_code(codes::THRESHOLD_NARROW),
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn constant_activation_classification() {
+        let acc = Interval::symmetric(10);
+        let always = HwThreshold {
+            bound: -10,
+            negate: false,
+        };
+        let never = HwThreshold {
+            bound: 11,
+            negate: false,
+        };
+        let live = HwThreshold {
+            bound: 0,
+            negate: false,
+        };
+        assert_eq!(constant_activation(&always, acc), Some(true));
+        assert_eq!(constant_activation(&never, acc), Some(false));
+        assert_eq!(constant_activation(&live, acc), None);
+        let neg_always = HwThreshold {
+            bound: 10,
+            negate: true,
+        };
+        assert_eq!(constant_activation(&neg_always, acc), Some(true));
+    }
+}

@@ -1,0 +1,372 @@
+//! Pass 3: folding and resource legality.
+//!
+//! Checks the chosen [`Folding`](mp_fpga::folding::Folding) against the
+//! engine chain — zero/degenerate `P`/`S`, out-of-range and non-divisor
+//! tiles, and agreement between `mp_fpga::cycle_model::engine_cycles`
+//! and an independent transliteration of the paper's eqs. (3)–(4) — and
+//! the design's BRAM-18K/LUT demand against the target
+//! [`Device`](mp_fpga::device::Device) budget under the configured
+//! [`MemoryModel`](mp_fpga::memory::MemoryModel). Bottleneck-imbalance
+//! lints flag engines that could meet the same network rate with fewer
+//! XNOR lanes (rate-balanced foldings are provably silent).
+
+use mp_bnn::{EngineKind, EngineSpec};
+use mp_fpga::cycle_model::{engine_cycles, valid_p, valid_s};
+use mp_fpga::datapath::DatapathModel;
+use mp_fpga::memory::EngineMemory;
+
+use crate::diag::{codes, Report, Severity};
+use crate::{engine_site, VerifyTarget};
+
+const PASS: &str = "resource";
+
+/// Utilisation fraction above which an in-budget design still gets a
+/// [`codes::NEAR_BUDGET`] warning.
+const NEAR_BUDGET_FRACTION: f64 = 0.90;
+
+/// Equations (3) and (4) of the paper, transliterated independently of
+/// `mp_fpga::cycle_model` so a regression in either copy trips
+/// [`codes::CYCLE_MODEL`]:
+///
+/// ```text
+/// CC_CONV = ⌈OD/P⌉ · ⌈(K·K·ID)/S⌉ · OH·OW        (3)
+/// CC_FC   = ⌈OD/P⌉ · ⌈ID/S⌉                       (4)
+/// ```
+// Keep the ⌈a/b⌉ spelled out as (a + b - 1) / b: the point of this
+// copy is to share no arithmetic idiom with `cycle_model`.
+#[allow(clippy::manual_div_ceil)]
+fn paper_equation_cycles(spec: &EngineSpec, p: usize, s: usize) -> u64 {
+    let od = spec.out_channels as u64;
+    let cols = (spec.kernel * spec.kernel * spec.in_channels) as u64;
+    let (p, s) = (p as u64, s as u64);
+    let tiles = ((od + p - 1) / p) * ((cols + s - 1) / s);
+    match spec.kind {
+        EngineKind::Conv => tiles * (spec.out_height * spec.out_width) as u64,
+        EngineKind::Fc => tiles,
+    }
+}
+
+/// Fewest XNOR lanes any padding-free `(P, S)` needs to stay at or
+/// under `target_cycles`, if reachable.
+fn min_lanes_for(spec: &EngineSpec, target_cycles: u64) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for &p in &valid_p(spec) {
+        for &s in &valid_s(spec) {
+            if engine_cycles(spec, p, s) <= target_cycles {
+                let lanes = p * s;
+                if best.is_none_or(|b| lanes < b) {
+                    best = Some(lanes);
+                }
+                break; // larger S only costs more lanes at this P
+            }
+        }
+    }
+    best
+}
+
+pub(crate) fn check(target: &VerifyTarget, report: &mut Report) {
+    let Some(folding) = &target.folding else {
+        return;
+    };
+    if folding.engines().len() != target.engines.len() {
+        report.push(
+            codes::FOLDING_COUNT,
+            Severity::Error,
+            PASS,
+            "folding",
+            format!(
+                "folding has {} engines but the topology has {}",
+                folding.engines().len(),
+                target.engines.len()
+            ),
+        );
+        return;
+    }
+
+    let mut degenerate = false;
+    let mut cycles: Vec<u64> = Vec::with_capacity(target.engines.len());
+    for (i, (spec, f)) in target.engines.iter().zip(folding.engines()).enumerate() {
+        let site = engine_site(i, spec);
+        if f.p == 0 || f.s == 0 {
+            report.push(
+                codes::FOLDING_ZERO,
+                Severity::Error,
+                PASS,
+                site,
+                format!(
+                    "degenerate folding P={} S={}: zero tiles divide by zero \
+                     in the cycle model",
+                    f.p, f.s
+                ),
+            );
+            degenerate = true;
+            continue;
+        }
+        if f.p > spec.weight_rows() || f.s > spec.weight_cols() {
+            report.push(
+                codes::FOLDING_RANGE,
+                Severity::Error,
+                PASS,
+                site.clone(),
+                format!(
+                    "folding P={} S={} exceeds the {}x{} weight matrix",
+                    f.p,
+                    f.s,
+                    spec.weight_rows(),
+                    spec.weight_cols()
+                ),
+            );
+        } else if spec.weight_rows() % f.p != 0 || spec.weight_cols() % f.s != 0 {
+            report.push(
+                codes::FOLDING_NON_DIVISOR,
+                Severity::Warning,
+                PASS,
+                site.clone(),
+                format!(
+                    "P={} S={} does not divide the {}x{} weight matrix; the \
+                     weight memory is padded",
+                    f.p,
+                    f.s,
+                    spec.weight_rows(),
+                    spec.weight_cols()
+                ),
+            );
+        }
+        let model = engine_cycles(spec, f.p, f.s);
+        let equation = paper_equation_cycles(spec, f.p, f.s);
+        if model != equation {
+            report.push(
+                codes::CYCLE_MODEL,
+                Severity::Error,
+                PASS,
+                site,
+                format!(
+                    "cycle model gives {model} cycles but eq. (3)/(4) gives \
+                     {equation} for P={} S={}",
+                    f.p, f.s
+                ),
+            );
+        }
+        cycles.push(model);
+    }
+    if degenerate {
+        // Memory allocation divides by P·S; nothing further is sound.
+        return;
+    }
+
+    // Bottleneck imbalance: an engine that meets the network's
+    // initiation interval with fewer lanes wastes area. Rate-balanced
+    // foldings pick the cheapest (P, S) per engine for a target at or
+    // above the realised bottleneck, so they never trip this.
+    let bottleneck = cycles.iter().copied().max().unwrap_or(1);
+    for (i, (spec, f)) in target.engines.iter().zip(folding.engines()).enumerate() {
+        if let Some(min_lanes) = min_lanes_for(spec, bottleneck) {
+            if min_lanes < f.lanes() {
+                report.push(
+                    codes::BOTTLENECK_IMBALANCE,
+                    Severity::Warning,
+                    PASS,
+                    engine_site(i, spec),
+                    format!(
+                        "over-provisioned: {} lanes where {min_lanes} already \
+                         meet the {bottleneck}-cycle bottleneck",
+                        f.lanes()
+                    ),
+                );
+            }
+        }
+    }
+
+    // Device budgets under the configured memory model.
+    let memories: Vec<EngineMemory> = target
+        .engines
+        .iter()
+        .zip(folding.engines())
+        .map(|(spec, &f)| target.memory.allocate_engine(spec, f))
+        .collect();
+    let bram: u64 = memories.iter().map(EngineMemory::bram_18k).sum();
+    let memory_luts: u64 = memories.iter().map(EngineMemory::luts).sum();
+    let compute_luts = DatapathModel::default().network_luts(&target.engines, folding.engines());
+    let luts = compute_luts + memory_luts;
+
+    let over_severity = if target.require_fit {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    let device = &target.device;
+    budget_check(
+        report,
+        codes::BRAM_BUDGET,
+        over_severity,
+        "BRAM-18K",
+        bram,
+        device.bram_18k,
+    );
+    budget_check(
+        report,
+        codes::LUT_BUDGET,
+        over_severity,
+        "LUT",
+        luts,
+        device.luts,
+    );
+}
+
+fn budget_check(
+    report: &mut Report,
+    code: &str,
+    over_severity: Severity,
+    what: &str,
+    used: u64,
+    budget: u64,
+) {
+    if used > budget {
+        report.push(
+            code,
+            over_severity,
+            PASS,
+            "device",
+            format!(
+                "{what} demand {used} exceeds the device budget {budget} \
+                 ({:.1} %)",
+                100.0 * used as f64 / budget as f64
+            ),
+        );
+    } else if used as f64 > NEAR_BUDGET_FRACTION * budget as f64 {
+        report.push(
+            codes::NEAR_BUDGET,
+            Severity::Warning,
+            PASS,
+            "device",
+            format!(
+                "{what} demand {used} is within budget {budget} but above \
+                 {:.0} % utilisation",
+                100.0 * NEAR_BUDGET_FRACTION
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify, VerifyTarget};
+    use mp_bnn::FinnTopology;
+    use mp_fpga::device::Device;
+    use mp_fpga::folding::{EngineFolding, Folding, FoldingSearch};
+    use mp_fpga::memory::MemoryModel;
+
+    fn anchor_target(partitioned: bool) -> VerifyTarget<'static> {
+        let topo = FinnTopology::paper();
+        let engines = topo.engines();
+        let folding = FoldingSearch::new(&engines).balanced(232_558);
+        let memory = if partitioned {
+            MemoryModel::partitioned()
+        } else {
+            MemoryModel::naive()
+        };
+        VerifyTarget::from_topology("anchor", &topo, Device::zc702())
+            .with_folding(folding)
+            .with_memory(memory)
+    }
+
+    #[test]
+    fn anchor_fits_and_is_clean() {
+        let report = verify(&anchor_target(true));
+        assert!(!report.has_errors(), "{}", report.render_human());
+        assert!(!report.has_code(codes::BOTTLENECK_IMBALANCE));
+    }
+
+    #[test]
+    fn equations_agree_with_cycle_model_across_foldings() {
+        let engines = FinnTopology::paper().engines();
+        for target in [30_000u64, 232_558, 900_000] {
+            let folding = FoldingSearch::new(&engines).balanced(target);
+            for (spec, f) in engines.iter().zip(folding.engines()) {
+                assert_eq!(
+                    engine_cycles(spec, f.p, f.s),
+                    paper_equation_cycles(spec, f.p, f.s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_folding_is_mp0301() {
+        let mut t = anchor_target(true);
+        let mut engines = t.folding.as_ref().unwrap().engines().to_vec();
+        engines[2] = EngineFolding { p: 0, s: 4 };
+        t.folding = Some(Folding::new_unchecked(engines));
+        let report = verify(&t);
+        assert!(report.has_code(codes::FOLDING_ZERO));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn folding_count_mismatch_is_mp0304() {
+        let mut t = anchor_target(true);
+        t.folding = Some(Folding::new(vec![EngineFolding::new(1, 1)]));
+        let report = verify(&t);
+        assert!(report.has_code(codes::FOLDING_COUNT));
+    }
+
+    #[test]
+    fn oversized_folding_is_mp0302() {
+        let mut t = anchor_target(true);
+        let mut engines = t.folding.as_ref().unwrap().engines().to_vec();
+        engines[0] = EngineFolding::new(128, 27); // engine 0 has 64 rows
+        t.folding = Some(Folding::new(engines));
+        let report = verify(&t);
+        assert!(report.has_code(codes::FOLDING_RANGE));
+    }
+
+    #[test]
+    fn non_divisor_folding_is_a_warning() {
+        let mut t = anchor_target(true);
+        let mut engines = t.folding.as_ref().unwrap().engines().to_vec();
+        engines[0] = EngineFolding::new(3, 27); // 3 does not divide 64
+        t.folding = Some(Folding::new(engines));
+        let report = verify(&t);
+        assert!(report.has_code(codes::FOLDING_NON_DIVISOR));
+        assert!(!report.has_errors(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn fully_parallel_design_over_subscribes_zc702() {
+        let topo = FinnTopology::paper();
+        let engines = topo.engines();
+        let full = || {
+            Folding::new(
+                engines
+                    .iter()
+                    .map(|e| EngineFolding::new(e.weight_rows(), e.weight_cols()))
+                    .collect(),
+            )
+        };
+        let t = VerifyTarget::from_topology("full-parallel", &topo, Device::zc702())
+            .with_folding(full());
+        let report = verify(&t);
+        assert!(report.has_code(codes::LUT_BUDGET));
+        assert!(report.has_errors());
+        // The same design as an exploratory point only warns.
+        let t = VerifyTarget::from_topology("full-parallel", &topo, Device::zc702())
+            .with_folding(full())
+            .exploratory();
+        let report = verify(&t);
+        assert!(!report.has_errors(), "{}", report.render_human());
+        assert!(report.has_code(codes::LUT_BUDGET));
+    }
+
+    #[test]
+    fn imbalanced_folding_is_linted() {
+        let mut t = anchor_target(true);
+        let mut engines = t.folding.as_ref().unwrap().engines().to_vec();
+        // Engine 8 (FC 64x64) fully parallel: 4096 lanes for a
+        // bottleneck that 1 lane meets (64·64 = 4096 cycles « 232k).
+        engines[8] = EngineFolding::new(64, 64);
+        t.folding = Some(Folding::new(engines));
+        let report = verify(&t);
+        assert!(report.has_code(codes::BOTTLENECK_IMBALANCE));
+    }
+}

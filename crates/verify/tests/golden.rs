@@ -1,0 +1,199 @@
+//! Golden-diagnostic tests: deliberately broken pipeline
+//! configurations, built through the public API, pinned to the stable
+//! `MP0xxx` codes they must report. These are the compatibility
+//! contract for the diagnostic codes — renumbering a code breaks this
+//! suite on purpose.
+
+use mp_bnn::{BnnClassifier, FinnTopology, HardwareBnn};
+use mp_core::dmu::Dmu;
+use mp_fpga::device::Device;
+use mp_fpga::folding::{EngineFolding, Folding, FoldingSearch};
+use mp_fpga::memory::MemoryModel;
+use mp_host::zoo::{self, ModelId};
+use mp_tensor::init::TensorRng;
+use mp_verify::{codes, verify, Severity, VerifyTarget};
+
+/// The shipped paper configuration — folding, partitioned memory, DMU —
+/// must verify with zero diagnostics of any severity.
+#[test]
+fn golden_paper_anchor_is_spotless() {
+    let topo = FinnTopology::paper();
+    let engines = topo.engines();
+    let folding = FoldingSearch::new(&engines).balanced(232_558);
+    let dmu = Dmu::new(topo.classes());
+    let target = VerifyTarget::from_topology("paper-anchor", &topo, Device::zc702())
+        .with_folding(folding)
+        .with_memory(MemoryModel::partitioned())
+        .with_dmu(&dmu);
+    let report = verify(&target);
+    assert!(
+        report.diagnostics.is_empty(),
+        "expected a spotless report, got:\n{}",
+        report.render_human()
+    );
+}
+
+/// A freshly folded hardware BNN passes the threshold analysis: the
+/// right number of thresholds per stage, all within the static
+/// accumulator intervals' representable range.
+#[test]
+fn golden_folded_hardware_is_clean() {
+    let topo = FinnTopology::scaled(8, 8, 8);
+    let mut rng = TensorRng::seed_from(7);
+    let bnn = BnnClassifier::new(topo.clone(), &mut rng).expect("classifier builds");
+    let hw = HardwareBnn::from_classifier(&bnn).expect("hardware folds");
+    let target =
+        VerifyTarget::from_topology("scaled-hw", &topo, Device::zc702()).with_hardware(&hw);
+    let report = verify(&target);
+    assert!(
+        !report.has_code(codes::THRESHOLD_COUNT),
+        "{}",
+        report.render_human()
+    );
+    assert!(!report.has_errors(), "{}", report.render_human());
+}
+
+/// Channel-chain mismatch between consecutive engines → MP0101.
+#[test]
+fn golden_channel_mismatch_is_mp0101() {
+    let topo = FinnTopology::paper();
+    let mut target = VerifyTarget::from_topology("broken-chain", &topo, Device::zc702());
+    target.engines[1].in_channels = 48; // engine 0 produces 64
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::CHANNEL_CHAIN),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// Spatial-chain mismatch between consecutive engines → MP0102.
+#[test]
+fn golden_spatial_mismatch_is_mp0102() {
+    let topo = FinnTopology::paper();
+    let mut target = VerifyTarget::from_topology("broken-spatial", &topo, Device::zc702());
+    target.engines[1].in_height += 3;
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::SPATIAL_CHAIN),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// A fully-parallel folding blows both the BRAM and LUT budgets on the
+/// ZC702 → MP0306/MP0307 at error severity when the target requires
+/// fit, and only warnings for an exploratory design point.
+#[test]
+fn golden_over_budget_folding_is_mp0306_mp0307() {
+    let topo = FinnTopology::paper();
+    let engines = topo.engines();
+    let full = || {
+        Folding::new(
+            engines
+                .iter()
+                .map(|e| EngineFolding::new(e.weight_rows(), e.weight_cols()))
+                .collect(),
+        )
+    };
+    let strict = VerifyTarget::from_topology("full-parallel", &topo, Device::zc702())
+        .with_folding(full())
+        .with_memory(MemoryModel::naive());
+    let report = verify(&strict);
+    assert!(
+        report.has_code(codes::LUT_BUDGET),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+
+    let exploratory = VerifyTarget::from_topology("full-parallel", &topo, Device::zc702())
+        .with_folding(full())
+        .with_memory(MemoryModel::naive())
+        .exploratory();
+    let report = verify(&exploratory);
+    assert!(!report.has_errors(), "{}", report.render_human());
+    assert_eq!(report.max_severity(), Some(Severity::Warning));
+}
+
+/// A DMU sized for the wrong class count → MP0105.
+#[test]
+fn golden_dmu_width_mismatch_is_mp0105() {
+    let topo = FinnTopology::paper();
+    let dmu = Dmu::new(12); // pipeline produces 10 scores
+    let target = VerifyTarget::from_topology("dmu-mismatch", &topo, Device::zc702()).with_dmu(&dmu);
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::DMU_WIDTH),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// A folding smuggling a zero lane count past the constructor (via the
+/// test-only unchecked path) → MP0301.
+#[test]
+fn golden_zero_folding_is_mp0301() {
+    let topo = FinnTopology::paper();
+    let engines = topo.engines();
+    let mut lanes: Vec<EngineFolding> = engines.iter().map(|_| EngineFolding::new(1, 1)).collect();
+    lanes[3] = EngineFolding { p: 0, s: 4 };
+    let target = VerifyTarget::from_topology("zero-fold", &topo, Device::zc702())
+        .with_folding(Folding::new_unchecked(lanes));
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::FOLDING_ZERO),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// A NaN parameter in a host layer → MP0206 error; an infinite
+/// parameter → MP0207 warning.
+#[test]
+fn golden_host_nan_taint_is_mp0206() {
+    let mut rng = TensorRng::seed_from(11);
+    let mut net = zoo::build_fast(ModelId::A, &mut rng).expect("model builds");
+    let mut pair = 0usize;
+    net.visit_params(&mut |param, _grad| {
+        match pair {
+            0 => param.as_mut_slice()[0] = f32::NAN,
+            1 => param.as_mut_slice()[0] = f32::INFINITY,
+            _ => {}
+        }
+        pair += 1;
+    });
+    let target = VerifyTarget::host_only("poisoned-host", &net, 10, Device::zc702());
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::NAN_TAINT),
+        "{}",
+        report.render_human()
+    );
+    assert!(
+        report.has_code(codes::INF_PARAM),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// Reports serialize to JSON with the code strings intact, so
+/// `results/lint_report.json` is greppable by code.
+#[test]
+fn golden_report_serializes_codes() {
+    let topo = FinnTopology::paper();
+    let mut target = VerifyTarget::from_topology("json", &topo, Device::zc702());
+    target.engines[1].in_channels = 48;
+    let report = verify(&target);
+    let json = serde_json::to_string(&report).expect("report serializes");
+    assert!(
+        json.contains("MP0101"),
+        "serialized report lacks the code: {json}"
+    );
+    assert!(json.contains("\"target\""));
+}

@@ -20,6 +20,7 @@
 //! | [`dataset`] | `mp-dataset` | synthetic CIFAR-10 stand-in + real loader |
 //! | [`host`] | `mp-host` | Caffe model zoo + ARM Cortex-A9 cost model |
 //! | [`core`] | `mp-core` | DMU, multi-precision pipeline, experiments |
+//! | [`verify`] | `mp-verify` | static design-rule checker + abstract interpretation (`mp-lint`) |
 //!
 //! # Quickstart
 //!
@@ -53,3 +54,4 @@ pub use mp_fpga as fpga;
 pub use mp_host as host;
 pub use mp_nn as nn;
 pub use mp_tensor as tensor;
+pub use mp_verify as verify;

@@ -403,3 +403,40 @@ proptest! {
         prop_assert_eq!(seq.breaker_trips, par.breaker_trips);
     }
 }
+
+// ---- mp-verify: static interval soundness ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Soundness contract of mp-verify's abstract interpretation: every
+    /// accumulator value the bit-exact hardware model observes at
+    /// runtime — including for images far outside the training
+    /// distribution, which the first stage must clamp — lies inside the
+    /// interval derived statically from fan-in and input width alone.
+    #[test]
+    fn verify_static_intervals_contain_runtime_accumulators(
+        seed in any::<u64>(), mean in -4.0f32..4.0, sigma in 0.01f32..16.0
+    ) {
+        let (hw, _, _) = chaos_fixture();
+        let mut rng = TensorRng::seed_from(seed);
+        let image = rng.normal(multiprec::tensor::Shape::nchw(1, 3, 8, 8), mean, sigma);
+        let (scores, ranges) = hw.infer_image_traced(&image).unwrap();
+        // Tracing must not perturb the scores themselves.
+        prop_assert_eq!(&scores, &hw.infer_image(&image).unwrap());
+        let summaries = hw.stage_summaries();
+        prop_assert_eq!(ranges.len(), summaries.len());
+        for (stage, (range, summary)) in ranges.iter().zip(&summaries).enumerate() {
+            prop_assert!(!range.is_empty(), "stage {} observed no accumulations", stage);
+            let bound = multiprec::verify::interval::accumulator_interval(
+                summary.fan_in,
+                if summary.first { 8 } else { 1 },
+            );
+            prop_assert!(
+                bound.contains(range.min) && bound.contains(range.max),
+                "stage {}: runtime range [{}, {}] escapes static interval [{}, {}]",
+                stage, range.min, range.max, bound.lo, bound.hi
+            );
+        }
+    }
+}
