@@ -84,8 +84,9 @@ fn main() {
     let id = ModelId::A;
     let timing = system.paper_timing(id).expect("paper timing");
     let policy = DegradationPolicy::default();
+    let base_opts = system.run_options(id).expect("run options");
     let n = {
-        let clean = system.run_pipeline(id, &timing).expect("clean pipeline");
+        let clean = system.execute(id, &base_opts).expect("clean pipeline");
         clean.total_images
     };
 
@@ -102,7 +103,10 @@ fn main() {
     for rate in [0.0, 0.05, 0.1, 0.2, 0.4, 0.8] {
         let plan = FaultPlan::seeded(opts.seed).with_host_error_rate(rate);
         let r = system
-            .run_pipeline_chaos(id, &timing, &plan, &policy)
+            .execute(
+                id,
+                &base_opts.clone().with_faults(plan).with_degradation(policy),
+            )
             .expect("chaos pipeline degrades instead of failing");
         assert_eq!(
             r.predictions.len(),
@@ -171,7 +175,10 @@ fn main() {
     ];
     for (name, plan) in cases {
         let r = system
-            .run_pipeline_chaos(id, &timing, &plan, &policy)
+            .execute(
+                id,
+                &base_opts.clone().with_faults(plan).with_degradation(policy),
+            )
             .expect("chaos pipeline degrades instead of failing");
         table.row(&[
             name.clone(),

@@ -22,7 +22,9 @@ struct Eq2Point {
     model: String,
     measured_accuracy: f64,
     eq2_global: f64,
-    eq2_exact: f64,
+    /// `null` when the host was never consulted: with no rerun subset
+    /// the exact form has no subset-accuracy term to evaluate.
+    eq2_exact: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -76,21 +78,24 @@ fn main() {
     ]);
     let mut eq2_points = Vec::new();
     for id in ModelId::ALL {
-        let timing = system.paper_timing(id).expect("paper timing");
-        let r = system.run_pipeline(id, &timing).expect("pipeline runs");
-        // With nothing rerun the subset accuracy is undefined; the rerun
-        // ratio is zero there, so the subset term contributes nothing.
-        let exact = model::accuracy_exact(
-            r.bnn_accuracy,
-            r.host_subset_accuracy.unwrap_or(0.0),
-            r.quadrants.rerun_ratio(),
-            r.quadrants.rerun_err_ratio(),
-        );
+        let run_opts = system.run_options(id).expect("run options");
+        let r = system.execute(id, &run_opts).expect("pipeline runs");
+        // With nothing rerun the subset accuracy is undefined
+        // (`host_subset_accuracy` is `None`, serialised as `null`) and
+        // the exact form has nothing to evaluate — don't fake it with 0.
+        let exact = r.host_subset_accuracy.map(|subset| {
+            model::accuracy_exact(
+                r.bnn_accuracy,
+                subset,
+                r.quadrants.rerun_ratio(),
+                r.quadrants.rerun_err_ratio(),
+            )
+        });
         eq2_table.row(&[
             format!("{:?}+FINN", id),
             format!("{:.3}", r.accuracy),
             format!("{:.3}", r.analytic_accuracy_eq2),
-            format!("{:.3}", exact),
+            exact.map_or_else(|| "n/a".to_string(), |e| format!("{e:.3}")),
         ]);
         eq2_points.push(Eq2Point {
             model: format!("{id:?}"),

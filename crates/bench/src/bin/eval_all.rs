@@ -40,7 +40,8 @@ struct Table5Entry {
     host_subset_accuracy: Option<f64>,
     host_global_accuracy: f64,
     eq2_global: f64,
-    eq2_exact: f64,
+    /// `null` when the host was never consulted (no rerun subset).
+    eq2_exact: Option<f64>,
 }
 
 fn main() {
@@ -130,14 +131,18 @@ fn main() {
     ]);
     let mut table5 = Vec::new();
     for id in ModelId::ALL {
-        let timing = system.paper_timing(id).expect("timing");
-        let r = system.run_pipeline(id, &timing).expect("pipeline");
-        let eq2_exact = model::accuracy_exact(
-            r.bnn_accuracy,
-            r.host_subset_accuracy.unwrap_or(0.0),
-            r.quadrants.rerun_ratio(),
-            r.quadrants.rerun_err_ratio(),
-        );
+        let run_opts = system.run_options(id).expect("run options");
+        let r = system.execute(id, &run_opts).expect("pipeline");
+        // `None` (→ `null` in the record) when nothing was rerun; the
+        // exact form needs a measured subset accuracy to exist.
+        let eq2_exact = r.host_subset_accuracy.map(|subset| {
+            model::accuracy_exact(
+                r.bnn_accuracy,
+                subset,
+                r.quadrants.rerun_ratio(),
+                r.quadrants.rerun_err_ratio(),
+            )
+        });
         t.row(&[
             format!("{} & FINN", id.name()),
             pct(r.accuracy),

@@ -1,0 +1,57 @@
+//! Validates an exported observability report against the golden
+//! schema: span/counter/histogram names must come from
+//! `mp_obs::schema`, histogram bucket edges must match the fixed edges
+//! for their metric family, and span/timestamp invariants must hold.
+//!
+//! ```sh
+//! cargo run --release -p mp-bench --bin obs_validate               # results/obs_throughput.json
+//! cargo run --release -p mp-bench --bin obs_validate -- <path>...  # explicit reports
+//! ```
+//!
+//! Exits non-zero on the first invalid report — the CI smoke step runs
+//! this right after the instrumented throughput bench.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mp_bench::results_dir;
+use mp_obs::report::report_from_json;
+use mp_obs::schema::validate_report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<PathBuf> = if args.is_empty() {
+        vec![results_dir().join("obs_throughput.json")]
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+
+    let mut failed = false;
+    for path in &paths {
+        let verdict = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|text| report_from_json(&text))
+            .and_then(|report| {
+                validate_report(&report)?;
+                Ok(report)
+            });
+        match verdict {
+            Ok(report) => println!(
+                "ok: {} (schema v{}, {} spans, {} counters, {} histograms, {} events)",
+                path.display(),
+                report.schema_version,
+                report.spans.len(),
+                report.counters.len(),
+                report.histograms.len(),
+                report.events.len(),
+            ),
+            Err(e) => {
+                eprintln!("FAIL: {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -48,8 +48,8 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     for id in ModelId::ALL {
-        let timing = system.paper_timing(id).expect("paper timing");
-        let r = system.run_pipeline(id, &timing).expect("pipeline runs");
+        let run_opts = system.run_options(id).expect("run options");
+        let r = system.execute(id, &run_opts).expect("pipeline runs");
         let (paper_acc, paper_fps) = paper_table5(id);
         let row = Table5Row {
             system: format!("{} & FINN", id.name()),

@@ -7,24 +7,35 @@
 //! - **host**: a per-image [`Network::forward`] loop vs
 //!   [`Network::infer_batch_with`] (workspace reuse + batched GEMM);
 //! - **combined**: a per-image BNN → DMU → host loop vs the
-//!   [`MultiPrecisionPipeline`] with both optimised engines.
+//!   [`MultiPrecisionPipeline`] with both optimised engines;
+//! - **obs**: the default (null-recorder) [`MultiPrecisionPipeline::execute`]
+//!   vs a hand-rolled uninstrumented replica of the same batched
+//!   computation, and vs a fully instrumented run with a
+//!   [`SharedRecorder`] whose report is written to
+//!   `results/obs_throughput.json`.
 //!
 //! Every optimised arm is asserted bit-identical to its reference before
-//! timing is reported. Appends `results/throughput.json`.
+//! timing is reported. Appends `results/throughput.json`. With
+//! `--gate-overhead` the process exits non-zero if the null-recorder
+//! overhead exceeds 3% (the CI smoke gate).
 
 use std::time::Instant;
 
 use serde::Serialize;
 
-use mp_bench::{write_record, CliOptions, TextTable};
+use mp_bench::{results_dir, write_record, CliOptions, TextTable};
 use mp_bnn::{BnnClassifier, FinnTopology, HardwareBnn};
 use mp_core::dmu::Dmu;
-use mp_core::{MultiPrecisionPipeline, PipelineTiming};
+use mp_core::{MultiPrecisionPipeline, PipelineTiming, RunOptions};
 use mp_dataset::{Dataset, SynthSpec};
 use mp_nn::train::Model;
 use mp_nn::{Mode, Network};
+use mp_obs::SharedRecorder;
 use mp_tensor::init::TensorRng;
-use mp_tensor::{nan_aware_argmax, Parallelism, Shape};
+use mp_tensor::{nan_aware_argmax, Parallelism, Shape, Tensor};
+
+/// The null-recorder overhead the CI gate tolerates.
+const OVERHEAD_GATE: f64 = 0.03;
 
 /// One baseline/optimised pair, in images per second.
 #[derive(Debug, Serialize)]
@@ -58,6 +69,66 @@ struct ThroughputRecord {
     host: ArmRecord,
     combined: ArmRecord,
     predictions_identical: bool,
+    obs: ObsArmRecord,
+}
+
+/// Observability cost on the combined pipeline, in images per second.
+/// Times are min-over-reps so scheduler noise cannot fake an overhead.
+#[derive(Debug, Serialize)]
+struct ObsArmRecord {
+    uninstrumented_img_per_s: f64,
+    null_recorder_img_per_s: f64,
+    shared_recorder_img_per_s: f64,
+    /// `(uninstrumented - null) / uninstrumented` throughput loss;
+    /// negative values (null side faster) are clamped to zero.
+    null_overhead_frac: f64,
+    shared_overhead_frac: f64,
+}
+
+impl ObsArmRecord {
+    fn new(n_images: usize, uninstrumented_s: f64, null_s: f64, shared_s: f64) -> Self {
+        let rate = |secs: f64| n_images as f64 / secs.max(f64::MIN_POSITIVE);
+        let overhead = |secs: f64| ((secs - uninstrumented_s) / uninstrumented_s).max(0.0);
+        Self {
+            uninstrumented_img_per_s: rate(uninstrumented_s),
+            null_recorder_img_per_s: rate(null_s),
+            shared_recorder_img_per_s: rate(shared_s),
+            null_overhead_frac: overhead(null_s),
+            shared_overhead_frac: overhead(shared_s),
+        }
+    }
+}
+
+/// The pipeline's batched computation hand-rolled from the public engine
+/// APIs with no `RunOptions` / recorder plumbing at all — the
+/// uninstrumented side of the observability-overhead comparison.
+fn combined_uninstrumented(
+    hw: &HardwareBnn,
+    dmu: &Dmu,
+    host: &Network,
+    data: &Dataset,
+    threshold: f32,
+    par: Parallelism,
+) -> Vec<usize> {
+    let scores = hw.infer_batch_with(data.images(), par).expect("bnn batch");
+    let mut preds = Network::argmax_rows(&scores).expect("argmax");
+    let keep = dmu.estimate_batch(&scores, threshold).expect("dmu");
+    let flagged: Vec<usize> = (0..data.len()).filter(|&i| !keep[i]).collect();
+    for chunk in flagged.chunks(32) {
+        let images: Vec<Tensor> = chunk
+            .iter()
+            .map(|&i| data.images().batch_item(i).expect("image"))
+            .collect();
+        let batch = Tensor::stack_batch(&images).expect("stack");
+        let scores = host.infer_batch_with(&batch, par).expect("host batch");
+        for (&i, p) in chunk
+            .iter()
+            .zip(Network::argmax_rows(&scores).expect("argmax"))
+        {
+            preds[i] = p;
+        }
+    }
+    preds
 }
 
 /// The pre-optimisation combined pipeline: one image at a time through
@@ -91,14 +162,14 @@ fn combined_baseline(
 }
 
 fn main() {
-    let opts = CliOptions::parse();
-    let (n_images, reps) = if opts.smoke { (200, 20) } else { (600, 80) };
+    let opts_cli = CliOptions::parse();
+    let (n_images, reps) = if opts_cli.smoke { (200, 20) } else { (600, 80) };
     let par = Parallelism::available();
     let threshold = 0.5f32;
 
     // A trained-shape (not trained-to-accuracy) system: throughput does
     // not depend on the weight values, only on the topology.
-    let mut rng = TensorRng::seed_from(opts.seed);
+    let mut rng = TensorRng::seed_from(opts_cli.seed);
     let mut bnn = BnnClassifier::new(FinnTopology::scaled(8, 8, 8), &mut rng).expect("bnn");
     for _ in 0..3 {
         let x = rng.normal(Shape::nchw(8, 3, 8, 8), 0.0, 1.0);
@@ -182,9 +253,10 @@ fn main() {
     // --- combined arm ---
     let timing = PipelineTiming::new(1.0 / 430.0, 1.0 / 30.0, 32);
     let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, threshold).with_parallelism(par);
+    let opts = RunOptions::new(timing).with_host_accuracy(0.5);
     let base_preds = combined_baseline(&hw, &dmu, &mut host, &data, threshold);
     let opt_result = pipeline
-        .run(&host, &data, &timing, 0.5)
+        .execute(&host, &data, &opts)
         .expect("combined optimized");
     let predictions_identical = base_preds == opt_result.predictions;
     assert!(
@@ -197,13 +269,52 @@ fn main() {
         std::hint::black_box(combined_baseline(&hw, &dmu, &mut host, &data, threshold));
         combined_base_s += t.elapsed().as_secs_f64();
         let t = Instant::now();
-        std::hint::black_box(pipeline.run(&host, &data, &timing, 0.5).expect("combined"));
+        std::hint::black_box(pipeline.execute(&host, &data, &opts).expect("combined"));
         combined_opt_s += t.elapsed().as_secs_f64();
     }
 
+    // --- obs arm: what does instrumentation cost? ---
+    // The replica must agree with the pipeline before its time means
+    // anything.
+    let replica = combined_uninstrumented(&hw, &dmu, &host, &data, threshold, par);
+    assert_eq!(
+        replica, opt_result.predictions,
+        "uninstrumented replica must match the pipeline predictions"
+    );
+    let rec = SharedRecorder::new();
+    let obs_opts = opts.clone().with_recorder(&rec);
+    let obs_result = pipeline
+        .execute(&host, &data, &obs_opts)
+        .expect("instrumented");
+    assert_eq!(
+        obs_result.predictions, opt_result.predictions,
+        "recording must be passive"
+    );
+    let (mut raw_min, mut null_min, mut shared_min) = (f64::MAX, f64::MAX, f64::MAX);
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(combined_uninstrumented(
+            &hw, &dmu, &host, &data, threshold, par,
+        ));
+        raw_min = raw_min.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        std::hint::black_box(pipeline.execute(&host, &data, &opts).expect("null"));
+        null_min = null_min.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        std::hint::black_box(pipeline.execute(&host, &data, &obs_opts).expect("shared"));
+        shared_min = shared_min.min(t.elapsed().as_secs_f64());
+    }
+    let obs_arm = ObsArmRecord::new(n_images, raw_min, null_min, shared_min);
+    let report = rec.report();
+    mp_obs::schema::validate_report(&report).expect("obs report validates");
+    match mp_obs::report::write_report(&report, &results_dir(), "throughput") {
+        Ok(path) => println!("(obs report written to {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write obs report: {e}"),
+    }
+
     let record = ThroughputRecord {
-        seed: opts.seed,
-        smoke: opts.smoke,
+        seed: opts_cli.seed,
+        smoke: opts_cli.smoke,
         images: n_images,
         reps,
         threads: par.threads(),
@@ -211,6 +322,7 @@ fn main() {
         host: ArmRecord::new(n_images, reps, host_base_s, host_opt_s),
         combined: ArmRecord::new(n_images, reps, combined_base_s, combined_opt_s),
         predictions_identical,
+        obs: obs_arm,
     };
 
     let mut table = TextTable::new(&["arm", "baseline img/s", "optimized img/s", "speedup"]);
@@ -230,5 +342,32 @@ fn main() {
         "batched inference throughput ({n_images} images x {reps} reps, {} thread(s))",
         par.threads()
     ));
+
+    let mut obs_table = TextTable::new(&["pipeline variant", "img/s (min-rep)", "overhead"]);
+    obs_table.row(&[
+        "uninstrumented replica".into(),
+        format!("{:.1}", record.obs.uninstrumented_img_per_s),
+        "—".into(),
+    ]);
+    obs_table.row(&[
+        "execute + NullRecorder".into(),
+        format!("{:.1}", record.obs.null_recorder_img_per_s),
+        format!("{:.2}%", 100.0 * record.obs.null_overhead_frac),
+    ]);
+    obs_table.row(&[
+        "execute + SharedRecorder".into(),
+        format!("{:.1}", record.obs.shared_recorder_img_per_s),
+        format!("{:.2}%", 100.0 * record.obs.shared_overhead_frac),
+    ]);
+    obs_table.print("observability overhead (combined pipeline)");
     write_record("throughput", &record);
+
+    if opts_cli.gate_overhead && record.obs.null_overhead_frac > OVERHEAD_GATE {
+        eprintln!(
+            "FAIL: NullRecorder overhead {:.2}% exceeds the {:.0}% gate",
+            100.0 * record.obs.null_overhead_frac,
+            100.0 * OVERHEAD_GATE
+        );
+        std::process::exit(1);
+    }
 }

@@ -46,6 +46,9 @@ pub struct CliOptions {
     pub smoke: bool,
     /// Root experiment seed.
     pub seed: u64,
+    /// Fail (exit non-zero) if the observability overhead gate trips;
+    /// only the throughput bench reads this.
+    pub gate_overhead: bool,
 }
 
 impl Default for CliOptions {
@@ -53,6 +56,7 @@ impl Default for CliOptions {
         Self {
             smoke: false,
             seed: 2018,
+            gate_overhead: false,
         }
     }
 }
@@ -70,6 +74,7 @@ impl CliOptions {
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--smoke" => opts.smoke = true,
+                "--gate-overhead" => opts.gate_overhead = true,
                 "--seed" => {
                     if let Some(v) = iter.next() {
                         opts.seed = v.parse().unwrap_or(opts.seed);
@@ -201,8 +206,13 @@ mod tests {
 
     #[test]
     fn cli_parses_flags() {
-        let o = CliOptions::parse_from(["--seed", "42", "--smoke"].iter().map(|s| s.to_string()));
+        let o = CliOptions::parse_from(
+            ["--seed", "42", "--smoke", "--gate-overhead"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
         assert!(o.smoke);
+        assert!(o.gate_overhead);
         assert_eq!(o.seed, 42);
         assert_eq!(o.experiment_config().seed, 42);
     }

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use mp_obs::{now_ns, Recorder};
 use mp_tensor::{Parallelism, Shape, ShapeError, Tensor};
 
 use crate::bits::{BitMatrix, BitVec};
@@ -556,6 +557,25 @@ impl HardwareBnn {
         images: &Tensor,
         par: Parallelism,
     ) -> Result<Tensor, ShapeError> {
+        self.infer_batch_obs(images, par, &mp_obs::NULL_RECORDER)
+    }
+
+    /// [`Self::infer_batch_with`] with per-stage wall-time spans recorded
+    /// against `rec` (`bnn.stage<i>.<kind>`, see `mp_obs::schema`).
+    ///
+    /// Recording is passive — scores are bit-identical to the
+    /// uninstrumented path — and with a disabled recorder the overhead
+    /// is one branch per stage boundary (no clock reads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the batch does not match the topology.
+    pub fn infer_batch_obs(
+        &self,
+        images: &Tensor,
+        par: Parallelism,
+        rec: &dyn Recorder,
+    ) -> Result<Tensor, ShapeError> {
         let shape = images.shape();
         let (c, h, w) = (
             self.topology.channels(),
@@ -572,9 +592,16 @@ impl HardwareBnn {
         let classes = self.topology.classes();
         let image_len = c * h * w;
         let xv = images.as_slice();
+        let names;
+        let obs_ref: Option<(&dyn Recorder, &[String])> = if rec.enabled() {
+            names = self.stage_span_names();
+            Some((rec, names.as_slice()))
+        } else {
+            None
+        };
         let chunks = par.chunks(n);
         if chunks.len() <= 1 {
-            let data = self.infer_range(xv)?;
+            let data = self.infer_range_inner(xv, obs_ref)?;
             return Tensor::from_vec(Shape::matrix(n, classes), data);
         }
         let parts: Vec<Result<Vec<f32>, ShapeError>> = std::thread::scope(|scope| {
@@ -582,7 +609,7 @@ impl HardwareBnn {
                 .iter()
                 .map(|&(start, end)| {
                     let slice = &xv[start * image_len..end * image_len];
-                    scope.spawn(move || self.infer_range(slice))
+                    scope.spawn(move || self.infer_range_inner(slice, obs_ref))
                 })
                 .collect();
             handles
@@ -597,10 +624,32 @@ impl HardwareBnn {
         Tensor::from_vec(Shape::matrix(n, classes), data)
     }
 
+    /// Stable per-stage span names: `bnn.stage<i>.<kind>`.
+    fn stage_span_names(&self) -> Vec<String> {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| {
+                let kind = match stage {
+                    HwStage::FirstConv { .. } => "first_conv",
+                    HwStage::BinConv { .. } => "bin_conv",
+                    HwStage::BinFc { .. } => "bin_fc",
+                    HwStage::OutputFc { .. } => "output_fc",
+                };
+                format!("bnn.stage{i}.{kind}")
+            })
+            .collect()
+    }
+
     /// Runs a contiguous run of images (raw `C·H·W` planes) through the
     /// accelerator with shared scratch state, appending `classes` float
-    /// scores per image.
-    fn infer_range(&self, images: &[f32]) -> Result<Vec<f32>, ShapeError> {
+    /// scores per image. With `obs` present, every stage's wall time is
+    /// recorded as a span (the names indexed by global stage position).
+    fn infer_range_inner(
+        &self,
+        images: &[f32],
+        obs: Option<(&dyn Recorder, &[String])>,
+    ) -> Result<Vec<f32>, ShapeError> {
         let (h, w) = (self.topology.height(), self.topology.width());
         let image_len = self.topology.channels() * h * w;
         let n = images.len() / image_len;
@@ -654,6 +703,7 @@ impl HardwareBnn {
             let mut bits_block = Vec::new();
             for block in images.chunks(IMG_BLOCK * image_len) {
                 let b = block.len() / image_len;
+                let t0 = obs.map(|_| now_ns());
                 self.first_conv_block(
                     thresholds,
                     &plan,
@@ -662,7 +712,14 @@ impl HardwareBnn {
                     &mut qt,
                     &mut bits_block,
                 );
+                // One span per block for the first engine's compute…
+                if let (Some((rec, names)), Some(start)) = (obs, t0) {
+                    rec.record_span(&names[0], start, now_ns());
+                }
                 for i in 0..b {
+                    // …plus one per image for its plane copy and fused
+                    // OR-pool, so the stage-0 total tracks wall time.
+                    let tc = obs.map(|_| now_ns());
                     let mut dims = (od, oh, ow);
                     scratch.bits.clear();
                     scratch
@@ -672,7 +729,10 @@ impl HardwareBnn {
                         dims = or_pool_into(&scratch.bits, dims, &mut scratch.next);
                         std::mem::swap(&mut scratch.bits, &mut scratch.next);
                     }
-                    self.infer_tail(&self.stages[1..], dims, &mut scratch, &mut out)?;
+                    if let (Some((rec, names)), Some(start)) = (obs, tc) {
+                        rec.record_span(&names[0], start, now_ns());
+                    }
+                    self.infer_tail(&self.stages[1..], dims, &mut scratch, &mut out, obs, 1)?;
                 }
             }
         } else {
@@ -682,7 +742,7 @@ impl HardwareBnn {
             let dims = (self.topology.channels(), h, w);
             for _ in 0..n {
                 scratch.bits.clear();
-                self.infer_tail(&self.stages, dims, &mut scratch, &mut out)?;
+                self.infer_tail(&self.stages, dims, &mut scratch, &mut out, obs, 0)?;
             }
         }
         Ok(out)
@@ -763,6 +823,8 @@ impl HardwareBnn {
         mut dims: (usize, usize, usize),
         scratch: &mut HwScratch,
         scores_out: &mut Vec<f32>,
+        obs: Option<(&dyn Recorder, &[String])>,
+        base: usize,
     ) -> Result<(), ShapeError> {
         let HwScratch {
             bits,
@@ -773,7 +835,8 @@ impl HardwareBnn {
             acc,
         } = scratch;
         let mut scored = false;
-        for stage in stages {
+        for (li, stage) in stages.iter().enumerate() {
+            let t0 = obs.map(|_| now_ns());
             match stage {
                 HwStage::FirstConv { .. } => {
                     return Err(ShapeError::new(
@@ -868,6 +931,9 @@ impl HardwareBnn {
                     scores_out.extend(acc.iter().take(self.topology.classes()).map(|&s| s as f32));
                     scored = true;
                 }
+            }
+            if let (Some((rec, names)), Some(start)) = (obs, t0) {
+                rec.record_span(&names[base + li], start, now_ns());
             }
         }
         if scored {

@@ -29,7 +29,7 @@ pub enum CoreError {
         deadline_s: f64,
     },
     /// The host worker thread died (panicked or was killed). Recoverable
-    /// faults never surface this to `run_parallel` callers — the
+    /// faults never surface this to `execute` callers — the
     /// pipeline degrades to BNN-only mode instead — but it is the typed
     /// form recorded in the fault log and returned by lower-level
     /// helpers.

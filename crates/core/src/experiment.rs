@@ -19,6 +19,7 @@ use mp_tensor::{Parallelism, Shape, Tensor};
 use crate::dmu::Dmu;
 use crate::fault::{DegradationPolicy, FaultPlan};
 use crate::pipeline::{MultiPrecisionPipeline, PipelineResult, PipelineTiming};
+use crate::run::RunOptions;
 use crate::CoreError;
 
 /// Configuration of a full multi-precision experiment.
@@ -228,37 +229,73 @@ impl TrainedSystem {
             .expect("host model present")
     }
 
+    /// Ready-to-run [`RunOptions`] for host model `id`: the paper-scale
+    /// [`paper_timing`](Self::paper_timing) and the model's measured
+    /// standalone accuracy prefilled, everything else at its default
+    /// (modelled concurrency, no faults, null recorder). Chain builder
+    /// calls — `.threaded()`, `.with_faults(..)`, `.with_recorder(..)` —
+    /// before passing it to [`execute`](Self::execute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the full-size host model behind the
+    /// timing cannot be built.
+    pub fn run_options(&self, id: ModelId) -> Result<RunOptions<'static>, CoreError> {
+        Ok(RunOptions::new(self.paper_timing(id)?).with_host_accuracy(self.host_accuracy(id)))
+    }
+
+    /// Runs the multi-precision pipeline with host model `id` at the
+    /// configured threshold, as configured by `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on shape inconsistencies, invalid options,
+    /// or real (non-injected) host errors.
+    pub fn execute(&self, id: ModelId, opts: &RunOptions<'_>) -> Result<PipelineResult, CoreError> {
+        MultiPrecisionPipeline::new(&self.hw, &self.dmu, self.config.threshold).execute(
+            self.host(id),
+            &self.test,
+            opts,
+        )
+    }
+
     /// Runs the multi-precision pipeline with host model `id` at the
     /// configured threshold.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError`] on shape inconsistencies.
+    #[deprecated(since = "0.2.0", note = "use `execute` with `run_options`")]
     pub fn run_pipeline(
         &self,
         id: ModelId,
         timing: &PipelineTiming,
     ) -> Result<PipelineResult, CoreError> {
-        self.run_pipeline_with(id, timing, Parallelism::sequential())
+        self.execute(
+            id,
+            &RunOptions::new(*timing).with_host_accuracy(self.host_accuracy(id)),
+        )
     }
 
     /// Like [`run_pipeline`](Self::run_pipeline), sharding host
-    /// re-inference across `parallelism` worker threads. Predictions are
-    /// bit-identical for every setting.
+    /// re-inference across `parallelism` worker threads.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError`] on shape inconsistencies.
+    #[deprecated(since = "0.2.0", note = "use `execute` with `run_options`")]
     pub fn run_pipeline_with(
         &self,
         id: ModelId,
         timing: &PipelineTiming,
         parallelism: Parallelism,
     ) -> Result<PipelineResult, CoreError> {
-        let global_acc = self.host_accuracy(id);
-        MultiPrecisionPipeline::new(&self.hw, &self.dmu, self.config.threshold)
-            .with_parallelism(parallelism)
-            .run(self.host(id), &self.test, timing, global_acc)
+        self.execute(
+            id,
+            &RunOptions::new(*timing)
+                .with_host_accuracy(self.host_accuracy(id))
+                .with_parallelism(parallelism),
+        )
     }
 
     /// The trained host network for `id`.
@@ -276,14 +313,17 @@ impl TrainedSystem {
     }
 
     /// Runs the *parallel* multi-precision pipeline with host model `id`
-    /// under an injected fault plan and degradation policy (the chaos
-    /// harness behind `chaos_ablation`).
+    /// under an injected fault plan and degradation policy.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError`] on shape inconsistencies, invalid
     /// plan/policy, or real (non-injected) host errors — never for
     /// recoverable injected faults.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `execute` with `run_options(..)?.with_faults(..)`"
+    )]
     pub fn run_pipeline_chaos(
         &self,
         id: ModelId,
@@ -291,14 +331,12 @@ impl TrainedSystem {
         plan: &FaultPlan,
         policy: &DegradationPolicy,
     ) -> Result<PipelineResult, CoreError> {
-        let global_acc = self.host_accuracy(id);
-        MultiPrecisionPipeline::new(&self.hw, &self.dmu, self.config.threshold).run_parallel_with(
-            self.host(id),
-            &self.test,
-            timing,
-            global_acc,
-            plan,
-            policy,
+        self.execute(
+            id,
+            &RunOptions::new(*timing)
+                .with_host_accuracy(self.host_accuracy(id))
+                .with_faults(plan.clone())
+                .with_degradation(*policy),
         )
     }
 
@@ -410,9 +448,9 @@ mod tests {
         assert_eq!(system.test.len(), 60);
         assert_eq!(system.hosts.len(), 3);
         assert!(system.bnn_test_accuracy >= 0.0 && system.bnn_test_accuracy <= 1.0);
-        // Pipeline runs for each host model.
-        let timing = system.paper_timing(ModelId::A).unwrap();
-        let r = system.run_pipeline(ModelId::A, &timing).unwrap();
+        // Pipeline runs through the unified options API.
+        let opts = system.run_options(ModelId::A).unwrap();
+        let r = system.execute(ModelId::A, &opts).unwrap();
         assert_eq!(r.total_images, 60);
         assert!(r.accuracy >= 0.0 && r.accuracy <= 1.0);
     }

@@ -56,8 +56,8 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// The fault-free plan: `run_parallel` under it is functionally
-    /// identical to the sequential `run`.
+    /// The fault-free plan: a threaded `execute` under it is
+    /// functionally identical to the modelled executor.
     pub fn none() -> Self {
         Self {
             seed: 0,

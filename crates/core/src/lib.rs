@@ -16,6 +16,10 @@
 //!   batch pipeline following the paper's `async(1)`/`wait(1)`
 //!   pseudo-code and a real two-thread implementation where the FPGA
 //!   simulator and the host network run concurrently (Fig. 2);
+//! - [`run`]: the unified [`RunOptions`] builder consumed by
+//!   [`MultiPrecisionPipeline::execute`] — execution mode, threshold and
+//!   parallelism overrides, fault plan, degradation policy, and an
+//!   attachable `mp_obs` recorder for passive instrumentation;
 //! - [`experiment`]: end-to-end orchestration that trains the BNN, the
 //!   host models and the DMU on the synthetic dataset and produces the
 //!   records behind Tables II, IV and V;
@@ -46,6 +50,7 @@ pub mod experiment;
 pub mod fault;
 pub mod model;
 pub mod pipeline;
+pub mod run;
 
 pub use dmu::{ConfusionQuadrants, Dmu};
 pub use error::CoreError;
@@ -54,3 +59,4 @@ pub use fault::{
     FaultPlan,
 };
 pub use pipeline::{MultiPrecisionPipeline, PipelineResult, PipelineTiming};
+pub use run::{Concurrency, RunOptions};

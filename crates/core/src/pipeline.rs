@@ -2,30 +2,41 @@
 //!
 //! The FPGA (the [`HardwareBnn`] functional model) classifies every
 //! image; the DMU flags low-confidence classifications; the host network
-//! re-infers the flagged subset. Two execution modes are provided:
+//! re-infers the flagged subset. All execution variants are driven by
+//! [`MultiPrecisionPipeline::execute`] with a [`RunOptions`] builder:
 //!
-//! - [`MultiPrecisionPipeline::run`] computes the functional result and
-//!   a **modelled** execution time that replays the paper's
+//! - [`Concurrency::Modeled`] computes the functional result and a
+//!   **modelled** execution time that replays the paper's
 //!   `async(1)`/`wait(1)` batch overlap: while the FPGA processes batch
 //!   `i`, the host re-infers the images flagged in batch `i−1`;
-//! - [`MultiPrecisionPipeline::run_parallel`] actually executes the two
-//!   sides on separate threads connected by a **bounded** channel,
-//!   demonstrating the concurrent structure of Fig. 2 (its wall-clock
-//!   time reflects this machine, not the ZC702).
+//! - [`Concurrency::Threaded`] actually executes the two sides on
+//!   separate threads connected by a **bounded** channel, demonstrating
+//!   the concurrent structure of Fig. 2 (its wall-clock time reflects
+//!   this machine, not the ZC702).
 //!
-//! The parallel executor is built for a *misbehaving* host:
-//! [`MultiPrecisionPipeline::run_parallel_with`] accepts a seeded
-//! [`FaultPlan`] and a [`DegradationPolicy`] and guarantees that every
-//! image still receives a prediction — recoverable host faults (errors,
-//! latency spikes, even worker death) degrade the flagged subset to its
-//! BNN predictions instead of aborting the run, with the degradation
-//! fully accounted in the extended [`PipelineResult`].
+//! The threaded executor is built for a *misbehaving* host:
+//! [`RunOptions::with_faults`] injects a seeded [`FaultPlan`] under a
+//! [`RunOptions::with_degradation`] policy, and the pipeline guarantees
+//! that every image still receives a prediction — recoverable host
+//! faults (errors, latency spikes, even worker death) degrade the
+//! flagged subset to its BNN predictions instead of aborting the run,
+//! with the degradation fully accounted in the extended
+//! [`PipelineResult`].
+//!
+//! Every run is observable: [`RunOptions::with_recorder`] attaches an
+//! [`mp_obs::Recorder`] that receives spans (whole run, BNN+DMU stage,
+//! host rerun batches, per-engine and per-layer timings), counters,
+//! latency histograms and typed events — with bit-identical predictions
+//! and fault accounting whether recording is on or off.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::channel::{self, TrySendError};
 
 use mp_bnn::HardwareBnn;
 use mp_dataset::Dataset;
 use mp_nn::Network;
+use mp_obs::{now_ns, schema, ObsEvent, Recorder};
 use mp_tensor::{nan_aware_argmax, Parallelism, Shape, ShapeError, Tensor};
 
 use crate::dmu::{ConfusionQuadrants, Dmu};
@@ -34,6 +45,7 @@ use crate::fault::{
     FaultPlan, HostFault, INJECTED_DEATH_MSG,
 };
 use crate::model;
+use crate::run::{Concurrency, RunOptions};
 use crate::CoreError;
 
 /// Timing constants of the two heterogeneous processors.
@@ -97,7 +109,7 @@ pub struct PipelineResult {
     pub analytic_accuracy_eq2: f64,
     /// Final per-image class predictions.
     pub predictions: Vec<usize>,
-    /// Wall-clock seconds when run with [`MultiPrecisionPipeline::run_parallel`].
+    /// Wall-clock seconds when run with [`Concurrency::Threaded`].
     pub wall_seconds: Option<f64>,
     /// Flagged images that fell back to their BNN prediction because the
     /// host misbehaved (fault-injected or real).
@@ -169,73 +181,19 @@ impl<'a> MultiPrecisionPipeline<'a> {
         self.parallelism
     }
 
-    /// Runs the full set through BNN → DMU → host, with modelled timing.
+    /// Runs the pipeline as configured by `opts` — the single entry
+    /// point behind every execution variant.
     ///
-    /// `host_global_accuracy` is the host model's standalone accuracy on
-    /// the full test set, used for the eq. (2) prediction.
+    /// With [`Concurrency::Modeled`] (the [`RunOptions::new`] default)
+    /// the full set runs BNN → DMU → host single-threaded and the
+    /// result carries the paper's modelled `async(1)`/`wait(1)` batch
+    /// time. With [`Concurrency::Threaded`] the FPGA simulator and the
+    /// host network run on separate threads connected by a channel
+    /// **bounded** by [`PipelineTiming::batch_size`], wall-clock time is
+    /// reported, and an injected [`FaultPlan`] exercises the degradation
+    /// machinery:
     ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError`] on shape inconsistencies.
-    pub fn run(
-        &self,
-        host: &Network,
-        data: &Dataset,
-        timing: &PipelineTiming,
-        host_global_accuracy: f64,
-    ) -> Result<PipelineResult, CoreError> {
-        let stage = self.classify_and_flag(data)?;
-        let rerun_indices: Vec<usize> = stage.flagged_indices();
-        let host_preds = infer_host_subset(host, data, &rerun_indices, self.parallelism)?;
-        self.finish(
-            data,
-            timing,
-            host_global_accuracy,
-            stage,
-            rerun_indices,
-            host_preds,
-            None,
-            DegradationStats::default(),
-        )
-    }
-
-    /// Runs with the FPGA simulator and the host network on separate
-    /// threads (Fig. 2's concurrent structure). Functionally identical
-    /// to [`run`](Self::run); additionally reports wall-clock time.
-    ///
-    /// Equivalent to [`run_parallel_with`](Self::run_parallel_with)
-    /// under [`FaultPlan::none`] and the default [`DegradationPolicy`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError`] on shape inconsistencies; unrecoverable
-    /// errors on the host thread are propagated — a host *panic* is not
-    /// one of them (the pipeline degrades instead).
-    pub fn run_parallel(
-        &self,
-        host: &Network,
-        data: &Dataset,
-        timing: &PipelineTiming,
-        host_global_accuracy: f64,
-    ) -> Result<PipelineResult, CoreError> {
-        self.run_parallel_with(
-            host,
-            data,
-            timing,
-            host_global_accuracy,
-            &FaultPlan::none(),
-            &DegradationPolicy::default(),
-        )
-    }
-
-    /// The chaos-ready parallel executor: runs the two sides on separate
-    /// threads under an injected [`FaultPlan`], degrading per `policy`.
-    ///
-    /// Structure and guarantees:
-    ///
-    /// - the FPGA→host channel is **bounded** by
-    ///   [`PipelineTiming::batch_size`]; a stalled host back-pressures
-    ///   the producer (counted in
+    /// - a stalled host back-pressures the producer (counted in
     ///   [`PipelineResult::backpressure_events`]) instead of queueing
     ///   unboundedly;
     /// - a failed host attempt is retried with exponential (virtual)
@@ -252,15 +210,109 @@ impl<'a> MultiPrecisionPipeline<'a> {
     ///   [`CoreError::HostWorker`] in the fault log, every undelivered
     ///   flagged image falls back to the BNN, and the run completes.
     ///
-    /// Every image therefore always receives a prediction. With
-    /// [`FaultPlan::none`] the output is functionally identical to
-    /// [`run`](Self::run).
+    /// Every image therefore always receives a prediction, and with
+    /// [`FaultPlan::none`] the two modes are functionally identical.
+    ///
+    /// The recorder attached via [`RunOptions::with_recorder`] receives
+    /// the whole-run span, the BNN+DMU stage span, host-rerun batch
+    /// spans, per-image BNN / backoff / queue-depth histograms, the
+    /// outcome counters and the typed event log. Recording is strictly
+    /// passive: predictions and fault accounting are bit-identical with
+    /// any recorder, and the disabled [`mp_obs::NullRecorder`] costs one
+    /// branch per site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the effective threshold
+    /// is outside `[0, 1]` or a fault plan is combined with
+    /// [`Concurrency::Modeled`]; otherwise [`CoreError`] on shape
+    /// inconsistencies, invalid plan/policy, or *real* (non-injected)
+    /// host inference errors — never for recoverable injected faults.
+    pub fn execute(
+        &self,
+        host: &Network,
+        data: &Dataset,
+        opts: &RunOptions<'_>,
+    ) -> Result<PipelineResult, CoreError> {
+        let threshold = opts.threshold().unwrap_or(self.threshold);
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(CoreError::InvalidConfig(format!(
+                "threshold {threshold} outside [0,1]"
+            )));
+        }
+        let par = opts.parallelism().unwrap_or(self.parallelism);
+        let rec = opts.recorder();
+        let t_exec = rec.enabled().then(now_ns);
+        let result = match opts.concurrency() {
+            Concurrency::Modeled => {
+                if !opts.fault_plan().is_none() {
+                    return Err(CoreError::InvalidConfig(
+                        "fault injection requires the threaded executor \
+                         (RunOptions::threaded or with_faults)"
+                            .into(),
+                    ));
+                }
+                self.execute_modeled(host, data, opts, threshold, par)?
+            }
+            Concurrency::Threaded => self.execute_threaded(host, data, opts, threshold, par)?,
+        };
+        if let Some(start) = t_exec {
+            rec.record_span(schema::SPAN_PIPELINE_EXECUTE, start, now_ns());
+            record_result(rec, &result);
+        }
+        Ok(result)
+    }
+
+    /// Runs the full set through BNN → DMU → host, with modelled timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on shape inconsistencies.
+    #[deprecated(since = "0.2.0", note = "use `execute` with `RunOptions`")]
+    pub fn run(
+        &self,
+        host: &Network,
+        data: &Dataset,
+        timing: &PipelineTiming,
+        host_global_accuracy: f64,
+    ) -> Result<PipelineResult, CoreError> {
+        self.execute(
+            host,
+            data,
+            &RunOptions::new(*timing).with_host_accuracy(host_global_accuracy),
+        )
+    }
+
+    /// Runs with the FPGA simulator and the host network on separate
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on shape inconsistencies.
+    #[deprecated(since = "0.2.0", note = "use `execute` with `RunOptions::threaded`")]
+    pub fn run_parallel(
+        &self,
+        host: &Network,
+        data: &Dataset,
+        timing: &PipelineTiming,
+        host_global_accuracy: f64,
+    ) -> Result<PipelineResult, CoreError> {
+        self.execute(
+            host,
+            data,
+            &RunOptions::new(*timing)
+                .threaded()
+                .with_host_accuracy(host_global_accuracy),
+        )
+    }
+
+    /// The chaos-ready parallel executor.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError`] on shape inconsistencies, invalid
-    /// plan/policy, or *real* (non-injected) host inference errors —
-    /// never for recoverable injected faults.
+    /// plan/policy, or real (non-injected) host inference errors.
+    #[deprecated(since = "0.2.0", note = "use `execute` with `RunOptions::with_faults`")]
     pub fn run_parallel_with(
         &self,
         host: &Network,
@@ -270,8 +322,55 @@ impl<'a> MultiPrecisionPipeline<'a> {
         plan: &FaultPlan,
         policy: &DegradationPolicy,
     ) -> Result<PipelineResult, CoreError> {
+        self.execute(
+            host,
+            data,
+            &RunOptions::new(*timing)
+                .with_host_accuracy(host_global_accuracy)
+                .with_faults(plan.clone())
+                .with_degradation(*policy),
+        )
+    }
+
+    /// The [`Concurrency::Modeled`] executor body.
+    fn execute_modeled(
+        &self,
+        host: &Network,
+        data: &Dataset,
+        opts: &RunOptions<'_>,
+        threshold: f32,
+        par: Parallelism,
+    ) -> Result<PipelineResult, CoreError> {
+        let rec = opts.recorder();
+        let stage = self.classify_and_flag(data, threshold, par, rec)?;
+        let rerun_indices: Vec<usize> = stage.flagged_indices();
+        let host_preds = infer_host_subset(host, data, &rerun_indices, par, rec)?;
+        self.finish(
+            data,
+            opts.timing(),
+            opts.host_accuracy(),
+            stage,
+            rerun_indices,
+            host_preds,
+            None,
+            DegradationStats::default(),
+        )
+    }
+
+    /// The [`Concurrency::Threaded`] executor body.
+    fn execute_threaded(
+        &self,
+        host: &Network,
+        data: &Dataset,
+        opts: &RunOptions<'_>,
+        threshold: f32,
+        par: Parallelism,
+    ) -> Result<PipelineResult, CoreError> {
+        let timing = opts.timing();
+        let policy = opts.degradation_policy();
+        let rec = opts.recorder();
         policy.validate()?;
-        let injector = FaultInjector::new(plan.clone())?;
+        let injector = FaultInjector::new(opts.fault_plan().clone())?;
         if injector.host_death_after().is_some() {
             // A planned kill is expected noise, not a crash report.
             crate::fault::silence_injected_panics();
@@ -283,14 +382,19 @@ impl<'a> MultiPrecisionPipeline<'a> {
         let (tx, rx) = channel::bounded::<(usize, Tensor)>(timing.batch_size);
         let policy = *policy;
         let injector_ref = &injector;
-        let host_par = self.parallelism;
+        // The crossbeam stub channel exposes no occupancy, so the queue
+        // depth is mirrored in an atomic — maintained only while a
+        // recorder is attached (it never influences control flow).
+        let queue_depth = AtomicUsize::new(0);
+        let depth_obs: Option<(&dyn Recorder, &AtomicUsize)> =
+            rec.enabled().then_some((rec, &queue_depth));
         type WorkerJoin = Result<HostWorkerOutput, CoreError>;
         let (stage, backpressure_events, worker_out) = std::thread::scope(
             |scope| -> Result<(StageOutput, usize, WorkerJoin), CoreError> {
                 // Host worker: re-infers flagged images as they arrive,
                 // applying the degradation policy per image.
                 let worker = scope.spawn(move || -> Result<HostWorkerOutput, CoreError> {
-                    host_worker_loop(host, rx, injector_ref, &policy, host_par)
+                    host_worker_loop(host, rx, injector_ref, &policy, par, depth_obs)
                 });
                 // "FPGA" side: classify image i, flag, send to the host.
                 let mut stage = StageOutput::with_capacity(n);
@@ -298,7 +402,14 @@ impl<'a> MultiPrecisionPipeline<'a> {
                 let mut worker_gone = false;
                 for i in 0..n {
                     let image = data.images().batch_item(i)?;
+                    let t_img = rec.enabled().then(now_ns);
                     let scores = self.hw.infer_image(&image).map_err(CoreError::fpga)?;
+                    if let Some(t0) = t_img {
+                        rec.observe(
+                            schema::HIST_BNN_IMAGE_S,
+                            (now_ns().saturating_sub(t0)) as f64 * 1e-9,
+                        );
+                    }
                     let scores_f: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
                     // Satellite fix: the old local argmax silently predicted
                     // class 0 for an all-NaN row; use the shared NaN-aware
@@ -310,18 +421,38 @@ impl<'a> MultiPrecisionPipeline<'a> {
                         ))
                     })?;
                     let p = self.dmu.predict(&scores_f);
-                    let keep = p >= self.threshold;
+                    let keep = p >= threshold;
                     stage.push(pred, keep);
                     if !keep && !worker_gone {
-                        match tx.try_send((i, image)) {
-                            Ok(()) => {}
+                        // Count the item before it becomes visible to the
+                        // worker; incrementing after delivery races the
+                        // worker's decrement and the mirror goes negative.
+                        if let Some((_, depth)) = depth_obs {
+                            depth.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let delivered = match tx.try_send((i, image)) {
+                            Ok(()) => true,
                             Err(TrySendError::Full(msg)) => {
                                 backpressure_events += 1;
                                 // The worker died; stop feeding it. Its
                                 // fate is classified at join below.
                                 worker_gone = tx.send(msg).is_err();
+                                !worker_gone
                             }
-                            Err(TrySendError::Disconnected(_)) => worker_gone = true,
+                            Err(TrySendError::Disconnected(_)) => {
+                                worker_gone = true;
+                                false
+                            }
+                        };
+                        if let Some((rec, depth)) = depth_obs {
+                            if delivered {
+                                // The worker may already have consumed the
+                                // item, so clamp: depth was ≥ 1 at delivery.
+                                let d = depth.load(Ordering::Relaxed).max(1);
+                                rec.observe(schema::HIST_QUEUE_DEPTH, d as f64);
+                            } else {
+                                depth.fetch_sub(1, Ordering::Relaxed);
+                            }
                         }
                     }
                 }
@@ -392,7 +523,7 @@ impl<'a> MultiPrecisionPipeline<'a> {
         self.finish(
             data,
             timing,
-            host_global_accuracy,
+            opts.host_accuracy(),
             stage,
             rerun_indices,
             host_preds,
@@ -401,13 +532,23 @@ impl<'a> MultiPrecisionPipeline<'a> {
         )
     }
 
-    fn classify_and_flag(&self, data: &Dataset) -> Result<StageOutput, CoreError> {
+    fn classify_and_flag(
+        &self,
+        data: &Dataset,
+        threshold: f32,
+        par: Parallelism,
+        rec: &dyn Recorder,
+    ) -> Result<StageOutput, CoreError> {
+        let t0 = rec.enabled().then(now_ns);
         let scores = self
             .hw
-            .infer_batch_with(data.images(), self.parallelism)
+            .infer_batch_obs(data.images(), par, rec)
             .map_err(CoreError::fpga)?;
         let preds = Network::argmax_rows(&scores)?;
-        let keep_flags = self.dmu.estimate_batch(&scores, self.threshold)?;
+        let keep_flags = self.dmu.estimate_batch(&scores, threshold)?;
+        if let Some(start) = t0 {
+            rec.record_span(schema::SPAN_PIPELINE_BNN_STAGE, start, now_ns());
+        }
         let mut stage = StageOutput::with_capacity(data.len());
         for (p, k) in preds.into_iter().zip(keep_flags) {
             stage.push(p, k);
@@ -530,13 +671,18 @@ fn host_worker_loop(
     injector: &FaultInjector,
     policy: &DegradationPolicy,
     par: Parallelism,
+    obs: Option<(&dyn Recorder, &AtomicUsize)>,
 ) -> Result<HostWorkerOutput, CoreError> {
+    let rec = obs.map(|(r, _)| r);
     let mut out = HostWorkerOutput::default();
     let mut breaker = CircuitBreaker::new(policy);
     // Outcome slots awaiting a prediction, and their images.
     let mut pending_slots: Vec<usize> = Vec::new();
     let mut pending_images: Vec<Tensor> = Vec::new();
     for (processed, (index, image)) in rx.into_iter().enumerate() {
+        if let Some((_, depth)) = obs {
+            depth.fetch_sub(1, Ordering::Relaxed);
+        }
         if injector.host_death_after() == Some(processed) {
             std::panic::panic_any(INJECTED_DEATH_MSG);
         }
@@ -600,6 +746,11 @@ fn host_worker_loop(
             }
         };
         out.virtual_backoff_s += backoff_spent;
+        if backoff_spent > 0.0 {
+            if let Some(rec) = rec {
+                rec.observe(schema::HIST_BACKOFF_S, backoff_spent);
+            }
+        }
         match survived {
             None => {
                 pending_slots.push(out.outcomes.len());
@@ -613,6 +764,7 @@ fn host_worker_loop(
                         &mut pending_images,
                         &mut out.outcomes,
                         par,
+                        rec,
                     )?;
                 } else {
                     pending_images.push(image);
@@ -627,6 +779,7 @@ fn host_worker_loop(
         &mut pending_images,
         &mut out.outcomes,
         par,
+        rec,
     )?;
     out.breaker_trips = breaker.trips();
     Ok(out)
@@ -640,14 +793,24 @@ fn flush_pending(
     images: &mut Vec<Tensor>,
     outcomes: &mut [(usize, Result<usize, FaultKind>)],
     par: Parallelism,
+    rec: Option<&dyn Recorder>,
 ) -> Result<(), CoreError> {
     if images.is_empty() {
         return Ok(());
     }
     let batch = Tensor::stack_batch(images)?;
+    let t0 = rec.map(|_| now_ns());
     let scores = host
-        .infer_batch_with(&batch, par)
+        .infer_batch_obs(&batch, par, rec.unwrap_or(&mp_obs::NULL_RECORDER))
         .map_err(CoreError::host)?;
+    if let (Some(rec), Some(start)) = (rec, t0) {
+        let end = now_ns();
+        rec.record_span(schema::SPAN_PIPELINE_HOST_RERUN, start, end);
+        rec.observe(
+            schema::HIST_HOST_BATCH_S,
+            end.saturating_sub(start) as f64 * 1e-9,
+        );
+    }
     let preds = Network::argmax_rows(&scores)?;
     for (&slot, pred) in slots.iter().zip(preds) {
         outcomes[slot].1 = Ok(pred);
@@ -655,6 +818,48 @@ fn flush_pending(
     slots.clear();
     images.clear();
     Ok(())
+}
+
+/// Writes a finished run's outcome counters and typed event log into
+/// `rec`. Centralising this after the result is assembled keeps the
+/// modelled and threaded paths (and every parallelism setting)
+/// observationally consistent without touching worker control flow.
+fn record_result(rec: &dyn Recorder, r: &PipelineResult) {
+    rec.add(schema::CTR_IMAGES, r.total_images as u64);
+    rec.add(
+        schema::CTR_FLAGGED,
+        (r.rerun_count + r.degraded_count) as u64,
+    );
+    rec.add(schema::CTR_RERUN_OK, r.rerun_count as u64);
+    rec.add(schema::CTR_DEGRADED, r.degraded_count as u64);
+    rec.add(schema::CTR_RETRIES, r.retries as u64);
+    rec.add(schema::CTR_BREAKER_TRIPS, r.breaker_trips as u64);
+    rec.add(schema::CTR_BACKPRESSURE, r.backpressure_events as u64);
+    rec.add(schema::CTR_HOST_ATTEMPTS, r.host_attempts as u64);
+    for event in &r.fault_log {
+        let obs_event = match event {
+            FaultEvent::HostFault {
+                image,
+                attempt,
+                kind,
+            } => ObsEvent::Fault {
+                image: *image,
+                attempt: *attempt,
+                kind: format!("{kind:?}"),
+            },
+            FaultEvent::Recovered { image, .. } => ObsEvent::Rerun { image: *image },
+            FaultEvent::Fallback { image, kind } => ObsEvent::Degraded {
+                image: *image,
+                kind: format!("{kind:?}"),
+            },
+            FaultEvent::BreakerOpened { image, .. } => ObsEvent::BreakerTrip { image: *image },
+            FaultEvent::BreakerClosed { image } => ObsEvent::BreakerClose { image: *image },
+            FaultEvent::WorkerDied { detail } => ObsEvent::WorkerDeath {
+                detail: detail.clone(),
+            },
+        };
+        rec.record_event(obs_event);
+    }
 }
 
 /// Per-image outputs of the BNN + DMU stage.
@@ -721,6 +926,7 @@ fn infer_host_subset(
     data: &Dataset,
     indices: &[usize],
     par: Parallelism,
+    rec: &dyn Recorder,
 ) -> Result<Vec<usize>, CoreError> {
     let mut preds = Vec::with_capacity(indices.len());
     for chunk in indices.chunks(HOST_BATCH) {
@@ -729,9 +935,18 @@ fn infer_host_subset(
             .map(|&i| data.images().batch_item(i))
             .collect::<Result<_, _>>()?;
         let batch = Tensor::stack_batch(&images)?;
+        let t0 = rec.enabled().then(now_ns);
         let scores = host
-            .infer_batch_with(&batch, par)
+            .infer_batch_obs(&batch, par, rec)
             .map_err(CoreError::host)?;
+        if let Some(start) = t0 {
+            let end = now_ns();
+            rec.record_span(schema::SPAN_PIPELINE_HOST_RERUN, start, end);
+            rec.observe(
+                schema::HIST_HOST_BATCH_S,
+                end.saturating_sub(start) as f64 * 1e-9,
+            );
+        }
         preds.extend(Network::argmax_rows(&scores)?);
     }
     Ok(preds)
@@ -778,11 +993,25 @@ mod tests {
         PipelineTiming::new(1.0 / 430.0, 1.0 / 30.0, 10)
     }
 
+    fn modeled_opts() -> RunOptions<'static> {
+        RunOptions::new(timing()).with_host_accuracy(0.5)
+    }
+
+    fn threaded_opts() -> RunOptions<'static> {
+        modeled_opts().threaded()
+    }
+
+    fn chaos_opts(plan: &FaultPlan, policy: &DegradationPolicy) -> RunOptions<'static> {
+        modeled_opts()
+            .with_faults(plan.clone())
+            .with_degradation(*policy)
+    }
+
     #[test]
     fn run_produces_consistent_accounting() {
         let (hw, dmu, data, host) = tiny_system();
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.5);
-        let r = pipeline.run(&host, &data, &timing(), 0.5).unwrap();
+        let r = pipeline.execute(&host, &data, &modeled_opts()).unwrap();
         assert_eq!(r.total_images, 40);
         assert_eq!(r.predictions.len(), 40);
         // Quadrants sum to 1.
@@ -804,14 +1033,14 @@ mod tests {
         let (hw, dmu, data, host) = tiny_system();
         // Threshold 0: nothing reruns — accuracy equals the BNN's.
         let none = MultiPrecisionPipeline::new(&hw, &dmu, 0.0)
-            .run(&host, &data, &timing(), 0.5)
+            .execute(&host, &data, &modeled_opts())
             .unwrap();
         assert_eq!(none.rerun_count, 0);
         assert!(none.host_subset_accuracy.is_none());
         assert!((none.accuracy - none.bnn_accuracy).abs() < 1e-9);
         // Threshold 1: everything reruns — accuracy equals the host's.
         let all = MultiPrecisionPipeline::new(&hw, &dmu, 1.0)
-            .run(&host, &data, &timing(), 0.5)
+            .execute(&host, &data, &modeled_opts())
             .unwrap();
         assert_eq!(all.rerun_count, 40);
         let subset = all.host_subset_accuracy.expect("everything reran");
@@ -822,8 +1051,8 @@ mod tests {
     fn parallel_matches_sequential_functionally() {
         let (hw, dmu, data, host) = tiny_system();
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.6);
-        let seq = pipeline.run(&host, &data, &timing(), 0.5).unwrap();
-        let par = pipeline.run_parallel(&host, &data, &timing(), 0.5).unwrap();
+        let seq = pipeline.execute(&host, &data, &modeled_opts()).unwrap();
+        let par = pipeline.execute(&host, &data, &threaded_opts()).unwrap();
         assert_eq!(seq.predictions, par.predictions);
         assert_eq!(seq.rerun_count, par.rerun_count);
         assert!((seq.accuracy - par.accuracy).abs() < 1e-12);
@@ -843,13 +1072,10 @@ mod tests {
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 1.0);
         let plan = FaultPlan::seeded(1).with_host_death_after(3);
         let r = pipeline
-            .run_parallel_with(
+            .execute(
                 &host,
                 &data,
-                &timing(),
-                0.5,
-                &plan,
-                &DegradationPolicy::default(),
+                &chaos_opts(&plan, &DegradationPolicy::default()),
             )
             .expect("worker death must be recoverable");
         assert_eq!(r.predictions.len(), 40);
@@ -875,7 +1101,7 @@ mod tests {
             ..DegradationPolicy::default()
         };
         let r = pipeline
-            .run_parallel_with(&host, &data, &timing(), 0.5, &plan, &policy)
+            .execute(&host, &data, &chaos_opts(&plan, &policy))
             .unwrap();
         assert_eq!(r.degraded_count, 40);
         assert_eq!(r.rerun_count, 0);
@@ -895,13 +1121,10 @@ mod tests {
         // Every attempt spikes to 2 s against a 0.25 s deadline.
         let plan = FaultPlan::seeded(3).with_host_spikes(1.0, 2.0);
         let r = pipeline
-            .run_parallel_with(
+            .execute(
                 &host,
                 &data,
-                &timing(),
-                0.5,
-                &plan,
-                &DegradationPolicy::default(),
+                &chaos_opts(&plan, &DegradationPolicy::default()),
             )
             .unwrap();
         assert_eq!(r.degraded_count, 40);
@@ -920,16 +1143,13 @@ mod tests {
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.6);
         let plan = FaultPlan::seeded(4).with_host_spikes(1.0, 0.01);
         let faulty = pipeline
-            .run_parallel_with(
+            .execute(
                 &host,
                 &data,
-                &timing(),
-                0.5,
-                &plan,
-                &DegradationPolicy::default(),
+                &chaos_opts(&plan, &DegradationPolicy::default()),
             )
             .unwrap();
-        let clean = pipeline.run(&host, &data, &timing(), 0.5).unwrap();
+        let clean = pipeline.execute(&host, &data, &modeled_opts()).unwrap();
         assert_eq!(faulty.predictions, clean.predictions);
         assert_eq!(faulty.degraded_count, 0);
     }
@@ -946,7 +1166,7 @@ mod tests {
             ..DegradationPolicy::default()
         };
         let r = pipeline
-            .run_parallel_with(&host, &data, &timing(), 0.5, &plan, &policy)
+            .execute(&host, &data, &chaos_opts(&plan, &policy))
             .unwrap();
         // With a generous retry budget most images recover.
         assert!(r.retries > 0);
@@ -960,12 +1180,12 @@ mod tests {
     fn parallel_host_inference_is_bit_identical_to_sequential() {
         let (hw, dmu, data, host) = tiny_system();
         let base = MultiPrecisionPipeline::new(&hw, &dmu, 0.6)
-            .run(&host, &data, &timing(), 0.5)
+            .execute(&host, &data, &modeled_opts())
             .unwrap();
         for threads in [2usize, 3, 5] {
             let par = MultiPrecisionPipeline::new(&hw, &dmu, 0.6)
                 .with_parallelism(Parallelism::new(threads))
-                .run(&host, &data, &timing(), 0.5)
+                .execute(&host, &data, &modeled_opts())
                 .unwrap();
             assert_eq!(base.predictions, par.predictions, "threads={threads}");
             assert_eq!(base.rerun_count, par.rerun_count);
@@ -983,7 +1203,7 @@ mod tests {
         let run_at = |threads: usize| {
             MultiPrecisionPipeline::new(&hw, &dmu, 0.9)
                 .with_parallelism(Parallelism::new(threads))
-                .run_parallel_with(&host, &data, &timing(), 0.5, &plan, &policy)
+                .execute(&host, &data, &chaos_opts(&plan, &policy))
                 .unwrap()
         };
         let seq = run_at(1);
@@ -1007,10 +1227,10 @@ mod tests {
             .with_host_spikes(0.2, 2.0);
         let policy = DegradationPolicy::default();
         let a = pipeline
-            .run_parallel_with(&host, &data, &timing(), 0.5, &plan, &policy)
+            .execute(&host, &data, &chaos_opts(&plan, &policy))
             .unwrap();
         let b = pipeline
-            .run_parallel_with(&host, &data, &timing(), 0.5, &plan, &policy)
+            .execute(&host, &data, &chaos_opts(&plan, &policy))
             .unwrap();
         assert_eq!(a.fault_log, b.fault_log);
         assert_eq!(a.predictions, b.predictions);
@@ -1053,6 +1273,120 @@ mod tests {
         let kept = vec![true; 30];
         let total = modeled_batch_time(&kept, &t);
         assert!((total - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modeled_with_faults_is_invalid_config() {
+        let (hw, dmu, data, host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.5);
+        let opts = modeled_opts()
+            .with_faults(FaultPlan::seeded(1).with_host_error_rate(0.5))
+            .modeled();
+        let err = pipeline.execute(&host, &data, &opts).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn execute_threshold_override_beats_constructor() {
+        let (hw, dmu, data, host) = tiny_system();
+        let at = |t: f32| {
+            MultiPrecisionPipeline::new(&hw, &dmu, t)
+                .execute(&host, &data, &modeled_opts())
+                .unwrap()
+        };
+        let base = at(1.0);
+        let overridden = MultiPrecisionPipeline::new(&hw, &dmu, 0.0)
+            .execute(&host, &data, &modeled_opts().with_threshold(1.0))
+            .unwrap();
+        assert_eq!(base.rerun_count, overridden.rerun_count);
+        assert_eq!(base.predictions, overridden.predictions);
+        let bad = MultiPrecisionPipeline::new(&hw, &dmu, 0.5)
+            .execute(&host, &data, &modeled_opts().with_threshold(3.0))
+            .unwrap_err();
+        assert!(matches!(bad, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn recording_is_passive_and_counts_match_result() {
+        let (hw, dmu, data, host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.6);
+        let plain = pipeline.execute(&host, &data, &modeled_opts()).unwrap();
+        let rec = mp_obs::SharedRecorder::new();
+        let obs = pipeline
+            .execute(&host, &data, &modeled_opts().with_recorder(&rec))
+            .unwrap();
+        assert_eq!(plain.predictions, obs.predictions);
+        assert_eq!(plain.rerun_count, obs.rerun_count);
+        assert_eq!(plain.fault_log, obs.fault_log);
+        let report = rec.report();
+        mp_obs::schema::validate_report(&report).unwrap();
+        assert_eq!(report.counter(schema::CTR_IMAGES), 40);
+        assert_eq!(report.counter(schema::CTR_RERUN_OK), obs.rerun_count as u64);
+        assert_eq!(report.counter(schema::CTR_DEGRADED), 0);
+        assert_eq!(report.span(schema::SPAN_PIPELINE_EXECUTE).unwrap().count, 1);
+        assert_eq!(
+            report.span(schema::SPAN_PIPELINE_BNN_STAGE).unwrap().count,
+            1
+        );
+        if obs.rerun_count > 0 {
+            assert!(report.span(schema::SPAN_PIPELINE_HOST_RERUN).is_some());
+            assert!(report
+                .spans
+                .iter()
+                .any(|s| s.name.starts_with(schema::SPAN_HOST_LAYER_PREFIX)));
+        }
+        assert!(report
+            .spans
+            .iter()
+            .any(|s| s.name.starts_with(schema::SPAN_BNN_STAGE_PREFIX)));
+    }
+
+    #[test]
+    fn threaded_recording_logs_faults_and_queue_depth() {
+        let (hw, dmu, data, host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 1.0);
+        let plan = FaultPlan::seeded(5).with_host_error_rate(0.4);
+        let policy = DegradationPolicy {
+            max_retries: 6,
+            backoff_base_s: 1e-4,
+            backoff_budget_s: 10.0,
+            ..DegradationPolicy::default()
+        };
+        let plain = pipeline
+            .execute(&host, &data, &chaos_opts(&plan, &policy))
+            .unwrap();
+        let rec = mp_obs::SharedRecorder::new();
+        let obs = pipeline
+            .execute(
+                &host,
+                &data,
+                &chaos_opts(&plan, &policy).with_recorder(&rec),
+            )
+            .unwrap();
+        assert_eq!(plain.predictions, obs.predictions);
+        assert_eq!(plain.fault_log, obs.fault_log);
+        let report = rec.report();
+        mp_obs::schema::validate_report(&report).unwrap();
+        assert_eq!(report.counter(schema::CTR_IMAGES), 40);
+        assert_eq!(
+            report.counter(schema::CTR_RETRIES),
+            obs.retries as u64,
+            "retry counter mirrors the result"
+        );
+        assert_eq!(
+            report.counter(schema::CTR_RERUN_OK) + report.counter(schema::CTR_DEGRADED),
+            40
+        );
+        assert_eq!(
+            report.histogram(schema::HIST_BNN_IMAGE_S).unwrap().count,
+            40
+        );
+        assert!(report.histogram(schema::HIST_QUEUE_DEPTH).is_some());
+        assert!(report.histogram(schema::HIST_BACKOFF_S).is_some());
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::Fault { .. })));
     }
 
     #[test]

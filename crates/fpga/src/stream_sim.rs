@@ -11,6 +11,7 @@
 //! here — the effects the paper attributes its expected/obtained gap and
 //! batch-size behaviour to.
 
+use mp_obs::{schema, ObsEvent, Recorder};
 use serde::{Deserialize, Serialize};
 
 /// Deterministic fault model for [`StreamSim`]: seeded source stalls and
@@ -240,10 +241,43 @@ impl StreamSim {
     ///
     /// Panics if `batch` is zero.
     pub fn run_with_faults(&self, batch: usize, faults: &StreamFaults) -> SimResult {
+        self.run_with_faults_obs(batch, faults, &mp_obs::NULL_RECORDER)
+    }
+
+    /// [`StreamSim::run_with_faults`] with the simulated schedule written
+    /// into `rec` as **virtual-time** observations: one `stream.stage<i>`
+    /// span per image per stage (timestamps are virtual nanoseconds since
+    /// the batch start, not wall time), a `stream.latency_s` histogram of
+    /// per-image latencies, a `stream.images` counter, and one
+    /// [`ObsEvent::Stream`] per image (oldest dropped beyond the event
+    /// cap).
+    ///
+    /// Recording is strictly passive: the returned [`SimResult`] is
+    /// byte-identical to the uninstrumented path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn run_with_faults_obs(
+        &self,
+        batch: usize,
+        faults: &StreamFaults,
+        rec: &dyn Recorder,
+    ) -> SimResult {
         assert!(batch > 0, "batch must be positive");
         let m = self.service_s.len();
         let cap = self.fifo_capacity;
         let fault_free = faults.is_none();
+        let stage_names;
+        let obs: Option<(&dyn Recorder, &[String])> = if rec.enabled() {
+            stage_names = (0..m)
+                .map(|i| format!("{}{i}", schema::SPAN_STREAM_STAGE_PREFIX))
+                .collect::<Vec<_>>();
+            Some((rec, stage_names.as_slice()))
+        } else {
+            None
+        };
+        let virt_ns = |s: f64| (s.max(0.0) * 1e9) as u64;
         // departures[j][i]: when image j leaves stage i (it has also
         // secured a slot downstream — blocking-after-service).
         let mut departures = vec![vec![0.0f64; m]; batch];
@@ -264,7 +298,8 @@ impl StreamSim {
             for i in 0..m {
                 // Server free after the previous image left.
                 let server_free = if j > 0 { departures[j - 1][i] } else { 0.0 };
-                let mut t = upstream.max(server_free) + self.service_s[i];
+                let start = upstream.max(server_free);
+                let mut t = start + self.service_s[i];
                 // Back-pressure: a slot frees downstream once image
                 // j-cap has left stage i+1.
                 if i + 1 < m && j >= cap {
@@ -272,8 +307,23 @@ impl StreamSim {
                 }
                 departures[j][i] = t;
                 upstream = t;
+                if let Some((rec, names)) = obs {
+                    rec.record_span(&names[i], virt_ns(start), virt_ns(t));
+                }
             }
-            latencies.push(departures[j][m - 1] - arrival);
+            let latency = departures[j][m - 1] - arrival;
+            latencies.push(latency);
+            if let Some((rec, _)) = obs {
+                rec.observe(schema::HIST_STREAM_LATENCY_S, latency);
+                rec.record_event(ObsEvent::Stream {
+                    image: j,
+                    arrival_s: arrival,
+                    departure_s: departures[j][m - 1],
+                });
+            }
+        }
+        if let Some((rec, _)) = obs {
+            rec.add(schema::CTR_STREAM_IMAGES, batch as u64);
         }
         let makespan = departures[batch - 1][m - 1];
         SimResult {
@@ -385,6 +435,29 @@ mod tests {
             let g = f.gap_factor(j);
             assert!((0.0..=2.0).contains(&g), "gap factor {g}");
         }
+    }
+
+    #[test]
+    fn instrumented_run_is_passive_and_logs_virtual_time() {
+        let sim = StreamSim::new(vec![1e-3, 2e-3, 1e-3], 2, 5e-4);
+        let faults = StreamFaults::seeded(5)
+            .with_stalls(0.2, 3e-3)
+            .with_jitter(0.3);
+        let plain = sim.run_with_faults(40, &faults);
+        let rec = mp_obs::SharedRecorder::new();
+        let obs = sim.run_with_faults_obs(40, &faults, &rec);
+        assert_eq!(plain, obs);
+        let report = rec.report();
+        mp_obs::schema::validate_report(&report).unwrap();
+        assert_eq!(report.counter(schema::CTR_STREAM_IMAGES), 40);
+        for i in 0..3 {
+            let span = report.span(&format!("stream.stage{i}")).unwrap();
+            assert_eq!(span.count, 40);
+        }
+        let lat = report.histogram(schema::HIST_STREAM_LATENCY_S).unwrap();
+        assert_eq!(lat.count, 40);
+        assert!((lat.sum - plain.mean_latency_s * 40.0).abs() < 1e-9);
+        assert_eq!(report.events.len(), 40);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use mp_obs::{now_ns, Recorder};
 use mp_tensor::init::TensorRng;
 use mp_tensor::{nan_aware_argmax, Parallelism, Shape, ShapeError, Tensor, Workspace};
 
@@ -146,6 +147,57 @@ impl Network {
         Ok(x)
     }
 
+    /// [`Network::infer_with`] with an optional per-layer span recorder
+    /// already resolved to `(recorder, span names)`.
+    fn infer_with_obs(
+        &self,
+        input: &Tensor,
+        ws: &mut Workspace,
+        obs: Option<(&dyn Recorder, &[String])>,
+    ) -> Result<Tensor, ShapeError> {
+        let Some((rec, names)) = obs else {
+            return self.infer_with(input, ws);
+        };
+        let mut layers = self.layers.iter().enumerate();
+        let Some((i0, first)) = layers.next() else {
+            return Ok(input.clone());
+        };
+        let t0 = now_ns();
+        let mut x = first.infer(input, ws)?;
+        rec.record_span(&names[i0], t0, now_ns());
+        for (i, layer) in layers {
+            let t = now_ns();
+            let y = layer.infer(&x, ws)?;
+            rec.record_span(&names[i], t, now_ns());
+            ws.put(std::mem::replace(&mut x, y).into_vec());
+        }
+        Ok(x)
+    }
+
+    /// Stable span names for per-layer host timing:
+    /// `host.layer<i>.<name>`, with any character outside the obs schema
+    /// alphabet replaced by `-`.
+    fn layer_span_names(&self) -> Vec<String> {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let name: String = l
+                    .name()
+                    .chars()
+                    .map(|c| {
+                        if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                            c
+                        } else {
+                            '-'
+                        }
+                    })
+                    .collect();
+                format!("host.layer{i}.{name}")
+            })
+            .collect()
+    }
+
     /// Batched inference with a throwaway workspace.
     ///
     /// # Errors
@@ -168,6 +220,32 @@ impl Network {
     ///
     /// Returns [`ShapeError`] when `input` does not fit the first layer.
     pub fn infer_batch_with(&self, input: &Tensor, par: Parallelism) -> Result<Tensor, ShapeError> {
+        self.infer_batch_obs(input, par, &mp_obs::NULL_RECORDER)
+    }
+
+    /// [`Network::infer_batch_with`] with per-layer wall-time spans
+    /// recorded into `rec` (names `host.layer<i>.<name>`, see
+    /// `mp_obs::schema::SPAN_HOST_LAYER_PREFIX`).
+    ///
+    /// Recording is strictly passive: results are bit-identical to the
+    /// uninstrumented path, and a disabled recorder costs one branch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `input` does not fit the first layer.
+    pub fn infer_batch_obs(
+        &self,
+        input: &Tensor,
+        par: Parallelism,
+        rec: &dyn Recorder,
+    ) -> Result<Tensor, ShapeError> {
+        let names;
+        let obs: Option<(&dyn Recorder, &[String])> = if rec.enabled() {
+            names = self.layer_span_names();
+            Some((rec, names.as_slice()))
+        } else {
+            None
+        };
         let n = if input.shape().rank() == 0 {
             0
         } else {
@@ -175,21 +253,21 @@ impl Network {
         };
         if n == 0 {
             let mut ws = Workspace::new();
-            return self.infer_with(input, &mut ws);
+            return self.infer_with_obs(input, &mut ws, obs);
         }
         let stride = input.len() / n;
         let xv = input.as_slice();
         let dims = input.shape().dims();
         let chunks = par.chunks(n);
         let parts: Vec<InferShard> = if chunks.len() <= 1 {
-            vec![self.infer_rows(dims, xv, stride)]
+            vec![self.infer_rows(dims, xv, stride, obs)]
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .iter()
                     .map(|&(start, end)| {
                         let rows = &xv[start * stride..end * stride];
-                        scope.spawn(move || self.infer_rows(dims, rows, stride))
+                        scope.spawn(move || self.infer_rows(dims, rows, stride, obs))
                     })
                     .collect();
                 handles
@@ -222,7 +300,13 @@ impl Network {
     /// sub-batches of [`INFER_SUB_BATCH`] with one shared workspace, so
     /// inter-layer activations stay cache-resident instead of streaming
     /// a monolithic batch's worth of intermediates through memory.
-    fn infer_rows(&self, dims: &[usize], rows: &[f32], stride: usize) -> InferShard {
+    fn infer_rows(
+        &self,
+        dims: &[usize],
+        rows: &[f32],
+        stride: usize,
+        obs: Option<(&dyn Recorder, &[String])>,
+    ) -> InferShard {
         let count = rows.len() / stride.max(1);
         let mut ws = Workspace::new();
         let mut out: Option<(Vec<usize>, Vec<f32>)> = None;
@@ -234,7 +318,7 @@ impl Network {
             let mut buf = ws.take((end - start) * stride);
             buf.extend_from_slice(&rows[start * stride..end * stride]);
             let sub = Tensor::from_vec(Shape::new(sub_dims), buf)?;
-            let y = self.infer_with(&sub, &mut ws)?;
+            let y = self.infer_with_obs(&sub, &mut ws, obs)?;
             ws.put(sub.into_vec());
             match &mut out {
                 None => {
@@ -754,6 +838,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn instrumented_inference_is_bit_identical_and_records_layers() {
+        let mut r = rng();
+        let net = sample_net(&mut r);
+        let x = r.normal(Shape::nchw(5, 2, 8, 8), 0.0, 1.0);
+        let plain = net.infer_batch(&x).unwrap();
+        let rec = mp_obs::SharedRecorder::new();
+        let obs = net.infer_batch_obs(&x, Parallelism::new(2), &rec).unwrap();
+        assert_eq!(plain.as_slice(), obs.as_slice());
+        let report = rec.report();
+        assert_eq!(report.spans.len(), net.num_layers());
+        assert!(report.span("host.layer0.3x3-conv-4").is_some());
+        mp_obs::schema::validate_report(&report).unwrap();
     }
 
     #[test]

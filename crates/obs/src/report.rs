@@ -1,0 +1,174 @@
+//! The exported observation snapshot and its JSON round-trip.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ObsEvent;
+
+/// Aggregate of all spans sharing one name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Stable span name (see [`crate::schema`]).
+    pub name: String,
+    /// Spans recorded under this name.
+    pub count: u64,
+    /// Summed duration, in seconds.
+    pub total_s: f64,
+    /// Shortest single span, in seconds.
+    pub min_s: f64,
+    /// Longest single span, in seconds.
+    pub max_s: f64,
+}
+
+/// A monotonic counter's final value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterStat {
+    /// Stable counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// A fixed-bucket histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramStat {
+    /// Stable histogram name (its suffix selects the bucket edges).
+    pub name: String,
+    /// Upper bucket edges (`value <= edge`), from
+    /// [`crate::schema::bucket_edges`].
+    pub bucket_edges: Vec<f64>,
+    /// Per-bucket counts; one more than `bucket_edges` (overflow last).
+    pub bucket_counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// A deterministic snapshot of one recorder, exported as
+/// `results/obs_<tag>.json`. Field names, metric names and bucket edges
+/// are stable (guarded by the golden-schema test and
+/// [`crate::schema::validate_report`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Schema version ([`crate::schema::SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Span aggregates, sorted by name.
+    pub spans: Vec<SpanStat>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterStat>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramStat>,
+    /// Typed events in arrival order (capped).
+    pub events: Vec<ObsEvent>,
+    /// Events discarded beyond the cap.
+    pub events_dropped: u64,
+}
+
+impl ObsReport {
+    /// The span aggregate named `name`, if recorded.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The counter value for `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The histogram named `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Writes `report` as pretty JSON to `<dir>/obs_<tag>.json`, creating
+/// `dir` if needed, and returns the written path.
+///
+/// # Errors
+///
+/// Returns [`io::Error`] on serialization or filesystem failure, and an
+/// [`io::ErrorKind::InvalidInput`] error when `tag` is not a well-formed
+/// schema name (it becomes part of the filename).
+pub fn write_report(report: &ObsReport, dir: &Path, tag: &str) -> io::Result<PathBuf> {
+    if !crate::schema::valid_name(tag) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("invalid report tag {tag:?}"),
+        ));
+    }
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("obs_{tag}.json"));
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+/// Parses a report back from its JSON text.
+///
+/// # Errors
+///
+/// Returns a description of the parse failure.
+pub fn report_from_json(text: &str) -> Result<ObsReport, String> {
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsEvent, Recorder, SharedRecorder};
+
+    fn sample() -> ObsReport {
+        let rec = SharedRecorder::new();
+        rec.record_span("pipeline.execute", 10, 2_000_010);
+        rec.add("pipeline.images", 40);
+        rec.observe("pipeline.bnn_image_s", 2e-3);
+        rec.observe("pipeline.queue_depth", 3.0);
+        rec.record_event(ObsEvent::Rerun { image: 7 });
+        rec.record_event(ObsEvent::Degraded {
+            image: 9,
+            kind: "HostTransient".into(),
+        });
+        rec.report()
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let report = sample();
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back = report_from_json(&text).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn write_report_creates_tagged_file() {
+        let dir = std::env::temp_dir().join("mp_obs_test_write");
+        let path = write_report(&sample(), &dir, "unit").unwrap();
+        assert!(path.ends_with("obs_unit.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = report_from_json(&text).unwrap();
+        assert_eq!(back, sample());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let dir = std::env::temp_dir();
+        assert!(write_report(&sample(), &dir, "has space").is_err());
+    }
+
+    #[test]
+    fn accessors_find_metrics() {
+        let r = sample();
+        assert!(r.span("pipeline.execute").is_some());
+        assert_eq!(r.counter("pipeline.images"), 40);
+        assert_eq!(r.counter("missing"), 0);
+        assert!(r.histogram("pipeline.queue_depth").is_some());
+    }
+}

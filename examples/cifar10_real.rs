@@ -11,7 +11,7 @@
 //! DMU-gated pipeline, exactly the synthetic flow with real images.
 
 use multiprec::bnn::{BnnClassifier, FinnTopology, HardwareBnn};
-use multiprec::core::{Dmu, MultiPrecisionPipeline, PipelineTiming};
+use multiprec::core::{Dmu, MultiPrecisionPipeline, PipelineTiming, RunOptions};
 use multiprec::dataset::cifar10;
 use multiprec::host::zoo::{self, ModelId};
 use multiprec::nn::train::{Adam, Trainer};
@@ -86,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let timing = PipelineTiming::new(1.0 / 430.15, 1.0 / 29.68, 100);
     let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.84);
-    let result = pipeline.run(&host, &test, &timing, host_acc)?;
+    let result = pipeline.execute(
+        &host,
+        &test,
+        &RunOptions::new(timing).with_host_accuracy(host_acc),
+    )?;
     println!(
         "\nreal CIFAR-10 results: BNN {:.1}% → multi-precision {:.1}% \
          ({:.1}% of images rerun) at {:.1} img/s modelled",

@@ -11,6 +11,7 @@
 
 use multiprec::core::experiment::{ExperimentConfig, TrainedSystem};
 use multiprec::host::zoo::ModelId;
+use multiprec::obs::SharedRecorder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Train everything: the binarised FINN-style network, the three
@@ -42,9 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 2. Pair the BNN with Model A through the DMU at the configured
-    //    threshold, timed at the paper's ZC702 rates.
-    let timing = system.paper_timing(ModelId::A)?;
-    let result = system.run_pipeline(ModelId::A, &timing)?;
+    //    threshold, timed at the paper's ZC702 rates, with a recorder
+    //    attached so the run leaves a per-stage trace behind.
+    let rec = SharedRecorder::new();
+    let run_opts = system.run_options(ModelId::A)?.with_recorder(&rec);
+    let timing = *run_opts.timing();
+    let result = system.execute(ModelId::A, &run_opts)?;
     println!(
         "\nmulti-precision (Model A + FINN @ threshold {}):",
         system.config.threshold
@@ -66,5 +70,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.analytic_images_per_sec,
         1.0 / timing.t_fp_img_s
     );
+
+    // 3. The recorder saw every stage of that run.
+    let report = rec.report();
+    println!(
+        "\nobservability: {} spans, {} counters, {} events recorded",
+        report.spans.len(),
+        report.counters.len(),
+        report.events.len()
+    );
+    if let Some(bnn_stage) = report.span("pipeline.bnn_stage") {
+        println!(
+            "  BNN+DMU stage: {:.1} ms over the whole test set",
+            1e3 * bnn_stage.total_s
+        );
+    }
     Ok(())
 }

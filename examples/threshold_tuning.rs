@@ -12,7 +12,7 @@
 //! ```
 
 use multiprec::core::experiment::{ExperimentConfig, TrainedSystem};
-use multiprec::core::MultiPrecisionPipeline;
+use multiprec::core::{MultiPrecisionPipeline, RunOptions};
 use multiprec::host::zoo::ModelId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -42,9 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter_mut()
         .find(|(id, _, _)| *id == ModelId::A)
         .expect("Model A present");
+    // One pipeline, one options value; the sweep is a per-run threshold
+    // override — the point of the unified `execute` API.
+    let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.5);
+    let base_opts = RunOptions::new(timing).with_host_accuracy(global_acc);
     for threshold in [0.0f32, 0.3, 0.5, 0.7, 0.84, 0.95, 1.0] {
-        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, threshold);
-        let r = pipeline.run(host, &test, &timing, global_acc)?;
+        let r = pipeline.execute(host, &test, &base_opts.clone().with_threshold(threshold))?;
         println!(
             "{:>9.2}  {:>7.1}%  {:>8.1}%  {:>11.1}  {:>9.1}%",
             threshold,

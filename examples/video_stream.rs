@@ -10,7 +10,7 @@
 
 use multiprec::core::dmu::selection;
 use multiprec::core::experiment::{ExperimentConfig, TrainedSystem};
-use multiprec::core::MultiPrecisionPipeline;
+use multiprec::core::{MultiPrecisionPipeline, RunOptions};
 use multiprec::host::zoo::ModelId;
 
 const TARGET_FPS: f64 = 60.0;
@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (threshold, _) =
             selection::select_threshold_for_throughput(&sweep, TARGET_FPS, host_fps);
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, threshold);
-        let r = pipeline.run_parallel(host, &test, &timing, global_acc)?;
+        let run_opts = RunOptions::new(timing)
+            .threaded()
+            .with_host_accuracy(global_acc);
+        let r = pipeline.execute(host, &test, &run_opts)?;
         let verdict = if r.modeled_images_per_sec >= TARGET_FPS {
             "meets 60 fps"
         } else {

@@ -20,6 +20,7 @@
 //! | [`dataset`] | `mp-dataset` | synthetic CIFAR-10 stand-in + real loader |
 //! | [`host`] | `mp-host` | Caffe model zoo + ARM Cortex-A9 cost model |
 //! | [`core`] | `mp-core` | DMU, multi-precision pipeline, experiments |
+//! | [`obs`] | `mp-obs` | zero-dependency tracing/metrics recorder + JSON report |
 //! | [`verify`] | `mp-verify` | static design-rule checker + abstract interpretation (`mp-lint`) |
 //!
 //! # Quickstart
@@ -27,19 +28,26 @@
 //! ```no_run
 //! use multiprec::core::experiment::{ExperimentConfig, TrainedSystem};
 //! use multiprec::host::zoo::ModelId;
+//! use multiprec::obs::SharedRecorder;
 //!
 //! # fn main() -> Result<(), multiprec::core::CoreError> {
 //! // Train the whole system (BNN + DMU + host models) on synthetic data.
-//! let mut system = TrainedSystem::prepare(&ExperimentConfig::fast_profile(2018))?;
-//! // Run the Model A + FINN pipeline at paper-scale timing.
-//! let timing = system.paper_timing(ModelId::A)?;
-//! let result = system.run_pipeline(ModelId::A, &timing)?;
+//! let system = TrainedSystem::prepare(&ExperimentConfig::fast_profile(2018))?;
+//! // Run the Model A + FINN pipeline at paper-scale timing, recording
+//! // per-stage spans, counters and events as it goes.
+//! let rec = SharedRecorder::new();
+//! let opts = system.run_options(ModelId::A)?.with_recorder(&rec);
+//! let result = system.execute(ModelId::A, &opts)?;
 //! println!(
-//!     "BNN {:.1}% → multi-precision {:.1}% at {:.1} img/s",
+//!     "BNN {:.1}% → multi-precision {:.1}% at {:.1} img/s ({} reruns)",
 //!     100.0 * result.bnn_accuracy,
 //!     100.0 * result.accuracy,
 //!     result.modeled_images_per_sec,
+//!     result.rerun_count,
 //! );
+//! // The aggregated report serialises to results/obs_*.json.
+//! let report = rec.report();
+//! println!("{} spans recorded", report.spans.len());
 //! # Ok(())
 //! # }
 //! ```
@@ -53,5 +61,6 @@ pub use mp_dataset as dataset;
 pub use mp_fpga as fpga;
 pub use mp_host as host;
 pub use mp_nn as nn;
+pub use mp_obs as obs;
 pub use mp_tensor as tensor;
 pub use mp_verify as verify;

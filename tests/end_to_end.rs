@@ -3,19 +3,23 @@
 //! invariants across crates.
 
 use multiprec::core::experiment::{ExperimentConfig, TrainedSystem};
-use multiprec::core::MultiPrecisionPipeline;
+use multiprec::core::{MultiPrecisionPipeline, RunOptions};
 use multiprec::host::zoo::ModelId;
 
 fn system(seed: u64) -> TrainedSystem {
     TrainedSystem::prepare(&ExperimentConfig::smoke(seed)).expect("smoke system trains")
 }
 
+fn run(sys: &TrainedSystem, id: ModelId) -> multiprec::core::PipelineResult {
+    let opts = sys.run_options(id).expect("run options");
+    sys.execute(id, &opts).expect("pipeline")
+}
+
 #[test]
 fn pipeline_runs_for_all_host_models() {
     let sys = system(1);
     for id in ModelId::ALL {
-        let timing = sys.paper_timing(id).expect("timing");
-        let r = sys.run_pipeline(id, &timing).expect("pipeline");
+        let r = run(&sys, id);
         assert_eq!(r.total_images, sys.test.len());
         assert!((0.0..=1.0).contains(&r.accuracy), "{id:?}: {r:?}");
         // Quadrants are a partition of the test set.
@@ -35,7 +39,7 @@ fn pipeline_runs_for_all_host_models() {
 fn multi_precision_throughput_sits_between_host_and_bnn() {
     let sys = system(2);
     let timing = sys.paper_timing(ModelId::A).expect("timing");
-    let r = sys.run_pipeline(ModelId::A, &timing).expect("pipeline");
+    let r = run(&sys, ModelId::A);
     let host_fps = 1.0 / timing.t_fp_img_s;
     let bnn_fps = 1.0 / timing.t_bnn_img_s;
     // Unless everything reruns, the system beats the host alone and can
@@ -53,8 +57,7 @@ fn multi_precision_throughput_sits_between_host_and_bnn() {
 #[test]
 fn eq2_exact_form_matches_measurement() {
     let sys = system(3);
-    let timing = sys.paper_timing(ModelId::B).expect("timing");
-    let r = sys.run_pipeline(ModelId::B, &timing).expect("pipeline");
+    let r = run(&sys, ModelId::B);
     let exact = multiprec::core::model::accuracy_exact(
         r.bnn_accuracy,
         r.host_subset_accuracy
@@ -70,16 +73,17 @@ fn eq2_exact_form_matches_measurement() {
 }
 
 #[test]
-fn sequential_and_parallel_executors_agree() {
+fn modeled_and_threaded_executors_agree() {
     let sys = system(4);
     let timing = sys.paper_timing(ModelId::A).expect("timing");
     let global = sys.host_accuracy(ModelId::A);
     let host = sys.host(ModelId::A);
     let pipeline = MultiPrecisionPipeline::new(&sys.hw, &sys.dmu, 0.84);
-    let seq = pipeline.run(host, &sys.test, &timing, global).expect("seq");
+    let opts = RunOptions::new(timing).with_host_accuracy(global);
+    let seq = pipeline.execute(host, &sys.test, &opts).expect("modeled");
     let par = pipeline
-        .run_parallel(host, &sys.test, &timing, global)
-        .expect("par");
+        .execute(host, &sys.test, &opts.clone().threaded())
+        .expect("threaded");
     assert_eq!(seq.predictions, par.predictions);
     assert_eq!(seq.quadrants, par.quadrants);
 }

@@ -10,7 +10,7 @@ use multiprec::bnn::{EngineKind, EngineSpec, FinnTopology};
 use multiprec::core::dmu::{ConfusionQuadrants, Dmu};
 use multiprec::core::fault::{silence_injected_panics, DegradationPolicy, FaultPlan};
 use multiprec::core::model;
-use multiprec::core::{MultiPrecisionPipeline, PipelineTiming};
+use multiprec::core::{MultiPrecisionPipeline, PipelineTiming, RunOptions};
 use multiprec::dataset::{Dataset, SynthSpec};
 use multiprec::fpga::cycle_model::{divisors, engine_cycles};
 use multiprec::fpga::folding::FoldingSearch;
@@ -18,6 +18,7 @@ use multiprec::fpga::memory::{allocate_array, best_partition};
 use multiprec::fpga::stream_sim::StreamSim;
 use multiprec::nn::train::Model;
 use multiprec::nn::{Mode, Network};
+use multiprec::obs::SharedRecorder;
 use multiprec::tensor::conv::{col2im, im2col, ConvGeometry};
 use multiprec::tensor::init::TensorRng;
 use multiprec::tensor::{linalg, Parallelism, Shape, Tensor};
@@ -256,6 +257,13 @@ fn chaos_timing() -> PipelineTiming {
     PipelineTiming::new(1.0 / 430.0, 1.0 / 30.0, 10)
 }
 
+fn chaos_opts(plan: FaultPlan, policy: DegradationPolicy) -> RunOptions<'static> {
+    RunOptions::new(chaos_timing())
+        .with_host_accuracy(0.5)
+        .with_faults(plan)
+        .with_degradation(policy)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -276,8 +284,7 @@ proptest! {
             plan = plan.with_host_death_after(after);
         }
         let r = MultiPrecisionPipeline::new(hw, dmu, threshold)
-            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan,
-                               &DegradationPolicy::default())
+            .execute(&host, data, &chaos_opts(plan, DegradationPolicy::default()))
             .expect("recoverable faults must not surface as errors");
         prop_assert_eq!(r.predictions.len(), r.total_images);
         prop_assert!(r.predictions.iter().all(|&p| p < 10));
@@ -295,13 +302,12 @@ proptest! {
         let policy = DegradationPolicy::default();
         let host = chaos_host();
         let clean = pipeline
-            .run_parallel_with(&host, data, &chaos_timing(), 0.5,
-                               &FaultPlan::none(), &policy)
+            .execute(&host, data, &chaos_opts(FaultPlan::none(), policy))
             .unwrap();
         let host = chaos_host();
         let plan = FaultPlan::seeded(13).with_host_error_rate(error_rate);
         let faulty = pipeline
-            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .execute(&host, data, &chaos_opts(plan, policy))
             .unwrap();
         let n = faulty.total_images as f64;
         // Faults only change degraded images, each worth at most 1/n of
@@ -331,11 +337,11 @@ proptest! {
             .with_host_spikes(0.1, 10.0);
         let host = chaos_host();
         let a = pipeline
-            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .execute(&host, data, &chaos_opts(plan.clone(), policy))
             .unwrap();
         let host = chaos_host();
         let b = pipeline
-            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .execute(&host, data, &chaos_opts(plan, policy))
             .unwrap();
         let log_a = serde_json::to_string(&a.fault_log).unwrap();
         let log_b = serde_json::to_string(&b.fault_log).unwrap();
@@ -344,6 +350,62 @@ proptest! {
         prop_assert_eq!(a.degraded_count, b.degraded_count);
         prop_assert_eq!(a.retries, b.retries);
         prop_assert_eq!(a.breaker_trips, b.breaker_trips);
+    }
+
+    /// The redesigned run API's core contract: recording is strictly
+    /// passive. A fully instrumented run (`SharedRecorder`) and the
+    /// default null-recorder run must produce identical
+    /// `PipelineResult`s — predictions, fault log, degradation
+    /// accounting — under the same seed, chaos plan included. Only the
+    /// wall clock (`wall_seconds`) and channel-timing-dependent
+    /// `backpressure_events` may differ between the two runs.
+    #[test]
+    fn obs_recording_is_passive_under_chaos(
+        error_rate in 0.0f64..1.0,
+        spike_rate in 0.0f64..0.5,
+        threshold in 0.3f32..1.0,
+        seed in any::<u64>()
+    ) {
+        let (hw, dmu, data) = chaos_fixture();
+        let pipeline = MultiPrecisionPipeline::new(hw, dmu, threshold);
+        let policy = DegradationPolicy::default();
+        let plan = FaultPlan::seeded(seed)
+            .with_host_error_rate(error_rate)
+            .with_host_spikes(spike_rate, 10.0);
+        let host = chaos_host();
+        let null_run = pipeline
+            .execute(&host, data, &chaos_opts(plan.clone(), policy))
+            .unwrap();
+        let rec = SharedRecorder::new();
+        let host = chaos_host();
+        let obs_run = pipeline
+            .execute(&host, data, &chaos_opts(plan, policy).with_recorder(&rec))
+            .unwrap();
+        prop_assert_eq!(&null_run.predictions, &obs_run.predictions);
+        prop_assert_eq!(
+            serde_json::to_string(&null_run.fault_log).unwrap(),
+            serde_json::to_string(&obs_run.fault_log).unwrap()
+        );
+        prop_assert_eq!(null_run.accuracy, obs_run.accuracy);
+        prop_assert_eq!(null_run.quadrants, obs_run.quadrants);
+        prop_assert_eq!(null_run.rerun_count, obs_run.rerun_count);
+        prop_assert_eq!(null_run.degraded_count, obs_run.degraded_count);
+        prop_assert_eq!(null_run.retries, obs_run.retries);
+        prop_assert_eq!(null_run.host_attempts, obs_run.host_attempts);
+        prop_assert_eq!(null_run.breaker_trips, obs_run.breaker_trips);
+        prop_assert_eq!(null_run.host_subset_accuracy, obs_run.host_subset_accuracy);
+        // And the record the run left behind is schema-valid with
+        // counters that mirror the result.
+        let report = rec.report();
+        prop_assert!(multiprec::obs::schema::validate_report(&report).is_ok());
+        prop_assert_eq!(
+            report.counter(multiprec::obs::schema::CTR_IMAGES),
+            obs_run.total_images as u64
+        );
+        prop_assert_eq!(
+            report.counter(multiprec::obs::schema::CTR_DEGRADED),
+            obs_run.degraded_count as u64
+        );
     }
 
     // ---- data-parallel batched inference ----
@@ -385,11 +447,11 @@ proptest! {
             .with_host_spikes(spike_rate, 10.0);
         let host = chaos_host();
         let seq = MultiPrecisionPipeline::new(hw, dmu, 0.9)
-            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .execute(&host, data, &chaos_opts(plan.clone(), policy))
             .unwrap();
         let par = MultiPrecisionPipeline::new(hw, dmu, 0.9)
             .with_parallelism(Parallelism::new(threads))
-            .run_parallel_with(&host, data, &chaos_timing(), 0.5, &plan, &policy)
+            .execute(&host, data, &chaos_opts(plan, policy))
             .unwrap();
         // Sharding the deferred host batches must not perturb fault
         // accounting or predictions in any way.
