@@ -1048,6 +1048,41 @@ mod tests {
     }
 
     #[test]
+    fn empty_dataset_yields_well_formed_zero_result() {
+        let (hw, dmu, data, host) = tiny_system();
+        let empty = data.take(0).unwrap();
+        assert!(empty.is_empty());
+        for opts in [modeled_opts(), threaded_opts()] {
+            let r = MultiPrecisionPipeline::new(&hw, &dmu, 0.5)
+                .execute(&host, &empty, &opts)
+                .unwrap();
+            assert_eq!(r.total_images, 0);
+            assert!(r.predictions.is_empty());
+            assert_eq!(r.rerun_count, 0);
+            assert_eq!(r.degraded_count, 0);
+            assert_eq!(r.modeled_time_s, 0.0);
+            assert_eq!(r.modeled_images_per_sec, 0.0);
+            assert!(r.host_subset_accuracy.is_none());
+            assert!(r.fault_log.is_empty());
+        }
+    }
+
+    #[test]
+    fn rerun_ratio_boundaries_are_exact() {
+        let (hw, dmu, data, host) = tiny_system();
+        // Threshold 0 ⇒ R_rerun == 0 exactly; threshold 1 ⇒ 1 exactly.
+        let none = MultiPrecisionPipeline::new(&hw, &dmu, 0.0)
+            .execute(&host, &data, &modeled_opts())
+            .unwrap();
+        assert_eq!(none.quadrants.rerun_ratio(), 0.0);
+        let all = MultiPrecisionPipeline::new(&hw, &dmu, 1.0)
+            .execute(&host, &data, &threaded_opts())
+            .unwrap();
+        assert!((all.quadrants.rerun_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(all.rerun_count, data.len());
+    }
+
+    #[test]
     fn parallel_matches_sequential_functionally() {
         let (hw, dmu, data, host) = tiny_system();
         let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.6);

@@ -148,6 +148,39 @@ impl Dataset {
         })
     }
 
+    /// Gathers the examples at `indices` (in the given order, repeats
+    /// allowed) into a new dataset — the batch-assembly primitive the
+    /// serving layer uses to coalesce queued requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if any index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Result<Dataset, DatasetError> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.len()) {
+            return Err(DatasetError::InvalidSpec(format!(
+                "index {bad} out of bounds for {} examples",
+                self.len()
+            )));
+        }
+        let s = self.images.shape();
+        let stride = s.dim(1) * s.dim(2) * s.dim(3);
+        let mut data = Vec::with_capacity(indices.len() * stride);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.images.as_slice()[i * stride..(i + 1) * stride]);
+            labels.push(self.labels[i]);
+        }
+        let images = Tensor::from_vec(
+            Shape::nchw(indices.len(), s.dim(1), s.dim(2), s.dim(3)),
+            data,
+        )?;
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes: self.num_classes,
+        })
+    }
+
     /// Per-class example counts.
     pub fn class_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.num_classes];
@@ -304,6 +337,20 @@ mod tests {
         assert_eq!(stats.len(), 1);
         assert!((stats[0].0 - 3.0).abs() < 1e-6);
         assert!((stats[0].1 - 5.0f32.sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn select_gathers_in_order_with_repeats() {
+        let d = toy(5);
+        let sel = d.select(&[4, 0, 4]).unwrap();
+        assert_eq!(sel.len(), 3);
+        assert_eq!(sel.labels(), &[d.labels()[4], d.labels()[0], d.labels()[4]]);
+        assert_eq!(sel.images().as_slice()[0], d.images().as_slice()[4 * 4]);
+        assert_eq!(sel.images().as_slice()[4], d.images().as_slice()[0]);
+        assert!(d.select(&[5]).is_err());
+        let empty = d.select(&[]).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.num_classes(), d.num_classes());
     }
 
     #[test]

@@ -11,8 +11,65 @@
 //! here — the effects the paper attributes its expected/obtained gap and
 //! batch-size behaviour to.
 
+use std::fmt;
+
 use mp_obs::{schema, ObsEvent, Recorder};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// An invalid streaming-pipeline or stream-fault configuration.
+///
+/// The checked constructors ([`StreamSim::try_new`],
+/// [`StreamFaults::try_new`]) return this instead of panicking, and the
+/// `Deserialize` impls route through them so a config read back from
+/// disk cannot smuggle an invariant-violating value past validation
+/// (the same pattern `BitVec` and `Folding` use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamConfigError {
+    /// The pipeline has no stages.
+    EmptyPipeline,
+    /// A stage's service time is negative (or NaN).
+    BadServiceTime {
+        /// Index of the offending stage.
+        stage: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The inter-stage FIFO capacity is zero.
+    ZeroFifoCapacity,
+    /// The source interval is negative (or NaN).
+    BadSourceInterval(f64),
+    /// The stall probability is outside `[0, 1]` (or NaN).
+    BadStallRate(f64),
+    /// The stall duration is negative (or NaN).
+    BadStallDuration(f64),
+    /// The jitter fraction is outside `[0, 1]` (or NaN).
+    BadJitterFraction(f64),
+}
+
+impl fmt::Display for StreamConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyPipeline => write!(f, "pipeline needs at least one stage"),
+            Self::BadServiceTime { stage, value } => {
+                write!(
+                    f,
+                    "stage {stage}: service time {value} must be non-negative"
+                )
+            }
+            Self::ZeroFifoCapacity => write!(f, "FIFO capacity must be positive"),
+            Self::BadSourceInterval(v) => {
+                write!(f, "source interval {v} must be non-negative")
+            }
+            Self::BadStallRate(v) => write!(f, "stall rate {v} must be in [0,1]"),
+            Self::BadStallDuration(v) => {
+                write!(f, "stall duration {v} must be non-negative")
+            }
+            Self::BadJitterFraction(v) => write!(f, "jitter {v} must be in [0,1]"),
+        }
+    }
+}
+
+impl std::error::Error for StreamConfigError {}
 
 /// Deterministic fault model for [`StreamSim`]: seeded source stalls and
 /// source-interval jitter.
@@ -23,7 +80,7 @@ use serde::{Deserialize, Serialize};
 /// jitters around its nominal interval. `StreamFaults` injects both,
 /// keyed purely on `(seed, image index)` so the same plan replays
 /// byte-identically regardless of when or where it runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StreamFaults {
     /// Root seed; all per-image decisions derive from it.
     pub seed: u64,
@@ -57,28 +114,61 @@ impl StreamFaults {
         }
     }
 
+    /// Creates a fully-specified plan, validating every invariant the
+    /// builder methods assert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamConfigError`] if `stall_rate` or `jitter_frac`
+    /// is outside `[0, 1]` or `stall_s` is negative (NaN fails every
+    /// range check).
+    pub fn try_new(
+        seed: u64,
+        stall_rate: f64,
+        stall_s: f64,
+        jitter_frac: f64,
+    ) -> Result<Self, StreamConfigError> {
+        if !(0.0..=1.0).contains(&stall_rate) {
+            return Err(StreamConfigError::BadStallRate(stall_rate));
+        }
+        if stall_s.is_nan() || stall_s < 0.0 {
+            return Err(StreamConfigError::BadStallDuration(stall_s));
+        }
+        if !(0.0..=1.0).contains(&jitter_frac) {
+            return Err(StreamConfigError::BadJitterFraction(jitter_frac));
+        }
+        Ok(Self {
+            seed,
+            stall_rate,
+            stall_s,
+            jitter_frac,
+        })
+    }
+
     /// Sets the stall process.
     ///
     /// # Panics
     ///
-    /// Panics if `rate` is outside `[0, 1]` or `stall_s` is negative.
-    pub fn with_stalls(mut self, rate: f64, stall_s: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "stall rate must be in [0,1]");
-        assert!(stall_s >= 0.0, "stall duration must be non-negative");
-        self.stall_rate = rate;
-        self.stall_s = stall_s;
-        self
+    /// Panics if `rate` is outside `[0, 1]` or `stall_s` is negative;
+    /// use [`Self::try_new`] to handle invalid values gracefully.
+    pub fn with_stalls(self, rate: f64, stall_s: f64) -> Self {
+        match Self::try_new(self.seed, rate, stall_s, self.jitter_frac) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Sets the source-interval jitter fraction.
     ///
     /// # Panics
     ///
-    /// Panics if `frac` is outside `[0, 1]`.
-    pub fn with_jitter(mut self, frac: f64) -> Self {
-        assert!((0.0..=1.0).contains(&frac), "jitter must be in [0,1]");
-        self.jitter_frac = frac;
-        self
+    /// Panics if `frac` is outside `[0, 1]`; use [`Self::try_new`] to
+    /// handle invalid values gracefully.
+    pub fn with_jitter(self, frac: f64) -> Self {
+        match Self::try_new(self.seed, self.stall_rate, self.stall_s, frac) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Whether the plan injects nothing.
@@ -108,6 +198,20 @@ impl StreamFaults {
 impl Default for StreamFaults {
     fn default() -> Self {
         Self::none()
+    }
+}
+
+// Manual Deserialize: a plan read back from disk must re-validate the
+// ranges `with_stalls`/`with_jitter` assert, or a corrupted record
+// would misbehave (negative stalls rewind virtual time, a >1 rate is
+// nonsense) long after the load site.
+impl<'de> Deserialize<'de> for StreamFaults {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seed = u64::from_value(value.get_field("seed")?)?;
+        let stall_rate = f64::from_value(value.get_field("stall_rate")?)?;
+        let stall_s = f64::from_value(value.get_field("stall_s")?)?;
+        let jitter_frac = f64::from_value(value.get_field("jitter_frac")?)?;
+        StreamFaults::try_new(seed, stall_rate, stall_s, jitter_frac).map_err(Error::custom)
     }
 }
 
@@ -150,11 +254,24 @@ pub struct SimResult {
 /// // Steady state: one image per bottleneck interval.
 /// assert!((r.throughput_fps - 1000.0).abs() / 1000.0 < 0.05);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StreamSim {
     service_s: Vec<f64>,
     fifo_capacity: usize,
     source_interval_s: f64,
+}
+
+// Manual Deserialize: the asserted invariants (non-empty stage list,
+// non-negative service times, positive FIFO capacity) must hold for
+// data read back from disk too, or `run` panics — or worse, silently
+// simulates nonsense — far from the load site.
+impl<'de> Deserialize<'de> for StreamSim {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let service_s = Vec::<f64>::from_value(value.get_field("service_s")?)?;
+        let fifo_capacity = usize::from_value(value.get_field("fifo_capacity")?)?;
+        let source_interval_s = f64::from_value(value.get_field("source_interval_s")?)?;
+        StreamSim::try_new(service_s, fifo_capacity, source_interval_s).map_err(Error::custom)
+    }
 }
 
 impl StreamSim {
@@ -168,23 +285,46 @@ impl StreamSim {
     /// # Panics
     ///
     /// Panics if there are no stages, a service time is negative, or
-    /// `fifo_capacity` is zero.
+    /// `fifo_capacity` is zero; use [`Self::try_new`] to handle the
+    /// invalid cases gracefully.
     pub fn new(service_s: Vec<f64>, fifo_capacity: usize, source_interval_s: f64) -> Self {
-        assert!(!service_s.is_empty(), "pipeline needs at least one stage");
-        assert!(
-            service_s.iter().all(|&s| s >= 0.0),
-            "service times must be non-negative"
-        );
-        assert!(fifo_capacity > 0, "FIFO capacity must be positive");
-        assert!(
-            source_interval_s >= 0.0,
-            "source interval must be non-negative"
-        );
-        Self {
+        match Self::try_new(service_s, fifo_capacity, source_interval_s) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a pipeline, rejecting invalid configurations with a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamConfigError`] if there are no stages, a service
+    /// time is negative, `fifo_capacity` is zero, or the source
+    /// interval is negative (NaN fails every range check).
+    pub fn try_new(
+        service_s: Vec<f64>,
+        fifo_capacity: usize,
+        source_interval_s: f64,
+    ) -> Result<Self, StreamConfigError> {
+        if service_s.is_empty() {
+            return Err(StreamConfigError::EmptyPipeline);
+        }
+        let bad = |s: f64| s.is_nan() || s < 0.0;
+        if let Some((stage, &value)) = service_s.iter().enumerate().find(|&(_, &s)| bad(s)) {
+            return Err(StreamConfigError::BadServiceTime { stage, value });
+        }
+        if fifo_capacity == 0 {
+            return Err(StreamConfigError::ZeroFifoCapacity);
+        }
+        if bad(source_interval_s) {
+            return Err(StreamConfigError::BadSourceInterval(source_interval_s));
+        }
+        Ok(Self {
             service_s,
             fifo_capacity,
             source_interval_s,
-        }
+        })
     }
 
     /// Builds a pipeline from per-engine cycle counts at a device clock.
@@ -476,5 +616,95 @@ mod tests {
     #[should_panic(expected = "batch must be positive")]
     fn zero_batch_rejected() {
         let _ = StreamSim::new(vec![1.0], 1, 0.0).run(0);
+    }
+
+    #[test]
+    fn stream_sim_deserialize_round_trips() {
+        let sim = StreamSim::new(vec![1e-3, 2e-3], 4, 5e-4);
+        let round = StreamSim::from_value(&sim.to_value()).expect("valid sim");
+        assert_eq!(round, sim);
+        let faults = StreamFaults::seeded(7)
+            .with_stalls(0.2, 3e-3)
+            .with_jitter(0.4);
+        let round = StreamFaults::from_value(&faults.to_value()).expect("valid faults");
+        assert_eq!(round, faults);
+    }
+
+    #[test]
+    fn stream_sim_deserialize_rejects_invalid() {
+        // Smuggled-invalid structs (constructed directly, bypassing
+        // try_new) must fail to deserialize with a typed error, not
+        // panic later in run().
+        let empty = StreamSim {
+            service_s: vec![],
+            fifo_capacity: 2,
+            source_interval_s: 0.0,
+        };
+        let err = StreamSim::from_value(&empty.to_value()).unwrap_err();
+        assert!(err.to_string().contains("at least one stage"), "{err}");
+
+        let zero_fifo = StreamSim {
+            service_s: vec![1e-3],
+            fifo_capacity: 0,
+            source_interval_s: 0.0,
+        };
+        let err = StreamSim::from_value(&zero_fifo.to_value()).unwrap_err();
+        assert!(err.to_string().contains("FIFO capacity"), "{err}");
+
+        let negative_service = StreamSim {
+            service_s: vec![1e-3, -2e-3],
+            fifo_capacity: 2,
+            source_interval_s: 0.0,
+        };
+        let err = StreamSim::from_value(&negative_service.to_value()).unwrap_err();
+        assert!(err.to_string().contains("stage 1"), "{err}");
+
+        let negative_source = StreamSim {
+            service_s: vec![1e-3],
+            fifo_capacity: 2,
+            source_interval_s: -1.0,
+        };
+        assert!(StreamSim::from_value(&negative_source.to_value()).is_err());
+    }
+
+    #[test]
+    fn stream_faults_deserialize_rejects_invalid() {
+        let bad_rate = StreamFaults {
+            seed: 1,
+            stall_rate: 1.5,
+            stall_s: 0.0,
+            jitter_frac: 0.0,
+        };
+        let err = StreamFaults::from_value(&bad_rate.to_value()).unwrap_err();
+        assert!(err.to_string().contains("stall rate"), "{err}");
+
+        let bad_stall = StreamFaults {
+            seed: 1,
+            stall_rate: 0.1,
+            stall_s: -2.0,
+            jitter_frac: 0.0,
+        };
+        let err = StreamFaults::from_value(&bad_stall.to_value()).unwrap_err();
+        assert!(err.to_string().contains("stall duration"), "{err}");
+
+        let bad_jitter = StreamFaults {
+            seed: 1,
+            stall_rate: 0.1,
+            stall_s: 0.0,
+            jitter_frac: f64::NAN,
+        };
+        assert!(StreamFaults::from_value(&bad_jitter.to_value()).is_err());
+    }
+
+    #[test]
+    fn try_new_matches_new_on_valid_input() {
+        let a = StreamSim::try_new(vec![1e-3, 2e-3], 4, 0.0).unwrap();
+        let b = StreamSim::new(vec![1e-3, 2e-3], 4, 0.0);
+        assert_eq!(a, b);
+        let f = StreamFaults::try_new(9, 0.25, 1e-3, 0.5).unwrap();
+        let g = StreamFaults::seeded(9)
+            .with_stalls(0.25, 1e-3)
+            .with_jitter(0.5);
+        assert_eq!(f, g);
     }
 }

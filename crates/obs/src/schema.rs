@@ -23,6 +23,9 @@ pub const SPAN_HOST_LAYER_PREFIX: &str = "host.layer";
 /// Span: one image's virtual-time passage through a `StreamSim` stage
 /// (`stream.stage<i>`); timestamps are virtual nanoseconds.
 pub const SPAN_STREAM_STAGE_PREFIX: &str = "stream.stage";
+/// Span: one dispatched serving batch, admission to completion;
+/// timestamps are virtual nanoseconds (the serving clock).
+pub const SPAN_SERVE_BATCH: &str = "serve.batch";
 
 /// Counter: images classified by the pipeline.
 pub const CTR_IMAGES: &str = "pipeline.images";
@@ -42,6 +45,12 @@ pub const CTR_BACKPRESSURE: &str = "pipeline.backpressure";
 pub const CTR_HOST_ATTEMPTS: &str = "pipeline.host_attempts";
 /// Counter: images replayed through the stream simulator.
 pub const CTR_STREAM_IMAGES: &str = "stream.images";
+/// Counter: requests offered to the serving front-end (accepted + shed).
+pub const CTR_SERVE_REQUESTS: &str = "serve.requests";
+/// Counter: requests shed by admission-queue backpressure.
+pub const CTR_SERVE_SHED: &str = "serve.shed";
+/// Counter: batches dispatched by the dynamic batcher.
+pub const CTR_SERVE_BATCHES: &str = "serve.batches";
 
 /// Histogram: per-image BNN inference latency (threaded executor).
 pub const HIST_BNN_IMAGE_S: &str = "pipeline.bnn_image_s";
@@ -53,6 +62,12 @@ pub const HIST_BACKOFF_S: &str = "pipeline.backoff_s";
 pub const HIST_QUEUE_DEPTH: &str = "pipeline.queue_depth";
 /// Histogram: per-image virtual latency through the stream simulator.
 pub const HIST_STREAM_LATENCY_S: &str = "stream.latency_s";
+/// Histogram: per-request virtual wait in the admission queue.
+pub const HIST_SERVE_QUEUE_WAIT_S: &str = "serve.queue_wait_s";
+/// Histogram: per-request virtual end-to-end latency (wait + service).
+pub const HIST_SERVE_LATENCY_S: &str = "serve.latency_s";
+/// Histogram: dispatched batch sizes.
+pub const HIST_SERVE_BATCH_SIZE: &str = "serve.batch_size";
 
 /// Bucket edges for latency histograms (names ending in `_s`), in
 /// seconds. Buckets are `value <= edge`, plus one overflow bucket.

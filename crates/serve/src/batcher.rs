@@ -1,0 +1,373 @@
+//! The dynamic batcher: a virtual-time discrete-event loop over the
+//! admission queue.
+//!
+//! A batch dispatches at the first virtual instant when the server is
+//! free **and** either `max_batch` requests are queued or the head
+//! request has waited `max_delay_s`. Under light load that degenerates
+//! to batch-of-1 at arrival (plus the delay window); under heavy load
+//! the queue fills while the server is busy and every dispatch carries
+//! a full batch, which is exactly when the pipeline's `async`/`wait`
+//! overlap pays off. Arrivals landing at the same instant a batch
+//! closes join the *next* batch — a fixed tie-break that keeps the
+//! replay deterministic.
+
+use std::fmt;
+
+use mp_core::{CoreError, MultiPrecisionPipeline, PipelineResult, RunOptions};
+use mp_dataset::{Dataset, DatasetError};
+use mp_nn::Network;
+use mp_obs::schema;
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::queue::{AdmissionQueue, Enqueue, Request};
+use crate::report::{BatchRecord, Completion, ServeReport};
+
+/// Dynamic-batching knobs.
+///
+/// Deserialization routes through [`try_new`](Self::try_new), so an
+/// invalid config read from disk is a typed error, never a later panic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BatcherConfig {
+    /// Dispatch as soon as this many requests are queued (and the
+    /// server is free). `1` forces batch-of-1 serving.
+    pub max_batch: usize,
+    /// Dispatch a partial batch once the head request has waited this
+    /// long (seconds). `0.0` dispatches whatever is queued the moment
+    /// the server frees up.
+    pub max_delay_s: f64,
+    /// Admission-queue bound; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+}
+
+impl BatcherConfig {
+    /// Creates a config, rejecting invalid values with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] if `max_batch` or
+    /// `queue_capacity` is zero, or `max_delay_s` is negative or
+    /// non-finite.
+    pub fn try_new(
+        max_batch: usize,
+        max_delay_s: f64,
+        queue_capacity: usize,
+    ) -> Result<Self, ServeError> {
+        if max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be positive".into()));
+        }
+        if !max_delay_s.is_finite() || max_delay_s < 0.0 {
+            return Err(ServeError::Config(format!(
+                "max_delay_s {max_delay_s} must be finite and non-negative"
+            )));
+        }
+        if queue_capacity == 0 {
+            return Err(ServeError::Config("queue_capacity must be positive".into()));
+        }
+        Ok(Self {
+            max_batch,
+            max_delay_s,
+            queue_capacity,
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for BatcherConfig {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let max_batch = usize::from_value(value.get_field("max_batch")?)?;
+        let max_delay_s = f64::from_value(value.get_field("max_delay_s")?)?;
+        let queue_capacity = usize::from_value(value.get_field("queue_capacity")?)?;
+        BatcherConfig::try_new(max_batch, max_delay_s, queue_capacity).map_err(Error::custom)
+    }
+}
+
+/// Errors from the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid batcher configuration.
+    Config(String),
+    /// A request trace violated an invariant (ordering, finiteness or
+    /// image bounds).
+    Trace(String),
+    /// A batch execution failed in the pipeline.
+    Core(CoreError),
+    /// Batch assembly failed in the dataset layer.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "invalid batcher config: {msg}"),
+            ServeError::Trace(msg) => write!(f, "invalid request trace: {msg}"),
+            ServeError::Core(e) => write!(f, "pipeline error: {e}"),
+            ServeError::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<DatasetError> for ServeError {
+    fn from(e: DatasetError) -> Self {
+        ServeError::Dataset(e)
+    }
+}
+
+/// The serving front-end: pipeline + host + image store + batcher.
+///
+/// The store plays the role of the request payloads: a [`Request`]
+/// carries an index into it, and the batcher gathers the indices of
+/// each dispatched batch into a contiguous [`Dataset`] via
+/// [`Dataset::select`].
+#[derive(Debug)]
+pub struct BatchServer<'a> {
+    pipeline: &'a MultiPrecisionPipeline<'a>,
+    host: &'a Network,
+    store: &'a Dataset,
+    config: BatcherConfig,
+}
+
+impl<'a> BatchServer<'a> {
+    /// Creates a server over `pipeline`/`host` serving images from
+    /// `store`.
+    pub fn new(
+        pipeline: &'a MultiPrecisionPipeline<'a>,
+        host: &'a Network,
+        store: &'a Dataset,
+        config: BatcherConfig,
+    ) -> Self {
+        Self {
+            pipeline,
+            host,
+            store,
+            config,
+        }
+    }
+
+    /// The batcher configuration.
+    pub fn config(&self) -> BatcherConfig {
+        self.config
+    }
+
+    /// Serves a request trace to completion and returns the full
+    /// per-request/per-batch accounting.
+    ///
+    /// `requests` is an open-loop trace: arrival times must be finite,
+    /// non-negative and sorted non-decreasing (ties allowed). Each
+    /// batch runs through
+    /// [`MultiPrecisionPipeline::execute`] with `opts` — faults,
+    /// degradation, threshold overrides and recorders all apply per
+    /// batch. The virtual clock advances by each batch's modelled
+    /// `async`/`wait` time, so the report is deterministic even when
+    /// `opts` selects the threaded executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on a malformed trace or a pipeline
+    /// failure; shed requests are not errors (they are reported in
+    /// [`ServeReport::shed`]).
+    pub fn serve(
+        &self,
+        requests: &[Request],
+        opts: &RunOptions<'_>,
+    ) -> Result<ServeReport, ServeError> {
+        self.validate_trace(requests)?;
+        let rec = opts.recorder();
+        let mut queue = AdmissionQueue::new(self.config.queue_capacity);
+        let mut report = ServeReport {
+            completions: Vec::with_capacity(requests.len()),
+            shed: Vec::new(),
+            batches: Vec::new(),
+        };
+        let mut server_free_s = 0.0f64;
+
+        for r in requests {
+            // Everything due strictly before (or at) this arrival
+            // dispatches first; only then does the arrival contend for
+            // a queue slot.
+            self.dispatch_due(
+                &mut queue,
+                &mut server_free_s,
+                r.arrival_s,
+                opts,
+                &mut report,
+            )?;
+            if rec.enabled() {
+                rec.add(schema::CTR_SERVE_REQUESTS, 1);
+            }
+            match queue.offer(*r) {
+                Enqueue::Accepted => {}
+                Enqueue::Shed => {
+                    if rec.enabled() {
+                        rec.add(schema::CTR_SERVE_SHED, 1);
+                    }
+                    report.shed.push(r.id);
+                }
+            }
+        }
+        // Drain: no more arrivals, dispatch everything left.
+        self.dispatch_due(
+            &mut queue,
+            &mut server_free_s,
+            f64::INFINITY,
+            opts,
+            &mut report,
+        )?;
+        debug_assert!(queue.is_empty(), "drain left requests queued");
+        Ok(report)
+    }
+
+    fn validate_trace(&self, requests: &[Request]) -> Result<(), ServeError> {
+        let mut prev = 0.0f64;
+        for r in requests {
+            if !r.arrival_s.is_finite() || r.arrival_s < 0.0 {
+                return Err(ServeError::Trace(format!(
+                    "request {} arrival {} must be finite and non-negative",
+                    r.id, r.arrival_s
+                )));
+            }
+            if r.arrival_s < prev {
+                return Err(ServeError::Trace(format!(
+                    "request {} arrives at {} after a request at {} (trace \
+                     must be sorted by arrival)",
+                    r.id, r.arrival_s, prev
+                )));
+            }
+            if r.image >= self.store.len() {
+                return Err(ServeError::Trace(format!(
+                    "request {} image index {} out of bounds for a store of {}",
+                    r.id,
+                    r.image,
+                    self.store.len()
+                )));
+            }
+            prev = r.arrival_s;
+        }
+        Ok(())
+    }
+
+    /// Dispatches every batch whose dispatch instant is `<= until`.
+    fn dispatch_due(
+        &self,
+        queue: &mut AdmissionQueue,
+        server_free_s: &mut f64,
+        until: f64,
+        opts: &RunOptions<'_>,
+        report: &mut ServeReport,
+    ) -> Result<(), ServeError> {
+        while let Some(head_arrival) = queue.arrival_at(0) {
+            // First instant the dispatch condition (full batch OR head
+            // deadline) holds...
+            let deadline = head_arrival + self.config.max_delay_s;
+            let ready = match queue.arrival_at(self.config.max_batch - 1) {
+                Some(full_at) => deadline.min(full_at),
+                None => deadline,
+            };
+            // ...gated on the server being free.
+            let dispatch_s = server_free_s.max(ready);
+            if dispatch_s > until {
+                break;
+            }
+            let members = queue.drain_batch(self.config.max_batch);
+            let result = self.run_batch(&members, opts)?;
+            let service_s = result.modeled_time_s;
+            let completion_s = dispatch_s + service_s;
+            *server_free_s = completion_s;
+            self.record_batch(&members, &result, dispatch_s, completion_s, opts, report);
+        }
+        Ok(())
+    }
+
+    fn run_batch(
+        &self,
+        members: &[Request],
+        opts: &RunOptions<'_>,
+    ) -> Result<PipelineResult, ServeError> {
+        let indices: Vec<usize> = members.iter().map(|m| m.image).collect();
+        let batch = self.store.select(&indices)?;
+        Ok(self.pipeline.execute(self.host, &batch, opts)?)
+    }
+
+    fn record_batch(
+        &self,
+        members: &[Request],
+        result: &PipelineResult,
+        dispatch_s: f64,
+        completion_s: f64,
+        opts: &RunOptions<'_>,
+        report: &mut ServeReport,
+    ) {
+        let rec = opts.recorder();
+        if rec.enabled() {
+            rec.add(schema::CTR_SERVE_BATCHES, 1);
+            rec.observe(schema::HIST_SERVE_BATCH_SIZE, members.len() as f64);
+            rec.record_span(
+                schema::SPAN_SERVE_BATCH,
+                virt_ns(dispatch_s),
+                virt_ns(completion_s),
+            );
+        }
+        for (k, m) in members.iter().enumerate() {
+            report.completions.push(Completion {
+                id: m.id,
+                image: m.image,
+                prediction: result.predictions[k],
+                arrival_s: m.arrival_s,
+                dispatch_s,
+                completion_s,
+            });
+            if rec.enabled() {
+                rec.observe(schema::HIST_SERVE_QUEUE_WAIT_S, dispatch_s - m.arrival_s);
+                rec.observe(schema::HIST_SERVE_LATENCY_S, completion_s - m.arrival_s);
+            }
+        }
+        report.batches.push(BatchRecord {
+            dispatch_s,
+            completion_s,
+            size: members.len(),
+            rerun_count: result.rerun_count,
+            degraded_count: result.degraded_count,
+        });
+    }
+}
+
+/// Virtual seconds → virtual nanoseconds for span timestamps (the same
+/// convention `StreamSim` uses).
+fn virt_ns(s: f64) -> u64 {
+    (s.max(0.0) * 1e9) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_rejects_degenerate_values() {
+        assert!(BatcherConfig::try_new(0, 1e-3, 8).is_err());
+        assert!(BatcherConfig::try_new(4, -1.0, 8).is_err());
+        assert!(BatcherConfig::try_new(4, f64::NAN, 8).is_err());
+        assert!(BatcherConfig::try_new(4, f64::INFINITY, 8).is_err());
+        assert!(BatcherConfig::try_new(4, 1e-3, 0).is_err());
+        assert!(BatcherConfig::try_new(1, 0.0, 1).is_ok());
+    }
+
+    #[test]
+    fn config_deserialize_routes_through_try_new() {
+        let good = BatcherConfig::try_new(8, 5e-3, 64).unwrap();
+        let round = BatcherConfig::from_value(&good.to_value()).expect("valid config");
+        assert_eq!(round, good);
+        let bad = BatcherConfig {
+            max_batch: 0,
+            max_delay_s: 5e-3,
+            queue_capacity: 64,
+        };
+        let err = BatcherConfig::from_value(&bad.to_value()).unwrap_err();
+        assert!(err.to_string().contains("max_batch"), "{err}");
+    }
+}

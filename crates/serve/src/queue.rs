@@ -1,0 +1,141 @@
+//! Requests and the bounded admission queue.
+
+use std::collections::VecDeque;
+
+use serde::Serialize;
+
+/// One inference request: an image (an index into the server's backing
+/// [`Dataset`](mp_dataset::Dataset)) plus its deterministic virtual
+/// arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Request {
+    /// Caller-chosen identifier, echoed in the report.
+    pub id: u64,
+    /// Index of the request's image in the server's image store.
+    pub image: usize,
+    /// Virtual arrival time in seconds (non-negative, finite; traces
+    /// must be sorted by this field).
+    pub arrival_s: f64,
+}
+
+impl Request {
+    /// Creates a request.
+    pub fn new(id: u64, image: usize, arrival_s: f64) -> Self {
+        Self {
+            id,
+            image,
+            arrival_s,
+        }
+    }
+}
+
+/// Outcome of offering a request to the admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Enqueue {
+    /// The request was admitted and will be served in a future batch.
+    Accepted,
+    /// The queue was full: the request is dropped (explicit
+    /// backpressure — overload sheds instead of growing memory).
+    Shed,
+}
+
+/// A bounded FIFO of admitted requests.
+///
+/// Admission is all-or-nothing at [`offer`](Self::offer) time; once a
+/// request is in, it is guaranteed to be dispatched in some batch (the
+/// batcher never drops queued work).
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    queue: VecDeque<Request>,
+}
+
+impl AdmissionQueue {
+    /// Creates an empty queue holding at most `capacity` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            queue: VecDeque::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Offers a request: admitted if there is room, shed otherwise.
+    pub fn offer(&mut self, request: Request) -> Enqueue {
+        if self.queue.len() >= self.capacity {
+            Enqueue::Shed
+        } else {
+            self.queue.push_back(request);
+            Enqueue::Accepted
+        }
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Arrival time of the queued request at position `idx` (0 = head).
+    pub fn arrival_at(&self, idx: usize) -> Option<f64> {
+        self.queue.get(idx).map(|r| r.arrival_s)
+    }
+
+    /// Removes and returns up to `max` requests from the head.
+    pub fn drain_batch(&mut self, max: usize) -> Vec<Request> {
+        let take = max.min(self.queue.len());
+        self.queue.drain(..take).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_admits_until_full_then_sheds() {
+        let mut q = AdmissionQueue::new(2);
+        assert_eq!(q.offer(Request::new(0, 0, 0.0)), Enqueue::Accepted);
+        assert_eq!(q.offer(Request::new(1, 1, 0.1)), Enqueue::Accepted);
+        assert_eq!(q.offer(Request::new(2, 2, 0.2)), Enqueue::Shed);
+        assert_eq!(q.len(), 2);
+        // Draining frees capacity again.
+        let batch = q.drain_batch(1);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id, 0);
+        assert_eq!(q.offer(Request::new(3, 3, 0.3)), Enqueue::Accepted);
+    }
+
+    #[test]
+    fn drain_is_fifo_and_clamped() {
+        let mut q = AdmissionQueue::new(8);
+        for i in 0..5 {
+            q.offer(Request::new(i, i as usize, i as f64));
+        }
+        assert_eq!(q.arrival_at(0), Some(0.0));
+        assert_eq!(q.arrival_at(4), Some(4.0));
+        assert_eq!(q.arrival_at(5), None);
+        let ids: Vec<u64> = q.drain_batch(99).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = AdmissionQueue::new(0);
+    }
+}

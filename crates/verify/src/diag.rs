@@ -54,6 +54,9 @@ pub mod codes {
     pub const NAN_TAINT: &str = "MP0206";
     /// Non-finite (infinite) parameter.
     pub const INF_PARAM: &str = "MP0207";
+    /// Target has no engines and nothing else attached: there is
+    /// nothing to verify, which is almost always a construction bug.
+    pub const EMPTY_TARGET: &str = "MP0208";
 
     /// Zero or degenerate `P`/`S` in a folding.
     pub const FOLDING_ZERO: &str = "MP0301";

@@ -85,7 +85,27 @@ pub(crate) fn check(target: &VerifyTarget, report: &mut Report) {
 }
 
 fn check_engine_intervals(target: &VerifyTarget, report: &mut Report) {
-    let last = target.engines.len().wrapping_sub(1);
+    // An empty engine list is legitimate for host-only targets, but a
+    // target with no engines, no host and no folded hardware has
+    // nothing to verify — report it instead of silently passing. The
+    // early return also keeps `last` well-defined below: a
+    // `len() - 1` on an empty list would wrap to `usize::MAX` and the
+    // last-engine special-casing would never fire.
+    if target.engines.is_empty() {
+        if target.host.is_none() && target.hw.is_none() {
+            report.push(
+                codes::EMPTY_TARGET,
+                Severity::Error,
+                PASS,
+                "target",
+                "no engines, host network or folded hardware attached: \
+                 nothing to verify"
+                    .to_owned(),
+            );
+        }
+        return;
+    }
+    let last = target.engines.len() - 1;
     for (i, e) in target.engines.iter().enumerate() {
         let site = engine_site(i, e);
         let acc = engine_accumulator_interval(e);

@@ -182,6 +182,36 @@ fn golden_host_nan_taint_is_mp0206() {
     assert!(report.has_errors());
 }
 
+/// A target with no engines and nothing else attached → MP0208; the
+/// interval pass used to compute `len().wrapping_sub(1)` on the empty
+/// list and silently skip all last-engine special-casing instead.
+#[test]
+fn golden_empty_target_is_mp0208() {
+    let target = VerifyTarget::from_engines("empty", Vec::new(), None, 10, Device::zc702());
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::EMPTY_TARGET),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// A host-only target (empty engine list, host attached) stays a
+/// legitimate configuration: no MP0208.
+#[test]
+fn golden_host_only_target_is_not_mp0208() {
+    let mut rng = TensorRng::seed_from(13);
+    let net = zoo::build_fast(ModelId::A, &mut rng).expect("model builds");
+    let target = VerifyTarget::host_only("host-only", &net, 10, Device::zc702());
+    let report = verify(&target);
+    assert!(
+        !report.has_code(codes::EMPTY_TARGET),
+        "{}",
+        report.render_human()
+    );
+}
+
 /// Reports serialize to JSON with the code strings intact, so
 /// `results/lint_report.json` is greppable by code.
 #[test]

@@ -22,6 +22,7 @@
 //! | [`core`] | `mp-core` | DMU, multi-precision pipeline, experiments |
 //! | [`obs`] | `mp-obs` | zero-dependency tracing/metrics recorder + JSON report |
 //! | [`verify`] | `mp-verify` | static design-rule checker + abstract interpretation (`mp-lint`) |
+//! | [`serve`] | `mp-serve` | request-level serving: admission queue, dynamic batcher, latency accounting |
 //!
 //! # Quickstart
 //!
@@ -62,5 +63,6 @@ pub use mp_fpga as fpga;
 pub use mp_host as host;
 pub use mp_nn as nn;
 pub use mp_obs as obs;
+pub use mp_serve as serve;
 pub use mp_tensor as tensor;
 pub use mp_verify as verify;

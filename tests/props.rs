@@ -19,6 +19,7 @@ use multiprec::fpga::stream_sim::StreamSim;
 use multiprec::nn::train::Model;
 use multiprec::nn::{Mode, Network};
 use multiprec::obs::SharedRecorder;
+use multiprec::serve::{BatchServer, BatcherConfig, Request};
 use multiprec::tensor::conv::{col2im, im2col, ConvGeometry};
 use multiprec::tensor::init::TensorRng;
 use multiprec::tensor::{linalg, Parallelism, Shape, Tensor};
@@ -499,6 +500,75 @@ proptest! {
                 "stage {}: runtime range [{}, {}] escapes static interval [{}, {}]",
                 stage, range.min, range.max, bound.lo, bound.hi
             );
+        }
+    }
+}
+
+// ---- mp-serve: dynamic batching is latency-only ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The serving layer's core contract: batching decisions (driven by
+    /// arrival gaps, `max_batch`, `max_delay_s` and queue pressure) may
+    /// only move *when* an image is classified, never *what* it is
+    /// classified as. Every served prediction must be bit-identical to
+    /// a single dataset-mode `execute` over the same images, and shed
+    /// requests must never be silently counted as served.
+    #[test]
+    fn serve_predictions_bit_identical_to_dataset_execute(
+        gaps in proptest::collection::vec(0.0f64..0.02, 1..40),
+        max_batch in 1usize..9,
+        max_delay_ms in 0.0f64..10.0,
+        queue_capacity in 1usize..32
+    ) {
+        let (hw, dmu, data) = chaos_fixture();
+        let host = chaos_host();
+        let pipeline = MultiPrecisionPipeline::new(hw, dmu, 0.5);
+        let cfg = BatcherConfig::try_new(max_batch, max_delay_ms * 1e-3, queue_capacity)
+            .expect("generated config is valid");
+        let server = BatchServer::new(&pipeline, &host, data, cfg);
+        let mut t = 0.0f64;
+        let trace: Vec<Request> = gaps
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                t += g;
+                Request::new(i as u64, (i * 7) % data.len(), t)
+            })
+            .collect();
+        let opts = RunOptions::new(chaos_timing()).with_host_accuracy(0.5);
+        let report = server.serve(&trace, &opts).unwrap();
+        let whole = pipeline.execute(&host, data, &opts).unwrap();
+        for c in &report.completions {
+            prop_assert_eq!(
+                c.prediction,
+                whole.predictions[c.image],
+                "request {} (image {}) diverged from the dataset-mode run",
+                c.id,
+                c.image
+            );
+        }
+        // Served and shed partition the trace exactly: nothing lost,
+        // nothing double-counted, no shed id among the completions.
+        prop_assert_eq!(report.served() + report.shed.len(), trace.len());
+        let served_ids: std::collections::HashSet<u64> =
+            report.completions.iter().map(|c| c.id).collect();
+        prop_assert_eq!(served_ids.len(), report.served());
+        for id in &report.shed {
+            prop_assert!(!served_ids.contains(id), "shed request {} also served", id);
+        }
+        // Timeline sanity: causality per request, batch sizes within
+        // bounds, virtual clock monotone across batches.
+        for c in &report.completions {
+            prop_assert!(c.dispatch_s >= c.arrival_s);
+            prop_assert!(c.completion_s >= c.dispatch_s);
+        }
+        for b in &report.batches {
+            prop_assert!(b.size >= 1 && b.size <= max_batch);
+        }
+        for w in report.batches.windows(2) {
+            prop_assert!(w[1].dispatch_s >= w[0].completion_s - 1e-12);
         }
     }
 }
