@@ -19,6 +19,10 @@
 //! gets a prediction**, and accuracy cannot fall below the standalone-BNN
 //! floor minus the (reported) degraded fraction.
 
+// The deprecated `run_parallel*` entry points must not creep back in:
+// every run goes through `execute` + `RunOptions`.
+#![deny(deprecated)]
+
 use mp_bench::{CliOptions, TextTable};
 use mp_core::experiment::TrainedSystem;
 use mp_core::model;

@@ -453,6 +453,192 @@ impl CircuitBreaker {
     }
 }
 
+/// A fleet-level fault: something that happens to a whole pipeline
+/// replica rather than to one image. Consumed by `mp-fleet`'s
+/// virtual-time cluster simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReplicaFault {
+    /// The replica crashes. Its queued and in-flight requests must be
+    /// re-routed or shed explicitly — never silently dropped.
+    Crash,
+    /// A crashed replica comes back up with an empty queue and a fresh
+    /// (closed) circuit breaker.
+    Recover,
+    /// Every batch dispatched after this point takes `factor` times its
+    /// modelled service time (a slow replica, or a stall for very large
+    /// factors).
+    Slowdown {
+        /// Service-time multiplier, `>= 1` and finite.
+        factor: f64,
+    },
+    /// Clears a previous [`ReplicaFault::Slowdown`].
+    Restore,
+}
+
+/// One scheduled fleet fault: which replica, when (virtual seconds),
+/// and what happens to it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaFaultEvent {
+    /// Index of the replica the fault hits.
+    pub replica: usize,
+    /// Virtual time at which it hits, in seconds.
+    pub at_s: f64,
+    /// What happens.
+    pub fault: ReplicaFault,
+}
+
+/// The fleet-level extension of [`FaultPlan`]: a seeded schedule of
+/// replica crashes, slowdowns and recoveries for one fleet run. Same
+/// seed and builders ⇒ byte-identical schedule ⇒ byte-identical fleet
+/// replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetFaultPlan {
+    /// Root seed; the generated-schedule builders derive from it.
+    pub seed: u64,
+    /// The scheduled events, in insertion order. Consumers process them
+    /// sorted by time (ties broken by replica index, then insertion
+    /// order).
+    pub events: Vec<ReplicaFaultEvent>,
+}
+
+impl FleetFaultPlan {
+    /// The fault-free plan: a fleet run under it matches the unfaulted
+    /// baseline exactly.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// An empty plan carrying only a seed (events added via the
+    /// `with_*` builders).
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Schedules a crash of `replica` at `at_s`.
+    #[must_use]
+    pub fn with_crash(mut self, replica: usize, at_s: f64) -> Self {
+        self.events.push(ReplicaFaultEvent {
+            replica,
+            at_s,
+            fault: ReplicaFault::Crash,
+        });
+        self
+    }
+
+    /// Schedules a recovery of `replica` at `at_s`.
+    #[must_use]
+    pub fn with_recovery(mut self, replica: usize, at_s: f64) -> Self {
+        self.events.push(ReplicaFaultEvent {
+            replica,
+            at_s,
+            fault: ReplicaFault::Recover,
+        });
+        self
+    }
+
+    /// Schedules a service-time slowdown of `replica` from `at_s` on.
+    #[must_use]
+    pub fn with_slowdown(mut self, replica: usize, at_s: f64, factor: f64) -> Self {
+        self.events.push(ReplicaFaultEvent {
+            replica,
+            at_s,
+            fault: ReplicaFault::Slowdown { factor },
+        });
+        self
+    }
+
+    /// Clears a slowdown of `replica` at `at_s`.
+    #[must_use]
+    pub fn with_restore(mut self, replica: usize, at_s: f64) -> Self {
+        self.events.push(ReplicaFaultEvent {
+            replica,
+            at_s,
+            fault: ReplicaFault::Restore,
+        });
+        self
+    }
+
+    /// Adds `kills` seeded crash+recover pairs over `[0, horizon_s)`:
+    /// each kill picks a replica and a crash time from the plan's seed
+    /// and recovers it `mttr_s` later. Crash times land in the first 80%
+    /// of the horizon so the recovery is observable within it.
+    #[must_use]
+    pub fn with_random_kills(
+        mut self,
+        replicas: usize,
+        horizon_s: f64,
+        kills: usize,
+        mttr_s: f64,
+    ) -> Self {
+        for k in 0..kills {
+            let at_s = unit_hash(self.seed, k as u64, 0, 20) * horizon_s * 0.8;
+            let replica = ((unit_hash(self.seed, k as u64, 1, 21) * replicas as f64) as usize)
+                .min(replicas.saturating_sub(1));
+            self = self
+                .with_crash(replica, at_s)
+                .with_recovery(replica, at_s + mttr_s);
+        }
+        self
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_none(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events sorted by `(at_s, replica)`, ties keeping insertion
+    /// order — the canonical processing order for a deterministic fleet
+    /// replay.
+    pub fn sorted_events(&self) -> Vec<ReplicaFaultEvent> {
+        let mut events = self.events.clone();
+        events.sort_by(|a, b| {
+            a.at_s
+                .partial_cmp(&b.at_s)
+                .expect("validated finite times")
+                .then(a.replica.cmp(&b.replica))
+        });
+        events
+    }
+
+    /// Validates times and slowdown factors (`replica` bounds are the
+    /// consumer's job — the plan does not know the fleet size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on a non-finite or negative
+    /// event time, or a slowdown factor below `1` or non-finite.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for ev in &self.events {
+            if !ev.at_s.is_finite() || ev.at_s < 0.0 {
+                return Err(CoreError::InvalidConfig(format!(
+                    "replica fault time {} invalid",
+                    ev.at_s
+                )));
+            }
+            if let ReplicaFault::Slowdown { factor } = ev.fault {
+                if !factor.is_finite() || factor < 1.0 {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "slowdown factor {factor} must be finite and >= 1"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FleetFaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
 /// Panic message used for injected host-worker death; the pipeline
 /// recognises real panics by the same join-path, this constant only
 /// lets test harnesses silence the expected noise.
@@ -632,6 +818,160 @@ mod tests {
         assert!(b.record_failure());
         assert!(!b.record_failure());
         assert_eq!(b.trips(), 1);
+    }
+
+    // Satellite audit (PR 6): the half-open/reset semantics below were
+    // reviewed line by line and found sound; these tests pin them so a
+    // future edit cannot regress the recovery path silently.
+
+    /// The breaker must not stay open forever once faults stop: after a
+    /// trip, a probe is admitted within `probe_every` flagged images and
+    /// a successful probe closes it again.
+    #[test]
+    fn breaker_closes_after_faults_stop() {
+        let policy = DegradationPolicy {
+            breaker_threshold: 2,
+            breaker_probe_every: 4,
+            ..DegradationPolicy::default()
+        };
+        let mut b = CircuitBreaker::new(&policy);
+        b.record_failure();
+        assert!(b.record_failure(), "second consecutive failure trips");
+        assert!(b.is_open());
+        // Faults stop here. The breaker must offer a probe within
+        // `probe_every` images, never later.
+        let skipped = (0..8).take_while(|_| !b.should_attempt()).count();
+        assert_eq!(skipped, 3, "probe admitted on the probe_every-th image");
+        assert!(b.record_success(), "successful probe closes the breaker");
+        assert!(!b.is_open());
+        assert!(b.should_attempt(), "closed breaker admits everything");
+        assert_eq!(b.consecutive_failures(), 0, "success resets the streak");
+    }
+
+    /// A failed half-open probe re-opens the breaker without counting a
+    /// new trip, and the *next* probe window starts from the failed
+    /// probe (no immediate retry storm).
+    #[test]
+    fn failed_probe_reopens_without_double_counting_trips() {
+        let policy = DegradationPolicy {
+            breaker_threshold: 1,
+            breaker_probe_every: 3,
+            ..DegradationPolicy::default()
+        };
+        let mut b = CircuitBreaker::new(&policy);
+        assert!(b.record_failure());
+        assert_eq!(b.trips(), 1);
+        // First probe arrives after probe_every - 1 skips…
+        assert!(!b.should_attempt());
+        assert!(!b.should_attempt());
+        assert!(b.should_attempt());
+        // …and fails: still open, still one trip.
+        assert!(!b.record_failure(), "failed probe is not a fresh trip");
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+        // The probe interval restarts — no immediate second probe.
+        assert!(!b.should_attempt());
+        assert!(!b.should_attempt());
+        assert!(b.should_attempt());
+        assert!(b.record_success());
+        assert!(!b.is_open());
+        // A fresh failure streak after recovery counts a *second* trip.
+        assert!(b.record_failure());
+        assert_eq!(b.trips(), 2);
+    }
+
+    /// Trip counts are a pure function of the (seeded) fault sequence:
+    /// replaying the identical sequence yields identical trips and
+    /// identical open/closed trajectories.
+    #[test]
+    fn breaker_trip_counts_are_seed_deterministic() {
+        let inj = FaultInjector::new(FaultPlan::seeded(31).with_host_error_rate(0.45)).unwrap();
+        let run = || {
+            let mut b = CircuitBreaker::new(&DegradationPolicy::default());
+            let mut trajectory = Vec::new();
+            for image in 0..400 {
+                if !b.should_attempt() {
+                    trajectory.push((image, b.is_open()));
+                    continue;
+                }
+                if inj.host_fault(image, 0).is_some() {
+                    b.record_failure();
+                } else {
+                    b.record_success();
+                }
+                trajectory.push((image, b.is_open()));
+            }
+            (b.trips(), trajectory)
+        };
+        let (trips_a, traj_a) = run();
+        let (trips_b, traj_b) = run();
+        assert_eq!(trips_a, trips_b);
+        assert_eq!(traj_a, traj_b);
+        assert!(trips_a > 0, "a 45% error rate must trip the breaker");
+    }
+
+    #[test]
+    fn fleet_plan_builders_schedule_and_sort() {
+        let plan = FleetFaultPlan::seeded(5)
+            .with_recovery(1, 3.0)
+            .with_crash(1, 1.0)
+            .with_slowdown(0, 2.0, 8.0)
+            .with_restore(0, 2.5);
+        assert!(!plan.is_none());
+        plan.validate().unwrap();
+        let sorted = plan.sorted_events();
+        let times: Vec<f64> = sorted.iter().map(|e| e.at_s).collect();
+        assert_eq!(times, vec![1.0, 2.0, 2.5, 3.0]);
+        assert_eq!(sorted[0].fault, ReplicaFault::Crash);
+        assert!(FleetFaultPlan::none().is_none());
+    }
+
+    #[test]
+    fn fleet_plan_random_kills_are_seeded_and_paired() {
+        let a = FleetFaultPlan::seeded(9).with_random_kills(4, 100.0, 3, 5.0);
+        let b = FleetFaultPlan::seeded(9).with_random_kills(4, 100.0, 3, 5.0);
+        let c = FleetFaultPlan::seeded(10).with_random_kills(4, 100.0, 3, 5.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.events.len(), 6, "each kill is a crash + recovery");
+        a.validate().unwrap();
+        for pair in a.events.chunks(2) {
+            assert_eq!(pair[0].fault, ReplicaFault::Crash);
+            assert_eq!(pair[1].fault, ReplicaFault::Recover);
+            assert_eq!(pair[0].replica, pair[1].replica);
+            assert!(pair[1].at_s > pair[0].at_s);
+            assert!(pair[0].at_s < 80.0, "crashes land in the first 80%");
+        }
+    }
+
+    #[test]
+    fn fleet_plan_rejects_bad_events() {
+        assert!(FleetFaultPlan::seeded(0)
+            .with_crash(0, -1.0)
+            .validate()
+            .is_err());
+        assert!(FleetFaultPlan::seeded(0)
+            .with_crash(0, f64::NAN)
+            .validate()
+            .is_err());
+        assert!(FleetFaultPlan::seeded(0)
+            .with_slowdown(0, 1.0, 0.5)
+            .validate()
+            .is_err());
+        assert!(FleetFaultPlan::seeded(0)
+            .with_slowdown(0, 1.0, f64::INFINITY)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn fleet_plan_serialises() {
+        let plan = FleetFaultPlan::seeded(3)
+            .with_crash(2, 1.5)
+            .with_slowdown(0, 0.5, 4.0);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FleetFaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
     }
 
     #[test]

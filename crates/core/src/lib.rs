@@ -56,7 +56,7 @@ pub use dmu::{ConfusionQuadrants, Dmu};
 pub use error::CoreError;
 pub use fault::{
     CircuitBreaker, DegradationPolicy, DegradationStats, FaultEvent, FaultInjector, FaultKind,
-    FaultPlan,
+    FaultPlan, FleetFaultPlan, ReplicaFault, ReplicaFaultEvent,
 };
-pub use pipeline::{MultiPrecisionPipeline, PipelineResult, PipelineTiming};
+pub use pipeline::{modeled_batch_time, MultiPrecisionPipeline, PipelineResult, PipelineTiming};
 pub use run::{Concurrency, RunOptions};

@@ -109,6 +109,11 @@ pub struct PipelineResult {
     pub analytic_accuracy_eq2: f64,
     /// Final per-image class predictions.
     pub predictions: Vec<usize>,
+    /// Per-image DMU decision: `true` where the image was flagged for
+    /// host re-inference, `false` where the BNN prediction was kept.
+    /// Downstream service-time models (`mp-fleet`) replay batches from
+    /// this mask without re-running inference.
+    pub flagged: Vec<bool>,
     /// Wall-clock seconds when run with [`Concurrency::Threaded`].
     pub wall_seconds: Option<f64>,
     /// Flagged images that fell back to their BNN prediction because the
@@ -603,6 +608,7 @@ impl<'a> MultiPrecisionPipeline<'a> {
         };
         let modeled_time_s = modeled_batch_time(&stage.kept, timing);
         let rerun_ratio = quadrants.rerun_ratio();
+        let flagged: Vec<bool> = stage.kept.iter().map(|&k| !k).collect();
         Ok(PipelineResult {
             total_images: n,
             accuracy,
@@ -624,6 +630,7 @@ impl<'a> MultiPrecisionPipeline<'a> {
                 quadrants.rerun_err_ratio(),
             ),
             predictions: final_preds,
+            flagged,
             wall_seconds,
             degraded_count: stats.degraded_count,
             retries: stats.retries,
@@ -894,7 +901,13 @@ impl StageOutput {
 /// Replays the paper's `async(1)`/`wait(1)` loop: iteration `i` runs
 /// FPGA batch `i` concurrently with host re-inference of the images
 /// flagged in batch `i−1`; a final host pass drains the last batch.
-fn modeled_batch_time(kept: &[bool], timing: &PipelineTiming) -> f64 {
+///
+/// `kept[i]` is `true` where image `i` keeps its BNN prediction and
+/// `false` where it is flagged for host re-inference (the complement of
+/// [`PipelineResult::flagged`]). Public so virtual-time servers
+/// (`mp-serve` comparisons, `mp-fleet` replicas) can price a batch with
+/// the same model the pipeline reports.
+pub fn modeled_batch_time(kept: &[bool], timing: &PipelineTiming) -> f64 {
     let n = kept.len();
     if n == 0 {
         return 0.0;

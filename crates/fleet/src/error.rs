@@ -1,0 +1,44 @@
+//! Fleet error type.
+
+use std::error::Error;
+use std::fmt;
+
+use mp_core::CoreError;
+
+/// Errors from fleet configuration, trace validation, or the underlying
+/// pipeline while building a prediction cache.
+#[derive(Debug)]
+pub enum FleetError {
+    /// Invalid fleet, replica, breaker or fault-plan configuration.
+    Config(String),
+    /// Invalid request trace (unsorted arrivals, duplicate ids,
+    /// out-of-range images).
+    Trace(String),
+    /// The core pipeline failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Config(msg) => write!(f, "fleet config error: {msg}"),
+            FleetError::Trace(msg) => write!(f, "fleet trace error: {msg}"),
+            FleetError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl Error for FleetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FleetError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for FleetError {
+    fn from(e: CoreError) -> Self {
+        FleetError::Core(e)
+    }
+}

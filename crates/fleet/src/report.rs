@@ -1,0 +1,218 @@
+//! Fleet run results: per-request completions, per-replica stats, the
+//! failure/recovery timeline, and latency percentiles.
+
+use serde::Serialize;
+
+/// One served request: the winning copy's full virtual-time record.
+/// Exactly one completion exists per served id, even when copies raced
+/// (hedges, crash re-routes) — the loser is deduplicated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FleetCompletion {
+    /// Request id, echoed from the trace.
+    pub id: u64,
+    /// Image index the request asked for.
+    pub image: usize,
+    /// The pipeline's prediction for that image (bit-identical to an
+    /// unfaulted single-replica run).
+    pub prediction: usize,
+    /// Virtual arrival time at the fleet front door.
+    pub arrival_s: f64,
+    /// Virtual dispatch time of the winning batch.
+    pub dispatch_s: f64,
+    /// Virtual completion time of the winning batch.
+    pub completion_s: f64,
+    /// Replica that served the winning copy.
+    pub replica: usize,
+    /// Whether the winning copy was the hedge (not the original).
+    pub hedge_won: bool,
+}
+
+impl FleetCompletion {
+    /// End-to-end virtual latency: arrival to winning completion.
+    pub fn latency_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+}
+
+/// Per-replica accounting for one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct ReplicaStats {
+    /// Replica display name.
+    pub name: String,
+    /// Requests this replica served (winning copies).
+    pub served: usize,
+    /// Batches it dispatched.
+    pub batches: usize,
+    /// Requests handed off at crash time and re-admitted elsewhere.
+    pub redirected_out: usize,
+    /// Crash events.
+    pub crashes: usize,
+    /// Recovery events.
+    pub recoveries: usize,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: usize,
+    /// Circuit-breaker probe-close transitions.
+    pub breaker_closes: usize,
+    /// Virtual seconds spent serving batches.
+    pub busy_s: f64,
+}
+
+/// What a timeline entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TimelineKind {
+    /// The replica crashed.
+    Crash,
+    /// The replica recovered.
+    Recover,
+    /// The replica slowed down.
+    Slowdown,
+    /// A slowdown was cleared.
+    Restore,
+    /// The replica's breaker tripped open.
+    BreakerOpened,
+    /// The replica's breaker closed after a successful probe.
+    BreakerClosed,
+}
+
+/// One entry of the fleet's failure/recovery timeline, in virtual-time
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FleetTimelineEvent {
+    /// When it happened (virtual seconds).
+    pub at_s: f64,
+    /// Which replica.
+    pub replica: usize,
+    /// What happened.
+    pub kind: TimelineKind,
+}
+
+/// Everything one fleet run produced. `PartialEq` so determinism gates
+/// can compare whole replays.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetReport {
+    /// Winning completions, in completion order (ties by replica).
+    pub completions: Vec<FleetCompletion>,
+    /// Ids shed explicitly — at admission (every healthy queue full) or
+    /// at crash time (no healthy replica could take the orphan). Shed ∪
+    /// served partitions the offered trace exactly.
+    pub shed: Vec<u64>,
+    /// Per-replica accounting, indexed like the spec list.
+    pub replicas: Vec<ReplicaStats>,
+    /// Crash / recovery / breaker transitions, in virtual-time order.
+    pub timeline: Vec<FleetTimelineEvent>,
+    /// Requests offered to the router.
+    pub requests: usize,
+    /// Crash-orphaned requests successfully re-admitted elsewhere.
+    pub redirected: usize,
+    /// Hedge copies issued.
+    pub hedges: usize,
+    /// Hedged requests whose hedge copy won.
+    pub hedge_wins: usize,
+    /// Copies of already-served requests discarded at dispatch,
+    /// completion, or crash (the deterministic dedup path).
+    pub duplicates_discarded: usize,
+    /// Virtual time of the last completion (the served horizon).
+    pub horizon_s: f64,
+}
+
+impl FleetReport {
+    /// Requests served (winning completions).
+    pub fn served(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Fraction of offered requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        self.shed.len() as f64 / self.requests.max(1) as f64
+    }
+
+    /// Served throughput over the completion horizon, requests/s.
+    pub fn throughput_rps(&self) -> f64 {
+        self.served() as f64 / self.horizon_s.max(f64::MIN_POSITIVE)
+    }
+
+    /// Mean end-to-end latency of served requests.
+    pub fn mean_latency_s(&self) -> Option<f64> {
+        if self.completions.is_empty() {
+            return None;
+        }
+        let total: f64 = self.completions.iter().map(|c| c.latency_s()).sum();
+        Some(total / self.completions.len() as f64)
+    }
+
+    /// Nearest-rank latency percentile (`p` in `(0, 100]`) of served
+    /// requests, or `None` when nothing was served.
+    pub fn percentile_latency_s(&self, p: f64) -> Option<f64> {
+        if self.completions.is_empty() || !(0.0..=100.0).contains(&p) || p == 0.0 {
+            return None;
+        }
+        let mut lat: Vec<f64> = self.completions.iter().map(|c| c.latency_s()).collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        Some(lat[rank.clamp(1, lat.len()) - 1])
+    }
+
+    /// Largest end-to-end latency of a served request.
+    pub fn max_latency_s(&self) -> Option<f64> {
+        self.completions
+            .iter()
+            .map(|c| c.latency_s())
+            .fold(None, |m, l| Some(m.map_or(l, |v: f64| v.max(l))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_latencies(lat: &[f64]) -> FleetReport {
+        FleetReport {
+            completions: lat
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| FleetCompletion {
+                    id: i as u64,
+                    image: i,
+                    prediction: 0,
+                    arrival_s: 0.0,
+                    dispatch_s: 0.0,
+                    completion_s: l,
+                    replica: 0,
+                    hedge_won: false,
+                })
+                .collect(),
+            shed: vec![],
+            replicas: vec![],
+            timeline: vec![],
+            requests: lat.len(),
+            redirected: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            duplicates_discarded: 0,
+            horizon_s: lat.iter().copied().fold(0.0, f64::max),
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let r = report_with_latencies(&[0.4, 0.1, 0.3, 0.2]);
+        assert_eq!(r.percentile_latency_s(25.0), Some(0.1));
+        assert_eq!(r.percentile_latency_s(50.0), Some(0.2));
+        assert_eq!(r.percentile_latency_s(99.0), Some(0.4));
+        assert_eq!(r.percentile_latency_s(100.0), Some(0.4));
+        assert_eq!(r.percentile_latency_s(0.0), None);
+        assert_eq!(r.max_latency_s(), Some(0.4));
+        assert_eq!(r.mean_latency_s(), Some(0.25));
+        let empty = report_with_latencies(&[]);
+        assert_eq!(empty.percentile_latency_s(50.0), None);
+        assert_eq!(empty.mean_latency_s(), None);
+    }
+
+    #[test]
+    fn report_serialises() {
+        let r = report_with_latencies(&[0.1, 0.2]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"completions\""));
+        assert!(json.contains("\"horizon_s\""));
+    }
+}

@@ -1,0 +1,138 @@
+//! Pluggable health-aware routing policies.
+
+use serde::Serialize;
+
+use crate::replica::ReplicaKind;
+
+/// How the fleet router picks a replica for a new (or re-routed, or
+/// hedged) request. Routing only ever considers *healthy* candidates:
+/// replicas that are up, whose circuit breaker admits, and whose
+/// admission queue has room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RoutingPolicy {
+    /// Rotate through the replicas, skipping unhealthy ones.
+    RoundRobin,
+    /// Pick the replica with the fewest outstanding requests (queued +
+    /// in flight); ties go to the lowest index.
+    JoinShortestQueue,
+    /// Prefer the cheap FPGA/BNN tier (shortest queue among FPGA
+    /// replicas); spill to host-only replicas only when *every* FPGA
+    /// replica is saturated — full queue, open breaker, or down.
+    PrecisionAware,
+}
+
+/// One routable replica as the router sees it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate {
+    /// Replica index in the fleet.
+    pub index: usize,
+    /// Hardware tier, for precision-aware routing.
+    pub kind: ReplicaKind,
+    /// Queued + in-flight request copies on the replica.
+    pub outstanding: usize,
+}
+
+/// The routing state machine: the policy plus the round-robin cursor.
+#[derive(Debug, Clone)]
+pub(crate) struct Router {
+    policy: RoutingPolicy,
+    fleet_size: usize,
+    cursor: usize,
+}
+
+impl Router {
+    pub(crate) fn new(policy: RoutingPolicy, fleet_size: usize) -> Self {
+        Self {
+            policy,
+            fleet_size,
+            cursor: 0,
+        }
+    }
+
+    /// Picks a replica among `candidates` (already filtered to healthy
+    /// ones), or `None` when nothing can take the request. Deterministic
+    /// for a given candidate set and cursor history.
+    pub(crate) fn route(&mut self, candidates: &[Candidate]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.policy {
+            RoutingPolicy::RoundRobin => {
+                for offset in 0..self.fleet_size {
+                    let i = (self.cursor + offset) % self.fleet_size;
+                    if candidates.iter().any(|c| c.index == i) {
+                        self.cursor = (i + 1) % self.fleet_size;
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            RoutingPolicy::JoinShortestQueue => shortest(candidates.iter()),
+            RoutingPolicy::PrecisionAware => {
+                shortest(candidates.iter().filter(|c| c.kind == ReplicaKind::Fpga))
+                    .or_else(|| shortest(candidates.iter()))
+            }
+        }
+    }
+}
+
+/// Lowest `(outstanding, index)` candidate — the deterministic JSQ rule.
+fn shortest<'a>(candidates: impl Iterator<Item = &'a Candidate>) -> Option<usize> {
+    candidates
+        .min_by_key(|c| (c.outstanding, c.index))
+        .map(|c| c.index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(index: usize, kind: ReplicaKind, outstanding: usize) -> Candidate {
+        Candidate {
+            index,
+            kind,
+            outstanding,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_and_skips_missing() {
+        let mut r = Router::new(RoutingPolicy::RoundRobin, 3);
+        let all: Vec<Candidate> = (0..3).map(|i| cand(i, ReplicaKind::Fpga, 0)).collect();
+        assert_eq!(r.route(&all), Some(0));
+        assert_eq!(r.route(&all), Some(1));
+        assert_eq!(r.route(&all), Some(2));
+        assert_eq!(r.route(&all), Some(0));
+        // Replica 1 unhealthy: the rotation skips it.
+        let partial = [cand(0, ReplicaKind::Fpga, 0), cand(2, ReplicaKind::Fpga, 0)];
+        assert_eq!(r.route(&partial), Some(2));
+        assert_eq!(r.route(&partial), Some(0));
+        assert_eq!(r.route(&[]), None);
+    }
+
+    #[test]
+    fn jsq_picks_fewest_outstanding_lowest_index() {
+        let mut r = Router::new(RoutingPolicy::JoinShortestQueue, 3);
+        let cands = [
+            cand(0, ReplicaKind::Fpga, 5),
+            cand(1, ReplicaKind::HostOnly, 2),
+            cand(2, ReplicaKind::Fpga, 2),
+        ];
+        assert_eq!(r.route(&cands), Some(1), "ties break by index");
+    }
+
+    #[test]
+    fn precision_aware_prefers_fpga_then_spills() {
+        let mut r = Router::new(RoutingPolicy::PrecisionAware, 3);
+        let mixed = [
+            cand(0, ReplicaKind::HostOnly, 0),
+            cand(1, ReplicaKind::Fpga, 7),
+            cand(2, ReplicaKind::Fpga, 3),
+        ];
+        // An idle host replica never outbids a busy FPGA one…
+        assert_eq!(r.route(&mixed), Some(2));
+        // …until no FPGA replica is routable at all.
+        let hosts_only = [cand(0, ReplicaKind::HostOnly, 4)];
+        assert_eq!(r.route(&hosts_only), Some(0));
+    }
+}

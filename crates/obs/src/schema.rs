@@ -26,6 +26,9 @@ pub const SPAN_STREAM_STAGE_PREFIX: &str = "stream.stage";
 /// Span: one dispatched serving batch, admission to completion;
 /// timestamps are virtual nanoseconds (the serving clock).
 pub const SPAN_SERVE_BATCH: &str = "serve.batch";
+/// Span: one dispatched fleet batch on some replica, dispatch to
+/// completion; timestamps are virtual nanoseconds (the fleet clock).
+pub const SPAN_FLEET_BATCH: &str = "fleet.batch";
 
 /// Counter: images classified by the pipeline.
 pub const CTR_IMAGES: &str = "pipeline.images";
@@ -51,6 +54,30 @@ pub const CTR_SERVE_REQUESTS: &str = "serve.requests";
 pub const CTR_SERVE_SHED: &str = "serve.shed";
 /// Counter: batches dispatched by the dynamic batcher.
 pub const CTR_SERVE_BATCHES: &str = "serve.batches";
+/// Counter: requests offered to the fleet router.
+pub const CTR_FLEET_REQUESTS: &str = "fleet.requests";
+/// Counter: requests served with exactly one prediction.
+pub const CTR_FLEET_SERVED: &str = "fleet.served";
+/// Counter: requests shed explicitly (admission or replica death with
+/// no healthy capacity left).
+pub const CTR_FLEET_SHED: &str = "fleet.shed";
+/// Counter: requests re-routed off a dead replica onto a healthy one.
+pub const CTR_FLEET_REDIRECTED: &str = "fleet.redirected";
+/// Counter: hedge copies issued for requests stuck past the deadline.
+pub const CTR_FLEET_HEDGES: &str = "fleet.hedges";
+/// Counter: hedged requests whose hedge copy completed first.
+pub const CTR_FLEET_HEDGE_WINS: &str = "fleet.hedge_wins";
+/// Counter: per-replica circuit breakers tripping open.
+pub const CTR_FLEET_BREAKER_OPENS: &str = "fleet.breaker_opens";
+/// Counter: per-replica circuit breakers closing after a probe.
+pub const CTR_FLEET_BREAKER_CLOSES: &str = "fleet.breaker_closes";
+/// Counter: replica crash events.
+pub const CTR_FLEET_CRASHES: &str = "fleet.crashes";
+/// Counter: replica recovery events.
+pub const CTR_FLEET_RECOVERIES: &str = "fleet.recoveries";
+/// Counter-name prefix for per-replica accounting:
+/// `fleet.replica<i>.served` / `fleet.replica<i>.redirected`.
+pub const CTR_FLEET_REPLICA_PREFIX: &str = "fleet.replica";
 
 /// Histogram: per-image BNN inference latency (threaded executor).
 pub const HIST_BNN_IMAGE_S: &str = "pipeline.bnn_image_s";
@@ -68,6 +95,13 @@ pub const HIST_SERVE_QUEUE_WAIT_S: &str = "serve.queue_wait_s";
 pub const HIST_SERVE_LATENCY_S: &str = "serve.latency_s";
 /// Histogram: dispatched batch sizes.
 pub const HIST_SERVE_BATCH_SIZE: &str = "serve.batch_size";
+/// Histogram: per-request virtual wait in a replica's admission queue.
+pub const HIST_FLEET_QUEUE_WAIT_S: &str = "fleet.queue_wait_s";
+/// Histogram: per-request virtual end-to-end latency across the fleet
+/// (arrival to winning completion).
+pub const HIST_FLEET_LATENCY_S: &str = "fleet.latency_s";
+/// Histogram: dispatched fleet batch sizes.
+pub const HIST_FLEET_BATCH_SIZE: &str = "fleet.batch_size";
 
 /// Bucket edges for latency histograms (names ending in `_s`), in
 /// seconds. Buckets are `value <= edge`, plus one overflow bucket.

@@ -99,6 +99,17 @@ impl AdmissionQueue {
         let take = max.min(self.queue.len());
         self.queue.drain(..take).collect()
     }
+
+    /// Removes and returns *every* queued request, emptying the queue.
+    ///
+    /// This is the replica-death primitive: when a replica dies, its
+    /// backlog must be handed back to the router to be re-enqueued
+    /// elsewhere or shed *explicitly* — the admission guarantee ("once
+    /// admitted, never silently dropped") transfers to the caller with
+    /// the returned requests.
+    pub fn drain(&mut self) -> Vec<Request> {
+        self.queue.drain(..).collect()
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +148,56 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = AdmissionQueue::new(0);
+    }
+
+    #[test]
+    fn drain_empties_in_fifo_order_and_frees_capacity() {
+        let mut q = AdmissionQueue::new(3);
+        for i in 0..3 {
+            assert_eq!(
+                q.offer(Request::new(i, i as usize, i as f64)),
+                Enqueue::Accepted
+            );
+        }
+        let all: Vec<u64> = q.drain().iter().map(|r| r.id).collect();
+        assert_eq!(all, vec![0, 1, 2]);
+        assert!(q.is_empty());
+        assert_eq!(q.drain().len(), 0, "draining an empty queue is a no-op");
+        assert_eq!(q.offer(Request::new(9, 9, 9.0)), Enqueue::Accepted);
+    }
+
+    /// Shed accounting must stay exact across a drain + re-enqueue
+    /// cycle (the replica-death path): every admitted id ends up either
+    /// re-admitted or explicitly shed, exactly once — no double count,
+    /// no lost id.
+    #[test]
+    fn requeue_after_drain_partitions_ids_exactly() {
+        let mut dead = AdmissionQueue::new(4);
+        let mut shed = Vec::new();
+        for i in 0..6u64 {
+            if dead.offer(Request::new(i, i as usize, 0.1 * i as f64)) == Enqueue::Shed {
+                shed.push(i);
+            }
+        }
+        assert_eq!(shed, vec![4, 5], "bounded admission sheds the overflow");
+        // The replica dies: its backlog moves to a smaller survivor.
+        let orphans = dead.drain();
+        assert!(dead.is_empty());
+        let mut survivor = AdmissionQueue::new(3);
+        let mut redirected = Vec::new();
+        for r in orphans {
+            match survivor.offer(r) {
+                Enqueue::Accepted => redirected.push(r.id),
+                Enqueue::Shed => shed.push(r.id),
+            }
+        }
+        // Exact partition of the offered ids: re-admitted ∪ shed, with
+        // no id in both and none missing.
+        let mut seen: Vec<u64> = redirected.iter().chain(shed.iter()).copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<u64>>());
+        assert_eq!(redirected.len() + shed.len(), 6);
+        assert_eq!(redirected, vec![0, 1, 2], "FIFO order survives the move");
+        assert_eq!(shed, vec![4, 5, 3], "overflow shed exactly once");
     }
 }

@@ -23,6 +23,7 @@
 //! | [`obs`] | `mp-obs` | zero-dependency tracing/metrics recorder + JSON report |
 //! | [`verify`] | `mp-verify` | static design-rule checker + abstract interpretation (`mp-lint`) |
 //! | [`serve`] | `mp-serve` | request-level serving: admission queue, dynamic batcher, latency accounting |
+//! | [`fleet`] | `mp-fleet` | fault-tolerant multi-replica serving: health-aware routing, circuit breakers, hedged retries, replica failure/recovery |
 //!
 //! # Quickstart
 //!
@@ -59,6 +60,7 @@
 pub use mp_bnn as bnn;
 pub use mp_core as core;
 pub use mp_dataset as dataset;
+pub use mp_fleet as fleet;
 pub use mp_fpga as fpga;
 pub use mp_host as host;
 pub use mp_nn as nn;

@@ -18,13 +18,15 @@ use multiprec::tensor::{Parallelism, Shape};
 /// The golden names. These literals are duplicated from `mp_obs::schema`
 /// ON PURPOSE: if a constant over there is renamed, this test — not a
 /// downstream dashboard — is what breaks.
-const GOLDEN_SPANS: [(&str, &str); 3] = [
+const GOLDEN_SPANS: [(&str, &str); 5] = [
     ("SPAN_PIPELINE_EXECUTE", "pipeline.execute"),
     ("SPAN_PIPELINE_BNN_STAGE", "pipeline.bnn_stage"),
     ("SPAN_PIPELINE_HOST_RERUN", "pipeline.host_rerun"),
+    ("SPAN_SERVE_BATCH", "serve.batch"),
+    ("SPAN_FLEET_BATCH", "fleet.batch"),
 ];
 
-const GOLDEN_COUNTERS: [(&str, &str); 9] = [
+const GOLDEN_COUNTERS: [(&str, &str); 22] = [
     ("CTR_IMAGES", "pipeline.images"),
     ("CTR_FLAGGED", "pipeline.flagged"),
     ("CTR_RERUN_OK", "pipeline.rerun_ok"),
@@ -34,14 +36,33 @@ const GOLDEN_COUNTERS: [(&str, &str); 9] = [
     ("CTR_BACKPRESSURE", "pipeline.backpressure"),
     ("CTR_HOST_ATTEMPTS", "pipeline.host_attempts"),
     ("CTR_STREAM_IMAGES", "stream.images"),
+    ("CTR_SERVE_REQUESTS", "serve.requests"),
+    ("CTR_SERVE_SHED", "serve.shed"),
+    ("CTR_SERVE_BATCHES", "serve.batches"),
+    ("CTR_FLEET_REQUESTS", "fleet.requests"),
+    ("CTR_FLEET_SERVED", "fleet.served"),
+    ("CTR_FLEET_SHED", "fleet.shed"),
+    ("CTR_FLEET_REDIRECTED", "fleet.redirected"),
+    ("CTR_FLEET_HEDGES", "fleet.hedges"),
+    ("CTR_FLEET_HEDGE_WINS", "fleet.hedge_wins"),
+    ("CTR_FLEET_BREAKER_OPENS", "fleet.breaker_opens"),
+    ("CTR_FLEET_BREAKER_CLOSES", "fleet.breaker_closes"),
+    ("CTR_FLEET_CRASHES", "fleet.crashes"),
+    ("CTR_FLEET_RECOVERIES", "fleet.recoveries"),
 ];
 
-const GOLDEN_HISTOGRAMS: [(&str, &str); 5] = [
+const GOLDEN_HISTOGRAMS: [(&str, &str); 11] = [
     ("HIST_BNN_IMAGE_S", "pipeline.bnn_image_s"),
     ("HIST_HOST_BATCH_S", "pipeline.host_batch_s"),
     ("HIST_BACKOFF_S", "pipeline.backoff_s"),
     ("HIST_QUEUE_DEPTH", "pipeline.queue_depth"),
     ("HIST_STREAM_LATENCY_S", "stream.latency_s"),
+    ("HIST_SERVE_QUEUE_WAIT_S", "serve.queue_wait_s"),
+    ("HIST_SERVE_LATENCY_S", "serve.latency_s"),
+    ("HIST_SERVE_BATCH_SIZE", "serve.batch_size"),
+    ("HIST_FLEET_QUEUE_WAIT_S", "fleet.queue_wait_s"),
+    ("HIST_FLEET_LATENCY_S", "fleet.latency_s"),
+    ("HIST_FLEET_BATCH_SIZE", "fleet.batch_size"),
 ];
 
 #[test]
@@ -55,6 +76,8 @@ fn schema_names_are_golden() {
         schema::SPAN_PIPELINE_EXECUTE,
         schema::SPAN_PIPELINE_BNN_STAGE,
         schema::SPAN_PIPELINE_HOST_RERUN,
+        schema::SPAN_SERVE_BATCH,
+        schema::SPAN_FLEET_BATCH,
     ];
     for ((label, golden), actual) in GOLDEN_SPANS.iter().zip(actual_spans) {
         assert_eq!(actual, *golden, "{label} renamed");
@@ -69,6 +92,19 @@ fn schema_names_are_golden() {
         schema::CTR_BACKPRESSURE,
         schema::CTR_HOST_ATTEMPTS,
         schema::CTR_STREAM_IMAGES,
+        schema::CTR_SERVE_REQUESTS,
+        schema::CTR_SERVE_SHED,
+        schema::CTR_SERVE_BATCHES,
+        schema::CTR_FLEET_REQUESTS,
+        schema::CTR_FLEET_SERVED,
+        schema::CTR_FLEET_SHED,
+        schema::CTR_FLEET_REDIRECTED,
+        schema::CTR_FLEET_HEDGES,
+        schema::CTR_FLEET_HEDGE_WINS,
+        schema::CTR_FLEET_BREAKER_OPENS,
+        schema::CTR_FLEET_BREAKER_CLOSES,
+        schema::CTR_FLEET_CRASHES,
+        schema::CTR_FLEET_RECOVERIES,
     ];
     for ((label, golden), actual) in GOLDEN_COUNTERS.iter().zip(actual_counters) {
         assert_eq!(actual, *golden, "{label} renamed");
@@ -79,6 +115,12 @@ fn schema_names_are_golden() {
         schema::HIST_BACKOFF_S,
         schema::HIST_QUEUE_DEPTH,
         schema::HIST_STREAM_LATENCY_S,
+        schema::HIST_SERVE_QUEUE_WAIT_S,
+        schema::HIST_SERVE_LATENCY_S,
+        schema::HIST_SERVE_BATCH_SIZE,
+        schema::HIST_FLEET_QUEUE_WAIT_S,
+        schema::HIST_FLEET_LATENCY_S,
+        schema::HIST_FLEET_BATCH_SIZE,
     ];
     for ((label, golden), actual) in GOLDEN_HISTOGRAMS.iter().zip(actual_hists) {
         assert_eq!(actual, *golden, "{label} renamed");
@@ -86,6 +128,7 @@ fn schema_names_are_golden() {
     assert_eq!(schema::SPAN_BNN_STAGE_PREFIX, "bnn.stage");
     assert_eq!(schema::SPAN_HOST_LAYER_PREFIX, "host.layer");
     assert_eq!(schema::SPAN_STREAM_STAGE_PREFIX, "stream.stage");
+    assert_eq!(schema::CTR_FLEET_REPLICA_PREFIX, "fleet.replica");
 }
 
 #[test]

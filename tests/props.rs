@@ -8,10 +8,13 @@ use multiprec::bnn::bits::{BitMatrix, BitVec};
 use multiprec::bnn::{BnnClassifier, HardwareBnn};
 use multiprec::bnn::{EngineKind, EngineSpec, FinnTopology};
 use multiprec::core::dmu::{ConfusionQuadrants, Dmu};
-use multiprec::core::fault::{silence_injected_panics, DegradationPolicy, FaultPlan};
+use multiprec::core::fault::{
+    silence_injected_panics, DegradationPolicy, FaultPlan, FleetFaultPlan,
+};
 use multiprec::core::model;
 use multiprec::core::{MultiPrecisionPipeline, PipelineTiming, RunOptions};
 use multiprec::dataset::{Dataset, SynthSpec};
+use multiprec::fleet::{FleetConfig, FleetSim, PredictionCache, ReplicaSpec, RoutingPolicy};
 use multiprec::fpga::cycle_model::{divisors, engine_cycles};
 use multiprec::fpga::folding::FoldingSearch;
 use multiprec::fpga::memory::{allocate_array, best_partition};
@@ -570,5 +573,140 @@ proptest! {
         for w in report.batches.windows(2) {
             prop_assert!(w[1].dispatch_s >= w[0].completion_s - 1e-12);
         }
+    }
+}
+
+// ---- mp-fleet: exactly-once delivery and deterministic replay ----
+
+/// A fabricated functional ground truth: fleet behaviour is independent
+/// of how the cache was produced, so property tests skip training.
+fn fleet_cache() -> PredictionCache {
+    PredictionCache::new(
+        (0..16).map(|i| i % 10).collect(),
+        (0..16).map(|i| i % 3 == 0).collect(),
+    )
+    .unwrap()
+}
+
+fn fleet_fixture(policy: RoutingPolicy, queue_capacity: usize, hedge: bool) -> FleetSim {
+    let timing = PipelineTiming::new(0.001, 0.01, 4);
+    let specs = vec![
+        ReplicaSpec::fpga("f0", timing, 4, 0.002, queue_capacity).unwrap(),
+        ReplicaSpec::fpga("f1", timing, 4, 0.002, queue_capacity).unwrap(),
+        ReplicaSpec::host_only("h0", 0.01, 4, 0.002, queue_capacity).unwrap(),
+    ];
+    let mut cfg = FleetConfig::new(policy).with_deadline_s(0.05);
+    if hedge {
+        cfg = cfg.with_hedge_after_s(0.04);
+    }
+    FleetSim::new(specs, cfg, fleet_cache()).unwrap()
+}
+
+fn fleet_trace(gaps: &[f64]) -> Vec<multiprec::serve::Request> {
+    let mut t = 0.0f64;
+    gaps.iter()
+        .enumerate()
+        .map(|(i, g)| {
+            t += g;
+            multiprec::serve::Request::new(i as u64, (i * 7) % 16, t)
+        })
+        .collect()
+}
+
+/// Sorted (served ∪ shed) ids of a fleet run.
+fn fleet_outcome_ids(report: &multiprec::fleet::FleetReport) -> Vec<u64> {
+    let mut ids: Vec<u64> = report
+        .completions
+        .iter()
+        .map(|c| c.id)
+        .chain(report.shed.iter().copied())
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exactly-once under arbitrary fault schedules: whatever mix of
+    /// crashes, recoveries, slowdowns and hedging the run endures,
+    /// served ∪ shed must partition the offered ids — the same
+    /// partition universe as the fault-free run — with no id lost,
+    /// duplicated, or invented, and every served prediction identical
+    /// to the functional ground truth.
+    #[test]
+    fn fleet_faulted_and_fault_free_runs_partition_the_same_ids(
+        gaps in proptest::collection::vec(0.0f64..0.01, 1..80),
+        policy_sel in 0usize..3,
+        kills in 0usize..3,
+        slow_replica in 0usize..3,
+        seed in any::<u64>(),
+        hedge in any::<bool>(),
+        queue_capacity in 1usize..24
+    ) {
+        let policy = [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::JoinShortestQueue,
+            RoutingPolicy::PrecisionAware,
+        ][policy_sel];
+        let sim = fleet_fixture(policy, queue_capacity, hedge);
+        let trace = fleet_trace(&gaps);
+        let horizon = trace.last().unwrap().arrival_s.max(0.01);
+        let plan = FleetFaultPlan::seeded(seed)
+            .with_random_kills(3, horizon, kills, 0.2 * horizon)
+            .with_slowdown(slow_replica, 0.5 * horizon, 20.0)
+            .with_restore(slow_replica, 0.8 * horizon);
+        let clean = sim
+            .run(&trace, &FleetFaultPlan::none(), &multiprec::obs::NULL_RECORDER)
+            .unwrap();
+        let faulted = sim
+            .run(&trace, &plan, &multiprec::obs::NULL_RECORDER)
+            .unwrap();
+        let offered: Vec<u64> = trace.iter().map(|r| r.id).collect();
+        prop_assert_eq!(&fleet_outcome_ids(&clean), &offered);
+        prop_assert_eq!(&fleet_outcome_ids(&faulted), &offered);
+        prop_assert_eq!(clean.served() + clean.shed.len(), trace.len());
+        prop_assert_eq!(faulted.served() + faulted.shed.len(), trace.len());
+        let cache = fleet_cache();
+        for c in clean.completions.iter().chain(&faulted.completions) {
+            prop_assert_eq!(c.prediction, cache.prediction(c.image));
+            prop_assert!(c.dispatch_s >= c.arrival_s);
+            prop_assert!(c.completion_s > c.dispatch_s);
+        }
+    }
+
+    /// Deterministic replay: the same seed reproduces the whole run —
+    /// every `fleet.*` counter the recorder sees and every per-request
+    /// latency — byte for byte.
+    #[test]
+    fn fleet_same_seed_means_identical_counters_and_latencies(
+        gaps in proptest::collection::vec(0.0f64..0.01, 1..60),
+        kills in 0usize..3,
+        seed in any::<u64>(),
+        hedge in any::<bool>()
+    ) {
+        let sim = fleet_fixture(RoutingPolicy::JoinShortestQueue, 16, hedge);
+        let trace = fleet_trace(&gaps);
+        let horizon = trace.last().unwrap().arrival_s.max(0.01);
+        let plan = FleetFaultPlan::seeded(seed)
+            .with_random_kills(3, horizon, kills, 0.2 * horizon);
+        let rec_a = SharedRecorder::new();
+        let rec_b = SharedRecorder::new();
+        let a = sim.run(&trace, &plan, &rec_a).unwrap();
+        let b = sim.run(&trace, &plan, &rec_b).unwrap();
+        prop_assert_eq!(&a, &b, "same seed must replay the whole report");
+        let fleet_counters = |rec: &SharedRecorder| -> Vec<(String, u64)> {
+            rec.report()
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with("fleet."))
+                .map(|c| (c.name.clone(), c.value))
+                .collect()
+        };
+        prop_assert_eq!(fleet_counters(&rec_a), fleet_counters(&rec_b));
+        let latencies = |r: &multiprec::fleet::FleetReport| -> Vec<(u64, f64)> {
+            r.completions.iter().map(|c| (c.id, c.latency_s())).collect()
+        };
+        prop_assert_eq!(latencies(&a), latencies(&b));
     }
 }
