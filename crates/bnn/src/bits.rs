@@ -159,12 +159,28 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn xnor_dot(&self, other: &BitVec) -> i32 {
         assert_eq!(self.len, other.len, "xnor_dot length mismatch");
+        debug_assert!(
+            self.tail_is_clear() && other.tail_is_clear(),
+            "xnor_dot operand violates the tail-bit invariant"
+        );
         xnor_dot_words(&self.words, &other.words, self.len)
     }
 
     /// Crate-internal view of the packed words (bits above `len` zero).
     pub(crate) fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Whether the tail-bit invariant holds: every bit at position
+    /// `len..` of the last word is zero. True by construction for every
+    /// constructor and `Deserialize` path; the popcount kernels
+    /// `debug_assert!` it so a future constructor that forgets the
+    /// invariant fails loudly in tests instead of silently inflating
+    /// full-word popcounts.
+    pub(crate) fn tail_is_clear(&self) -> bool {
+        let tail = self.len % 64;
+        // tail > 0 implies len > 0 implies at least one storage word.
+        tail == 0 || self.words[self.len / 64] & !((1u64 << tail) - 1) == 0
     }
 
     /// Popcount of the XNOR (number of agreeing positions).
@@ -185,10 +201,29 @@ impl BitVec {
 ///
 /// Used for binarised weight matrices (`[outputs, fan_in]`, matching the
 /// FINN weight memory layout where each PE holds full rows).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct BitMatrix {
     rows: Vec<BitVec>,
     cols: usize,
+}
+
+impl<'de> Deserialize<'de> for BitMatrix {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        // Each row goes through BitVec's validating deserialiser (word
+        // count + tail bits); this layer only needs to check that every
+        // row is exactly `cols` wide. The previous derived impl skipped
+        // that, so a forged payload could smuggle rows of the wrong
+        // length past the boundary and panic later in `xnor_matvec`.
+        let rows = Vec::<BitVec>::from_value(value.get_field("rows")?)?;
+        let cols = usize::from_value(value.get_field("cols")?)?;
+        if let Some((r, row)) = rows.iter().enumerate().find(|(_, row)| row.len() != cols) {
+            return Err(Error::custom(format!(
+                "BitMatrix: row {r} has {} bits, expected cols = {cols}",
+                row.len()
+            )));
+        }
+        Ok(Self { rows, cols })
+    }
 }
 
 impl BitMatrix {
@@ -245,6 +280,10 @@ impl BitMatrix {
     ///
     /// Panics if `x.len() != self.num_cols()`.
     pub fn xnor_matvec_into(&self, x: &BitVec, out: &mut Vec<i32>) {
+        debug_assert!(
+            x.tail_is_clear() && self.rows.iter().all(BitVec::tail_is_clear),
+            "xnor_matvec_into operand violates the tail-bit invariant"
+        );
         out.clear();
         out.extend(self.rows.iter().map(|row| row.xnor_dot(x)));
     }
@@ -436,6 +475,70 @@ mod tests {
             }
         }
         assert!(BitVec::from_value(&value).is_err());
+    }
+
+    #[test]
+    fn matrix_deserialize_rejects_row_width_mismatch() {
+        // A 2×35 matrix whose declared cols is quietly edited to 40
+        // would previously deserialise fine and panic only on the first
+        // xnor_matvec. The manual impl rejects it at the boundary.
+        let m = BitMatrix::from_signs(2, 35, &[1.0f32; 70]);
+        let mut value = m.to_value();
+        if let Value::Map(entries) = &mut value {
+            for (key, field) in entries.iter_mut() {
+                if key == "cols" {
+                    *field = Value::UInt(40);
+                }
+            }
+        } else {
+            panic!("BitMatrix must serialise to an object");
+        }
+        let err = BitMatrix::from_value(&value).unwrap_err();
+        assert!(err.to_string().contains("expected cols"), "{err}");
+    }
+
+    #[test]
+    fn matrix_deserialize_rejects_forged_row_tail_bits() {
+        // Row-level tail validation is delegated to BitVec::from_value;
+        // pin that the composition actually rejects a forged row.
+        let m = BitMatrix::from_signs(1, 5, &[1.0f32; 5]);
+        let mut value = m.to_value();
+        if let Value::Map(entries) = &mut value {
+            for (key, field) in entries.iter_mut() {
+                if key == "rows" {
+                    let row = BitVec::from_signs(&[1.0; 5]).to_value();
+                    let mut forged = row.clone();
+                    if let Value::Map(row_entries) = &mut forged {
+                        for (rk, rf) in row_entries.iter_mut() {
+                            if rk == "words" {
+                                *rf = Value::Seq(vec![Value::UInt(0b11111 | (1 << 40))]);
+                            }
+                        }
+                    }
+                    *field = Value::Seq(vec![forged]);
+                }
+            }
+        }
+        assert!(BitMatrix::from_value(&value).is_err());
+    }
+
+    #[test]
+    fn tail_invariant_holds_for_all_constructors() {
+        for n in [0usize, 1, 5, 63, 64, 65, 130] {
+            assert!(BitVec::zeros(n).tail_is_clear(), "zeros({n})");
+            let signs: Vec<f32> = (0..n)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect();
+            assert!(
+                BitVec::from_signs(&signs).tail_is_clear(),
+                "from_signs({n})"
+            );
+            let bools: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            assert!(
+                BitVec::from_bools(&bools).tail_is_clear(),
+                "from_bools({n})"
+            );
+        }
     }
 
     #[test]

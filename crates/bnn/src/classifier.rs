@@ -185,6 +185,124 @@ impl BnnClassifier {
             .last()
             .expect("topology always has FC engines")
     }
+
+    /// Exports the trained network's latent weights and raw batch-norm
+    /// parameters, stage by stage, for external folds.
+    ///
+    /// [`HardwareBnn::from_classifier`](crate::HardwareBnn::from_classifier)
+    /// consumes the classifier directly but only supports the 1-bit
+    /// XNOR fold; the multi-precision integer path (`mp-int`) re-derives
+    /// per-level thresholds from these raw parameters instead, using
+    /// `σ = sqrt(var + eps)` exactly as
+    /// [`BatchNorm::fold_threshold`] does so the 1-bit corner stays
+    /// bit-identical.
+    pub fn export_latent(&self) -> Vec<LatentStage> {
+        let mut out = Vec::new();
+        let mut first = true;
+        for stage in &self.stages {
+            match stage {
+                Stage::Conv { conv, bn, pool, .. } => {
+                    out.push(LatentStage {
+                        kind: LatentKind::Conv {
+                            in_channels: conv.in_channels(),
+                            kernel: conv.geometry().kernel,
+                            pool: pool.is_some(),
+                            first,
+                        },
+                        rows: conv.out_channels(),
+                        cols: conv.latent_weight().shape().dim(1),
+                        weights: conv.latent_weight().as_slice().to_vec(),
+                        bn: Some(export_bn(bn)),
+                    });
+                    first = false;
+                }
+                Stage::Flatten { .. } => {}
+                Stage::Fc { fc, bn, .. } => {
+                    out.push(LatentStage {
+                        kind: LatentKind::Fc,
+                        rows: fc.out_features(),
+                        cols: fc.in_features(),
+                        weights: fc.latent_weight().as_slice().to_vec(),
+                        bn: Some(export_bn(bn)),
+                    });
+                }
+                Stage::Output { fc, .. } => {
+                    out.push(LatentStage {
+                        kind: LatentKind::Output,
+                        rows: fc.out_features(),
+                        cols: fc.in_features(),
+                        weights: fc.latent_weight().as_slice().to_vec(),
+                        bn: None,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+fn export_bn(bn: &BatchNorm) -> Vec<BnFold> {
+    let eps = bn.eps();
+    (0..bn.features())
+        .map(|c| BnFold {
+            gamma: bn.gamma().as_slice()[c],
+            beta: bn.beta().as_slice()[c],
+            mean: bn.running_mean().as_slice()[c],
+            sigma: (bn.running_var().as_slice()[c] + eps).sqrt(),
+        })
+        .collect()
+}
+
+/// Raw batch-norm fold parameters for one channel: the affine transform
+/// is `bn(x) = gamma·(x − mean)/sigma + beta` with `sigma` already
+/// including the layer's epsilon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BnFold {
+    /// Per-channel scale γ.
+    pub gamma: f32,
+    /// Per-channel shift β.
+    pub beta: f32,
+    /// Running mean μ.
+    pub mean: f32,
+    /// `sqrt(running_var + eps)`.
+    pub sigma: f32,
+}
+
+/// What kind of compute a [`LatentStage`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatentKind {
+    /// 2-D convolution (VALID padding, stride 1 in this topology).
+    Conv {
+        /// Input channel count.
+        in_channels: usize,
+        /// Square kernel extent.
+        kernel: usize,
+        /// Whether a 2×2/2 max-pool follows the activation.
+        pool: bool,
+        /// Whether this is the network's first (pixel-consuming) stage.
+        first: bool,
+    },
+    /// Fully-connected with a batch-norm + activation.
+    Fc,
+    /// Final fully-connected producing unactivated scores.
+    Output,
+}
+
+/// One exported stage: latent float weights (`rows × cols`, row-major,
+/// `[out, fan_in]`) plus the raw batch-norm parameters of the following
+/// activation (absent on the output stage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatentStage {
+    /// Stage kind and its geometry.
+    pub kind: LatentKind,
+    /// Output rows (channels or features).
+    pub rows: usize,
+    /// Fan-in columns.
+    pub cols: usize,
+    /// Latent weights, still real-valued; quantize per target precision.
+    pub weights: Vec<f32>,
+    /// Batch-norm fold parameters, one per output row.
+    pub bn: Option<Vec<BnFold>>,
 }
 
 impl Model for BnnClassifier {

@@ -35,9 +35,10 @@
 pub mod bits;
 mod classifier;
 pub mod hardware;
+pub mod planes;
 pub mod ste;
 mod topology;
 
-pub use classifier::BnnClassifier;
+pub use classifier::{BnFold, BnnClassifier, LatentKind, LatentStage};
 pub use hardware::{AccRange, HardwareBnn, StageSummary};
 pub use topology::{EngineKind, EngineSpec, FinnTopology};

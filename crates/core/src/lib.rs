@@ -51,6 +51,7 @@ pub mod fault;
 pub mod model;
 pub mod pipeline;
 pub mod run;
+pub mod stats;
 
 pub use dmu::{ConfusionQuadrants, Dmu};
 pub use error::CoreError;
@@ -59,4 +60,5 @@ pub use fault::{
     FaultPlan, FleetFaultPlan, ReplicaFault, ReplicaFaultEvent,
 };
 pub use pipeline::{modeled_batch_time, MultiPrecisionPipeline, PipelineResult, PipelineTiming};
-pub use run::{Concurrency, RunOptions};
+pub use run::{Concurrency, Precision, RunOptions};
+pub use stats::nearest_rank_percentile;

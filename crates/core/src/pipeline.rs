@@ -35,6 +35,7 @@ use crossbeam::channel::{self, TrySendError};
 
 use mp_bnn::HardwareBnn;
 use mp_dataset::Dataset;
+use mp_int::{CostLut, QuantBnn};
 use mp_nn::Network;
 use mp_obs::{now_ns, schema, ObsEvent, Recorder};
 use mp_tensor::{nan_aware_argmax, Parallelism, Shape, ShapeError, Tensor};
@@ -45,7 +46,7 @@ use crate::fault::{
     FaultPlan, HostFault, INJECTED_DEATH_MSG,
 };
 use crate::model;
-use crate::run::{Concurrency, RunOptions};
+use crate::run::{Concurrency, Precision, RunOptions};
 use crate::CoreError;
 
 /// Timing constants of the two heterogeneous processors.
@@ -259,7 +260,16 @@ impl<'a> MultiPrecisionPipeline<'a> {
                 }
                 self.execute_modeled(host, data, opts, threshold, par)?
             }
-            Concurrency::Threaded => self.execute_threaded(host, data, opts, threshold, par)?,
+            Concurrency::Threaded => {
+                if !opts.precision().is_one_bit() {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "precision {} requires the modeled executor (the quantized \
+                         and float corners are priced analytically, not threaded)",
+                        opts.precision().label()
+                    )));
+                }
+                self.execute_threaded(host, data, opts, threshold, par)?
+            }
         };
         if let Some(start) = t_exec {
             rec.record_span(schema::SPAN_PIPELINE_EXECUTE, start, now_ns());
@@ -347,12 +357,38 @@ impl<'a> MultiPrecisionPipeline<'a> {
         par: Parallelism,
     ) -> Result<PipelineResult, CoreError> {
         let rec = opts.recorder();
-        let stage = self.classify_and_flag(data, threshold, par, rec)?;
+        let (stage, timing) = match opts.precision() {
+            Precision::OneBit => (
+                self.classify_and_flag(data, threshold, par, rec)?,
+                *opts.timing(),
+            ),
+            Precision::Quantized(quant) => {
+                let stage = self.classify_and_flag_quant(quant, data, threshold, par, rec)?;
+                // Quantized MACs take extra cycles; the MAC-weighted MPIC
+                // factor scales the BNN side of the batch-overlap model
+                // (exactly 1 at the 1-bit corner).
+                let factor = quant.network_cost_factor(&CostLut::mpic());
+                let t = opts.timing();
+                (
+                    stage,
+                    PipelineTiming::new(t.t_bnn_img_s * factor, t.t_fp_img_s, t.batch_size),
+                )
+            }
+            Precision::Float32 => {
+                // The float corner: the 1-bit stage still classifies (so
+                // BNN accuracy and DMU quadrants stay reported), but every
+                // image is flagged to the host — final predictions and
+                // throughput degenerate to the host model's.
+                let mut stage = self.classify_and_flag(data, threshold, par, rec)?;
+                stage.flag_all();
+                (stage, *opts.timing())
+            }
+        };
         let rerun_indices: Vec<usize> = stage.flagged_indices();
         let host_preds = infer_host_subset(host, data, &rerun_indices, par, rec)?;
         self.finish(
             data,
-            opts.timing(),
+            &timing,
             opts.host_accuracy(),
             stage,
             rerun_indices,
@@ -547,6 +583,35 @@ impl<'a> MultiPrecisionPipeline<'a> {
         let t0 = rec.enabled().then(now_ns);
         let scores = self
             .hw
+            .infer_batch_obs(data.images(), par, rec)
+            .map_err(CoreError::fpga)?;
+        let preds = Network::argmax_rows(&scores)?;
+        let keep_flags = self.dmu.estimate_batch(&scores, threshold)?;
+        if let Some(start) = t0 {
+            rec.record_span(schema::SPAN_PIPELINE_BNN_STAGE, start, now_ns());
+        }
+        let mut stage = StageOutput::with_capacity(data.len());
+        for (p, k) in preds.into_iter().zip(keep_flags) {
+            stage.push(p, k);
+        }
+        Ok(stage)
+    }
+
+    /// [`classify_and_flag`](Self::classify_and_flag) with the
+    /// multi-precision integer path in place of the 1-bit engine: the
+    /// [`QuantBnn`] scores every image (normalised to the 1-bit scale,
+    /// so the DMU's confidence estimate transfers) and the DMU flags on
+    /// those scores.
+    fn classify_and_flag_quant(
+        &self,
+        quant: &QuantBnn,
+        data: &Dataset,
+        threshold: f32,
+        par: Parallelism,
+        rec: &dyn Recorder,
+    ) -> Result<StageOutput, CoreError> {
+        let t0 = rec.enabled().then(now_ns);
+        let scores = quant
             .infer_batch_obs(data.images(), par, rec)
             .map_err(CoreError::fpga)?;
         let preds = Network::argmax_rows(&scores)?;
@@ -889,6 +954,11 @@ impl StageOutput {
         self.kept.push(keep);
     }
 
+    /// Flags every image for host re-inference (the float32 corner).
+    fn flag_all(&mut self) {
+        self.kept.iter_mut().for_each(|k| *k = false);
+    }
+
     fn flagged_indices(&self) -> Vec<usize> {
         self.kept
             .iter()
@@ -980,6 +1050,11 @@ mod tests {
     use mp_tensor::init::TensorRng;
 
     fn tiny_system() -> (HardwareBnn, Dmu, Dataset, Network) {
+        let (_, hw, dmu, data, host) = tiny_system_full();
+        (hw, dmu, data, host)
+    }
+
+    fn tiny_system_full() -> (BnnClassifier, HardwareBnn, Dmu, Dataset, Network) {
         let mut rng = TensorRng::seed_from(100);
         let mut bnn = BnnClassifier::new(FinnTopology::scaled(8, 8, 8), &mut rng).unwrap();
         // Populate batch-norm stats.
@@ -999,7 +1074,7 @@ mod tests {
             .linear(10, &mut rng)
             .unwrap()
             .build();
-        (hw, dmu, data, host)
+        (bnn, hw, dmu, data, host)
     }
 
     fn timing() -> PipelineTiming {
@@ -1110,6 +1185,99 @@ mod tests {
         assert_eq!(par.breaker_trips, 0);
         assert!(par.fault_log.is_empty());
         assert_eq!(seq.host_subset_accuracy, par.host_subset_accuracy);
+    }
+
+    #[test]
+    fn quantized_one_bit_corner_matches_default_path() {
+        let (bnn, hw, dmu, data, host) = tiny_system_full();
+        let layers = bnn.export_latent().len();
+        let precision = mp_int::NetworkPrecision::one_bit(layers).unwrap();
+        let quant = QuantBnn::from_classifier(&bnn, precision).unwrap();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.6);
+        let base = pipeline.execute(&host, &data, &modeled_opts()).unwrap();
+        let corner = pipeline
+            .execute(
+                &host,
+                &data,
+                &modeled_opts().with_precision(Precision::Quantized(std::sync::Arc::new(quant))),
+            )
+            .unwrap();
+        // The 1-bit quantized corner is bit-identical: same predictions,
+        // same flags, same modeled time (network factor is exactly 1).
+        assert_eq!(base.predictions, corner.predictions);
+        assert_eq!(base.flagged, corner.flagged);
+        assert_eq!(base.rerun_count, corner.rerun_count);
+        assert_eq!(base.modeled_time_s, corner.modeled_time_s);
+    }
+
+    #[test]
+    fn quantized_precision_scales_modeled_time_by_cost_factor() {
+        let (bnn, hw, dmu, data, host) = tiny_system_full();
+        let layers = bnn.export_latent().len();
+        let precision = mp_int::NetworkPrecision::uniform(layers, 8, 8).unwrap();
+        let quant = QuantBnn::from_classifier(&bnn, precision).unwrap();
+        let factor = quant.network_cost_factor(&CostLut::mpic());
+        assert!(factor > 1.0);
+        // Threshold 0 keeps everything on the low-precision side, so the
+        // modeled time is exactly n · t_bnn · factor.
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.0);
+        let base = pipeline.execute(&host, &data, &modeled_opts()).unwrap();
+        let quantized = pipeline
+            .execute(
+                &host,
+                &data,
+                &modeled_opts().with_precision(Precision::Quantized(std::sync::Arc::new(quant))),
+            )
+            .unwrap();
+        assert_eq!(quantized.rerun_count, 0);
+        assert!((quantized.modeled_time_s / base.modeled_time_s - factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn float32_corner_reruns_everything_on_host() {
+        let (hw, dmu, data, host) = tiny_system();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.5);
+        let float = pipeline
+            .execute(
+                &host,
+                &data,
+                &modeled_opts().with_precision(Precision::Float32),
+            )
+            .unwrap();
+        assert_eq!(float.rerun_count, data.len());
+        assert!(float.flagged.iter().all(|&f| f));
+        // All predictions come from the host: identical to forcing every
+        // image through re-inference with threshold 1.
+        let all_host = MultiPrecisionPipeline::new(&hw, &dmu, 1.0)
+            .execute(&host, &data, &modeled_opts())
+            .unwrap();
+        assert_eq!(float.predictions, all_host.predictions);
+        assert_eq!(
+            float.host_subset_accuracy.unwrap(),
+            float.accuracy,
+            "float corner accuracy is the host model's"
+        );
+    }
+
+    #[test]
+    fn non_one_bit_precision_requires_modeled_executor() {
+        let (bnn, hw, dmu, data, host) = tiny_system_full();
+        let layers = bnn.export_latent().len();
+        let quant = QuantBnn::from_classifier(
+            &bnn,
+            mp_int::NetworkPrecision::uniform(layers, 4, 4).unwrap(),
+        )
+        .unwrap();
+        let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.5);
+        for precision in [
+            Precision::Quantized(std::sync::Arc::new(quant)),
+            Precision::Float32,
+        ] {
+            let err = pipeline
+                .execute(&host, &data, &threaded_opts().with_precision(precision))
+                .unwrap_err();
+            assert!(matches!(err, CoreError::InvalidConfig(_)), "{err:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Shared statistics helpers for the serving/fleet report types.
+//!
+//! The nearest-rank percentile used to live as two separately-maintained
+//! copies in `mp-serve` and `mp-fleet`, with drifting edge behavior (one
+//! asserted on `p = 0`, the other returned `None`). This is now the
+//! single implementation both re-use, with every edge pinned by tests in
+//! one place.
+
+/// Nearest-rank percentile of `values` (unsorted; `p` in `(0, 100]`).
+///
+/// Edge behavior, pinned by the tests below so the serve and fleet
+/// reports cannot drift apart again:
+///
+/// - empty input → `None`
+/// - `p ≤ 0`, `p > 100`, or NaN `p` → `None` (no panic)
+/// - any NaN value → `None` (NaN admits no rank)
+/// - single element → that element for every valid `p`
+/// - `p = 100` → the maximum
+pub fn nearest_rank_percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !(p > 0.0 && p <= 100.0) {
+        return None;
+    }
+    if values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_on_known_data() {
+        let v = [0.4, 0.1, 0.3, 0.2];
+        assert_eq!(nearest_rank_percentile(&v, 25.0), Some(0.1));
+        assert_eq!(nearest_rank_percentile(&v, 50.0), Some(0.2));
+        assert_eq!(nearest_rank_percentile(&v, 75.0), Some(0.3));
+        assert_eq!(nearest_rank_percentile(&v, 99.0), Some(0.4));
+    }
+
+    #[test]
+    fn p_zero_and_out_of_range_are_none_not_panic() {
+        let v = [1.0, 2.0];
+        assert_eq!(nearest_rank_percentile(&v, 0.0), None);
+        assert_eq!(nearest_rank_percentile(&v, -5.0), None);
+        assert_eq!(nearest_rank_percentile(&v, 100.1), None);
+        assert_eq!(nearest_rank_percentile(&v, f64::NAN), None);
+    }
+
+    #[test]
+    fn p_hundred_is_the_maximum() {
+        assert_eq!(nearest_rank_percentile(&[0.3, 0.9, 0.1], 100.0), Some(0.9));
+    }
+
+    #[test]
+    fn single_element_for_every_valid_p() {
+        for p in [0.001, 1.0, 50.0, 99.9, 100.0] {
+            assert_eq!(nearest_rank_percentile(&[7.5], p), Some(7.5), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn nan_values_yield_none() {
+        assert_eq!(nearest_rank_percentile(&[0.1, f64::NAN], 50.0), None);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(nearest_rank_percentile(&[], 50.0), None);
+    }
+}

@@ -141,15 +141,12 @@ impl FleetReport {
     }
 
     /// Nearest-rank latency percentile (`p` in `(0, 100]`) of served
-    /// requests, or `None` when nothing was served.
+    /// requests, or `None` when nothing was served or `p` is out of
+    /// range. Shared implementation:
+    /// [`mp_core::stats::nearest_rank_percentile`].
     pub fn percentile_latency_s(&self, p: f64) -> Option<f64> {
-        if self.completions.is_empty() || !(0.0..=100.0).contains(&p) || p == 0.0 {
-            return None;
-        }
-        let mut lat: Vec<f64> = self.completions.iter().map(|c| c.latency_s()).collect();
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
-        Some(lat[rank.clamp(1, lat.len()) - 1])
+        let latencies: Vec<f64> = self.completions.iter().map(|c| c.latency_s()).collect();
+        mp_core::stats::nearest_rank_percentile(&latencies, p)
     }
 
     /// Largest end-to-end latency of a served request.

@@ -1,0 +1,267 @@
+//! Per-layer precision configuration for the quantized integer path.
+
+use std::fmt;
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Widths a multi-precision engine supports for either operand.
+pub const SUPPORTED_BITS: [usize; 4] = [1, 2, 4, 8];
+
+/// Pixel width the first layer always consumes (Q2.6 fixed point, the
+/// same grid as the 1-bit hardware path).
+pub const FIRST_LAYER_A_BITS: usize = 8;
+
+/// Why a precision configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecisionError {
+    /// A bit width outside {1, 2, 4, 8}.
+    InvalidBits(usize),
+    /// A network precision with no layers.
+    Empty,
+    /// The first layer's activation width is not 8 (pixels are Q2.6).
+    FirstLayerBits(usize),
+}
+
+impl fmt::Display for PrecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecisionError::InvalidBits(b) => {
+                write!(f, "bit width {b} unsupported (must be 1, 2, 4 or 8)")
+            }
+            PrecisionError::Empty => write!(f, "network precision has no layers"),
+            PrecisionError::FirstLayerBits(b) => write!(
+                f,
+                "first layer consumes {FIRST_LAYER_A_BITS}-bit pixels, \
+                 not {b}-bit activations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrecisionError {}
+
+/// One layer's operand widths: `a_bits` is the width of the
+/// activations the layer *consumes*, `w_bits` the width of its weights.
+/// Fields are private so every constructed value is valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct PrecisionSpec {
+    a_bits: usize,
+    w_bits: usize,
+}
+
+impl PrecisionSpec {
+    /// Validates `(a_bits, w_bits) ∈ {1, 2, 4, 8}²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrecisionError::InvalidBits`] for any other width.
+    pub fn try_new(a_bits: usize, w_bits: usize) -> Result<Self, PrecisionError> {
+        for bits in [a_bits, w_bits] {
+            if !SUPPORTED_BITS.contains(&bits) {
+                return Err(PrecisionError::InvalidBits(bits));
+            }
+        }
+        Ok(Self { a_bits, w_bits })
+    }
+
+    /// Input-activation width in bits.
+    pub fn a_bits(&self) -> usize {
+        self.a_bits
+    }
+
+    /// Weight width in bits.
+    pub fn w_bits(&self) -> usize {
+        self.w_bits
+    }
+}
+
+impl fmt::Display for PrecisionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}w{}", self.a_bits, self.w_bits)
+    }
+}
+
+impl<'de> Deserialize<'de> for PrecisionSpec {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let a_bits = usize::from_value(value.get_field("a_bits")?)?;
+        let w_bits = usize::from_value(value.get_field("w_bits")?)?;
+        PrecisionSpec::try_new(a_bits, w_bits).map_err(Error::custom)
+    }
+}
+
+/// Per-layer precision of a whole network. Invariants (enforced by
+/// every constructor and the checked `Deserialize`): non-empty, every
+/// width supported, and the first layer consumes 8-bit pixels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct NetworkPrecision {
+    layers: Vec<PrecisionSpec>,
+}
+
+impl NetworkPrecision {
+    /// Validates a per-layer precision list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrecisionError::Empty`] for an empty list and
+    /// [`PrecisionError::FirstLayerBits`] when the first layer does not
+    /// consume 8-bit pixels.
+    pub fn try_new(layers: Vec<PrecisionSpec>) -> Result<Self, PrecisionError> {
+        let first = layers.first().ok_or(PrecisionError::Empty)?;
+        if first.a_bits() != FIRST_LAYER_A_BITS {
+            return Err(PrecisionError::FirstLayerBits(first.a_bits()));
+        }
+        Ok(Self { layers })
+    }
+
+    /// Uniform precision: every inner layer at `(a_bits, w_bits)`, the
+    /// first layer at `(8, w_bits)` (pixels are always 8-bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrecisionError`] for unsupported widths or
+    /// `layer_count == 0`.
+    pub fn uniform(
+        layer_count: usize,
+        a_bits: usize,
+        w_bits: usize,
+    ) -> Result<Self, PrecisionError> {
+        if layer_count == 0 {
+            return Err(PrecisionError::Empty);
+        }
+        let mut layers = vec![PrecisionSpec::try_new(FIRST_LAYER_A_BITS, w_bits)?];
+        layers.extend(vec![
+            PrecisionSpec::try_new(a_bits, w_bits)?;
+            layer_count - 1
+        ]);
+        Self::try_new(layers)
+    }
+
+    /// The 1-bit corner: binary activations and weights everywhere
+    /// (first layer still 8-bit pixels) — the configuration whose
+    /// integer path is bit-identical to the BNN XNOR fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrecisionError::Empty`] when `layer_count == 0`.
+    pub fn one_bit(layer_count: usize) -> Result<Self, PrecisionError> {
+        Self::uniform(layer_count, 1, 1)
+    }
+
+    /// Per-layer specs, first to last.
+    pub fn layers(&self) -> &[PrecisionSpec] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Never true (construction rejects empty lists); present for
+    /// `len`/`is_empty` symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl fmt::Display for NetworkPrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, spec) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-")?;
+            }
+            write!(f, "{spec}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'de> Deserialize<'de> for NetworkPrecision {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let layers = Vec::<PrecisionSpec>::from_value(value.get_field("layers")?)?;
+        NetworkPrecision::try_new(layers).map_err(Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supported_widths_only() {
+        for bits in SUPPORTED_BITS {
+            assert!(PrecisionSpec::try_new(bits, bits).is_ok());
+        }
+        for bits in [0usize, 3, 5, 6, 7, 9, 16, 32] {
+            assert_eq!(
+                PrecisionSpec::try_new(bits, 1),
+                Err(PrecisionError::InvalidBits(bits)),
+                "a_bits {bits}"
+            );
+            assert_eq!(
+                PrecisionSpec::try_new(1, bits),
+                Err(PrecisionError::InvalidBits(bits)),
+                "w_bits {bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn network_invariants() {
+        assert_eq!(
+            NetworkPrecision::try_new(vec![]),
+            Err(PrecisionError::Empty)
+        );
+        let inner = PrecisionSpec::try_new(2, 4).unwrap();
+        assert_eq!(
+            NetworkPrecision::try_new(vec![inner]),
+            Err(PrecisionError::FirstLayerBits(2))
+        );
+        let first = PrecisionSpec::try_new(8, 4).unwrap();
+        let net = NetworkPrecision::try_new(vec![first, inner]).unwrap();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.layers()[1].a_bits(), 2);
+    }
+
+    #[test]
+    fn uniform_pins_first_layer_to_pixels() {
+        let net = NetworkPrecision::uniform(4, 2, 4).unwrap();
+        assert_eq!(net.layers()[0].a_bits(), 8);
+        assert_eq!(net.layers()[0].w_bits(), 4);
+        assert!(net.layers()[1..]
+            .iter()
+            .all(|s| s.a_bits() == 2 && s.w_bits() == 4));
+        assert_eq!(
+            NetworkPrecision::uniform(0, 2, 4),
+            Err(PrecisionError::Empty)
+        );
+        assert_eq!(net.to_string(), "a8w4-a2w4-a2w4-a2w4");
+    }
+
+    #[test]
+    fn one_bit_corner_is_binary_with_pixel_first_layer() {
+        let net = NetworkPrecision::one_bit(3).unwrap();
+        assert_eq!(net.layers()[0].a_bits(), 8);
+        assert!(net.layers().iter().all(|s| s.w_bits() == 1));
+        assert!(net.layers()[1..].iter().all(|s| s.a_bits() == 1));
+    }
+
+    #[test]
+    fn checked_deserialize_rejects_invalid() {
+        let good = NetworkPrecision::uniform(2, 4, 4).unwrap();
+        let round = NetworkPrecision::from_value(&good.to_value()).unwrap();
+        assert_eq!(round, good);
+
+        // Forge an unsupported width through the serialized form.
+        let spec = PrecisionSpec::try_new(4, 4).unwrap();
+        let mut value = spec.to_value();
+        if let Value::Map(entries) = &mut value {
+            for (key, field) in entries.iter_mut() {
+                if key == "a_bits" {
+                    *field = Value::UInt(3);
+                }
+            }
+        }
+        assert!(PrecisionSpec::from_value(&value).is_err());
+    }
+}

@@ -101,6 +101,13 @@ impl BatchNorm {
         &self.running_var
     }
 
+    /// Numerical-stability epsilon added to the variance. Exporters
+    /// need it to reproduce `σ = sqrt(var + eps)` bit-exactly when
+    /// re-deriving thresholds outside this layer.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Folds this layer into per-channel sign-activation thresholds.
     ///
     /// A binarised activation computes `sign(bn(x))`. Since

@@ -29,6 +29,10 @@ pub const SPAN_SERVE_BATCH: &str = "serve.batch";
 /// Span: one dispatched fleet batch on some replica, dispatch to
 /// completion; timestamps are virtual nanoseconds (the fleet clock).
 pub const SPAN_FLEET_BATCH: &str = "fleet.batch";
+/// Span-name prefix for per-stage quantized-path timing:
+/// `quant.stage<i>.<kind>` where `<kind>` is one of `first_conv`,
+/// `conv`, `fc`, `output`.
+pub const SPAN_QUANT_STAGE_PREFIX: &str = "quant.stage";
 
 /// Counter: images classified by the pipeline.
 pub const CTR_IMAGES: &str = "pipeline.images";
@@ -78,6 +82,11 @@ pub const CTR_FLEET_RECOVERIES: &str = "fleet.recoveries";
 /// Counter-name prefix for per-replica accounting:
 /// `fleet.replica<i>.served` / `fleet.replica<i>.redirected`.
 pub const CTR_FLEET_REPLICA_PREFIX: &str = "fleet.replica";
+/// Counter: images classified by the quantized integer path.
+pub const CTR_QUANT_IMAGES: &str = "quant.images";
+/// Counter: binary plane-MACs executed by the quantized integer path
+/// (each engine's MACs times its shift-add decomposition width).
+pub const CTR_QUANT_PLANE_MACS: &str = "quant.plane_macs";
 
 /// Histogram: per-image BNN inference latency (threaded executor).
 pub const HIST_BNN_IMAGE_S: &str = "pipeline.bnn_image_s";

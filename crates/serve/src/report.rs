@@ -98,21 +98,12 @@ impl ServeReport {
     }
 
     /// Nearest-rank latency percentile (`p` in `(0, 100]`), or `None`
-    /// when nothing was served.
+    /// when nothing was served or `p` is out of range. Shared
+    /// implementation: [`mp_core::stats::nearest_rank_percentile`].
     pub fn percentile_latency_s(&self, p: f64) -> Option<f64> {
-        let sorted = self.sorted_latencies_s();
-        percentile(&sorted, p)
+        let latencies: Vec<f64> = self.completions.iter().map(|c| c.latency_s()).collect();
+        mp_core::stats::nearest_rank_percentile(&latencies, p)
     }
-}
-
-/// Nearest-rank percentile of an ascending-sorted slice.
-pub(crate) fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
-    if sorted.is_empty() {
-        return None;
-    }
-    assert!((0.0..=100.0).contains(&p) && p > 0.0, "percentile {p}");
-    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 #[cfg(test)]

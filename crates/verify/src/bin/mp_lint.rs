@@ -4,7 +4,9 @@
 //! Runs all three mp-verify passes over the paper topology (anchor
 //! folding, naive and partitioned memory), the scaled topologies, the
 //! partially-binarised variant, every folding-sweep design point behind
-//! Figs. 3–4, and the host model zoo with a DMU attached — then writes
+//! Figs. 3–4, the quantized `{2,4,8}²` precision corners (threshold
+//! words re-synthesised from the quantized intervals), and the host
+//! model zoo with a DMU attached — then writes
 //! `results/lint_report.json` and exits non-zero if any error-severity
 //! diagnostic was found.
 //!
@@ -23,6 +25,7 @@ use mp_fpga::folding::FoldingSearch;
 use mp_fpga::memory::MemoryModel;
 use mp_host::zoo::{self, ModelId};
 use mp_tensor::init::TensorRng;
+use mp_verify::interval::{quant_engine_interval, required_threshold_bits};
 use mp_verify::{verify, Report, Severity, VerifyTarget};
 
 /// The whole lint run, as written to `results/lint_report.json`.
@@ -110,7 +113,45 @@ fn main() {
         }
     }
 
-    // 5. The host model zoo (paper-scale builds), checked against the
+    // 5. Quantized configurations: every uniform (a_bits, w_bits)
+    //    corner of the {2,4,8}² sweep over the paper topology, with the
+    //    threshold words re-synthesised from the quantized accumulator
+    //    intervals (`required_threshold_bits`). The declared precision
+    //    must match the chain (MP0211) and every widened word must fit
+    //    its interval (MP0210); budgets are exploratory since the wider
+    //    memories target the larger device.
+    for a in [2usize, 4, 8] {
+        for w in [2usize, 4, 8] {
+            let precision =
+                mp_int::NetworkPrecision::uniform(engines.len(), a, w).expect("supported widths");
+            let mut target = VerifyTarget::from_topology(
+                format!("paper-quantized-a{a}w{w}"),
+                &paper,
+                Device::zu3eg(),
+            )
+            .exploratory();
+            let last = target.engines.len() - 1;
+            for (i, (engine, &spec)) in target
+                .engines
+                .iter_mut()
+                .zip(precision.layers())
+                .enumerate()
+            {
+                if i == last || engine.threshold_bits == 0 {
+                    continue;
+                }
+                let acc = quant_engine_interval(engine, spec, i == 0)
+                    .expect("paper fan-ins cannot overflow i64");
+                engine.threshold_bits = required_threshold_bits(acc)
+                    .expect("paper intervals fit 62-bit words")
+                    .max(engine.threshold_bits);
+            }
+            target.precision = Some(precision);
+            reports.push(verify(&target));
+        }
+    }
+
+    // 6. The host model zoo (paper-scale builds), checked against the
     //    10-class pipeline interface with the DMU attached.
     let mut rng = TensorRng::seed_from(2018);
     for id in ModelId::ALL {

@@ -57,6 +57,16 @@ pub mod codes {
     /// Target has no engines and nothing else attached: there is
     /// nothing to verify, which is almost always a construction bug.
     pub const EMPTY_TARGET: &str = "MP0208";
+    /// A static interval itself overflows i64: the fan-in × level
+    /// magnitude is not representable, so no sound width proof exists.
+    pub const INTERVAL_OVERFLOW: &str = "MP0209";
+    /// Quantized threshold word too narrow for the multi-plane
+    /// accumulator interval (the `(2^a−1)·(2^w−1)`-scaled analogue of
+    /// [`THRESHOLD_NARROW`]).
+    pub const QUANT_THRESHOLD_NARROW: &str = "MP0210";
+    /// Precision spec disagrees with the engine list (layer count
+    /// mismatch, or a first layer that is not 8-bit-activation).
+    pub const PRECISION_MISMATCH: &str = "MP0211";
 
     /// Zero or degenerate `P`/`S` in a folding.
     pub const FOLDING_ZERO: &str = "MP0301";

@@ -94,6 +94,12 @@ pub struct VerifyTarget<'a> {
     /// Folded hardware BNN whose thresholds are checked against the
     /// static accumulator intervals.
     pub hw: Option<&'a HardwareBnn>,
+    /// Per-layer quantized widths the engine chain is meant to run at;
+    /// `None` means the plain 1-bit configuration. When set, the
+    /// interval pass re-derives every accumulator bound at the declared
+    /// `(a_bits, w_bits)` and proves the threshold words still fit
+    /// (MP0210) and the precision matches the chain (MP0211).
+    pub precision: Option<mp_int::NetworkPrecision>,
 }
 
 impl<'a> VerifyTarget<'a> {
@@ -130,6 +136,7 @@ impl<'a> VerifyTarget<'a> {
             dmu: None,
             host: None,
             hw: None,
+            precision: None,
         }
     }
 
@@ -179,6 +186,13 @@ impl<'a> VerifyTarget<'a> {
     /// Attaches a folded hardware BNN for threshold analysis.
     pub fn with_hardware(mut self, hw: &'a HardwareBnn) -> Self {
         self.hw = Some(hw);
+        self
+    }
+
+    /// Declares the per-layer quantized widths the chain runs at,
+    /// enabling the MP0210/MP0211 quantized-interval checks.
+    pub fn with_precision(mut self, precision: mp_int::NetworkPrecision) -> Self {
+        self.precision = Some(precision);
         self
     }
 }

@@ -19,6 +19,7 @@
 //! | [`fpga`] | `mp-fpga` | FINN accelerator model: cycles, folding, BRAM, streaming |
 //! | [`dataset`] | `mp-dataset` | synthetic CIFAR-10 stand-in + real loader |
 //! | [`host`] | `mp-host` | Caffe model zoo + ARM Cortex-A9 cost model |
+//! | [`int`] | `mp-int` | multi-precision integer path: 2/4/8-bit quantized inference + MPIC cost LUT |
 //! | [`core`] | `mp-core` | DMU, multi-precision pipeline, experiments |
 //! | [`obs`] | `mp-obs` | zero-dependency tracing/metrics recorder + JSON report |
 //! | [`verify`] | `mp-verify` | static design-rule checker + abstract interpretation (`mp-lint`) |
@@ -63,6 +64,7 @@ pub use mp_dataset as dataset;
 pub use mp_fleet as fleet;
 pub use mp_fpga as fpga;
 pub use mp_host as host;
+pub use mp_int as int;
 pub use mp_nn as nn;
 pub use mp_obs as obs;
 pub use mp_serve as serve;

@@ -5,6 +5,7 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 
 use multiprec::bnn::bits::{BitMatrix, BitVec};
+use multiprec::bnn::planes::{quantize_level, PlaneMatrix, PlaneVec};
 use multiprec::bnn::{BnnClassifier, HardwareBnn};
 use multiprec::bnn::{EngineKind, EngineSpec, FinnTopology};
 use multiprec::core::dmu::{ConfusionQuadrants, Dmu};
@@ -19,6 +20,7 @@ use multiprec::fpga::cycle_model::{divisors, engine_cycles};
 use multiprec::fpga::folding::FoldingSearch;
 use multiprec::fpga::memory::{allocate_array, best_partition};
 use multiprec::fpga::stream_sim::StreamSim;
+use multiprec::int::{NetworkPrecision, QuantBnn};
 use multiprec::nn::train::Model;
 use multiprec::nn::{Mode, Network};
 use multiprec::obs::SharedRecorder;
@@ -497,7 +499,7 @@ proptest! {
             let bound = multiprec::verify::interval::accumulator_interval(
                 summary.fan_in,
                 if summary.first { 8 } else { 1 },
-            );
+            ).expect("fixture fan-ins are small");
             prop_assert!(
                 bound.contains(range.min) && bound.contains(range.max),
                 "stage {}: runtime range [{}, {}] escapes static interval [{}, {}]",
@@ -708,5 +710,114 @@ proptest! {
             r.completions.iter().map(|c| (c.id, c.latency_s())).collect()
         };
         prop_assert_eq!(latencies(&a), latencies(&b));
+    }
+}
+
+// ---- mp-int: multi-plane arithmetic and the precision corners ----
+
+/// Trained-once pair for the precision-corner identity: the optimized
+/// XNOR-popcount hardware view and the multi-plane quantized path at
+/// `NetworkPrecision::one_bit`, built from the same classifier.
+fn quant_corner_fixture() -> &'static (HardwareBnn, QuantBnn) {
+    static FIXTURE: OnceLock<(HardwareBnn, QuantBnn)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = TensorRng::seed_from(4018);
+        let mut bnn =
+            BnnClassifier::new(multiprec::bnn::FinnTopology::scaled(8, 8, 8), &mut rng).unwrap();
+        for _ in 0..3 {
+            let x = rng.normal(multiprec::tensor::Shape::nchw(8, 3, 8, 8), 0.0, 1.0);
+            bnn.forward_mode(&x, Mode::Train).unwrap();
+        }
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let layers = bnn.export_latent().len();
+        let quant = QuantBnn::from_classifier(
+            &bnn,
+            NetworkPrecision::one_bit(layers).expect("1-bit precision"),
+        )
+        .unwrap();
+        (hw, quant)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The packed multi-plane dot product — shift-add over bit planes of
+    /// XNOR-popcounts — must agree exactly with the scalar i64 reference
+    /// over quantized levels, for every `(a_bits, w_bits)` pairing from
+    /// `{2, 4, 8}²`.
+    #[test]
+    fn plane_dot_matches_integer_reference(
+        xs in proptest::collection::vec(-1.5f32..1.5, 1..64),
+        ws in proptest::collection::vec(-1.5f32..1.5, 1..64),
+        a_sel in 0usize..3, w_sel in 0usize..3
+    ) {
+        let (a_bits, w_bits) = ([2usize, 4, 8][a_sel], [2usize, 4, 8][w_sel]);
+        let n = xs.len().min(ws.len());
+        let x = PlaneVec::from_floats(&xs[..n], a_bits);
+        let w = PlaneVec::from_floats(&ws[..n], w_bits);
+        let reference: i64 = xs[..n]
+            .iter()
+            .zip(&ws[..n])
+            .map(|(&a, &b)| quantize_level(a, a_bits) * quantize_level(b, w_bits))
+            .sum();
+        prop_assert_eq!(x.dot(&w), reference);
+        // Packing must round-trip the quantized levels themselves.
+        let levels: Vec<i64> = xs[..n].iter().map(|&v| quantize_level(v, a_bits)).collect();
+        prop_assert_eq!(x.to_levels(), levels);
+    }
+
+    /// Same contract at GEMV granularity: `PlaneMatrix::matvec` is the
+    /// row-wise plane dot product, so every output must equal the dense
+    /// i64 reference GEMM row.
+    #[test]
+    fn plane_matvec_matches_reference_gemm(
+        rows in 1usize..7, cols in 1usize..20,
+        wdata in proptest::collection::vec(-2.0f32..2.0, 140),
+        xdata in proptest::collection::vec(-2.0f32..2.0, 20),
+        a_sel in 0usize..3, w_sel in 0usize..3
+    ) {
+        let (a_bits, w_bits) = ([2usize, 4, 8][a_sel], [2usize, 4, 8][w_sel]);
+        let wvals = &wdata[..rows * cols];
+        let xvals = &xdata[..cols];
+        let m = PlaneMatrix::from_floats(rows, cols, wvals, w_bits);
+        let x = PlaneVec::from_floats(xvals, a_bits);
+        let y = m.matvec(&x);
+        prop_assert_eq!(y.len(), rows);
+        for (r, &got) in y.iter().enumerate() {
+            let reference: i64 = (0..cols)
+                .map(|c| {
+                    quantize_level(wvals[r * cols + c], w_bits)
+                        * quantize_level(xvals[c], a_bits)
+                })
+                .sum();
+            prop_assert_eq!(got, reference, "row {} diverged from reference", r);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The precision axis is anchored at its low end: the multi-plane
+    /// quantized path at `NetworkPrecision::one_bit` must be
+    /// bit-identical — scores included, not just argmaxes — to the
+    /// optimized XNOR-popcount fast path, for any input distribution and
+    /// any worker-thread count.
+    #[test]
+    fn quant_one_bit_corner_matches_bnn_fast_path(
+        seed in any::<u64>(), n in 1usize..7, threads in 1usize..5,
+        mean in -2.0f32..2.0, sigma in 0.05f32..4.0
+    ) {
+        let (hw, quant) = quant_corner_fixture();
+        let mut rng = TensorRng::seed_from(seed);
+        let batch = rng.normal(multiprec::tensor::Shape::nchw(n, 3, 8, 8), mean, sigma);
+        let fast = hw.infer_batch_with(&batch, Parallelism::new(threads)).unwrap();
+        let q = quant
+            .infer_batch_obs(&batch, Parallelism::new(threads), &multiprec::obs::NULL_RECORDER)
+            .unwrap();
+        prop_assert_eq!(quant.scores_scale(), 1.0);
+        prop_assert_eq!(fast.shape(), q.shape());
+        prop_assert_eq!(fast.as_slice(), q.as_slice());
     }
 }
