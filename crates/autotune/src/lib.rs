@@ -1,0 +1,47 @@
+//! # mp-autotune
+//!
+//! Joint folding × precision design-space autotuner for the FINN-style
+//! engine chain, driven by the mp-verify feasibility oracle.
+//!
+//! The paper hand-picks its operating points (the Fig. 3/4 folding
+//! sweep, the fixed precision corners of the MPIC sweep). This crate
+//! searches the joint space instead:
+//!
+//! - **per-engine move set**: [`FoldingSearch::engine_frontier`] — only
+//!   the non-dominated `(lanes, cycles)` divisor foldings of each
+//!   engine enter the search, since anything off that frontier is
+//!   dominated for every monotone objective;
+//! - **legality & pricing**: every complete candidate is validated by
+//!   [`Oracle::check`], and partial assignments are priced with exactly
+//!   the oracle's memoised per-engine demand
+//!   ([`Oracle::quant_engine_demand`]) and MPIC cycle factors, so the
+//!   search never disagrees with the verifier;
+//! - **search**: per precision [`Profile`], a beam search over engines
+//!   with dominance pruning on the accumulated
+//!   `(max quantized cycles, ΣBRAM, ΣLUT)` triple — all three
+//!   accumulate monotonically, so pruning dominated partial states is
+//!   sound — and a spread-preserving beam cap;
+//! - **seeding**: the exact rate-balanced foldings of the shipped
+//!   Fig. 3/4 sweep are always evaluated as complete candidates, so the
+//!   searched front can never do worse than the hand-picked
+//!   configurations (the CI gate in the `autotune` bench bin);
+//! - **output**: the 4-objective Pareto front (throughput ↑, accuracy ↑,
+//!   BRAM ↓, LUTs ↓) over every feasible point found
+//!   ([`pareto_front`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(deprecated)]
+
+pub mod profile;
+pub mod search;
+
+pub use profile::Profile;
+pub use search::{pareto_front, Autotuner, TunedPoint};
+
+// Re-exported so bench bins can name the search inputs/outputs without
+// depending on mp-verify directly.
+pub use mp_verify::{Candidate, CandidateCost, Feasibility, Oracle};
+
+#[cfg(doc)]
+use mp_fpga::folding::FoldingSearch;

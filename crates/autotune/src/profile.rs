@@ -1,0 +1,150 @@
+//! Precision profiles: the named per-layer width assignments the
+//! autotuner explores.
+//!
+//! The folding axis is searched exhaustively (per-engine frontiers);
+//! the precision axis is explored over a small set of named profiles —
+//! the paper's uniform corners plus tapered mixed assignments — because
+//! accuracy at a precision can only be *measured* (by quantizing the
+//! trained classifier), not derived from the cost model, and each
+//! measurement costs a full test-set evaluation.
+
+use mp_int::{NetworkPrecision, PrecisionError, PrecisionSpec, FIRST_LAYER_A_BITS};
+
+/// One named point on the precision axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Stable label (`1bit`, `a4w4`, `taper-842`, …) used in reports.
+    pub label: String,
+    /// The per-layer widths; `None` is the shipped 1-bit chain.
+    pub precision: Option<NetworkPrecision>,
+}
+
+impl Profile {
+    /// The plain 1-bit chain (no declared precision).
+    pub fn one_bit() -> Self {
+        Self {
+            label: "1bit".to_owned(),
+            precision: None,
+        }
+    }
+
+    /// Uniform `(a, w)` at every layer (first layer pinned to 8-bit
+    /// pixel activations, as [`NetworkPrecision::uniform`] enforces).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrecisionError`] for unsupported widths or a zero
+    /// layer count.
+    pub fn uniform(
+        layer_count: usize,
+        a_bits: usize,
+        w_bits: usize,
+    ) -> Result<Self, PrecisionError> {
+        Ok(Self {
+            label: format!("a{a_bits}w{w_bits}"),
+            precision: Some(NetworkPrecision::uniform(layer_count, a_bits, w_bits)?),
+        })
+    }
+
+    /// Descending taper: the 8-bit pixel first layer runs `(8, 8)`,
+    /// the first half of the remaining layers `(4, 4)`, the rest
+    /// `(2, 2)` — high precision where features are raw, low precision
+    /// where they are abstract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrecisionError`] for a zero layer count.
+    pub fn taper_descending(layer_count: usize) -> Result<Self, PrecisionError> {
+        let mut layers = Vec::with_capacity(layer_count);
+        for i in 0..layer_count {
+            let spec = if i == 0 {
+                PrecisionSpec::try_new(FIRST_LAYER_A_BITS, 8)?
+            } else if i <= layer_count / 2 {
+                PrecisionSpec::try_new(4, 4)?
+            } else {
+                PrecisionSpec::try_new(2, 2)?
+            };
+            layers.push(spec);
+        }
+        Ok(Self {
+            label: "taper-842".to_owned(),
+            precision: Some(NetworkPrecision::try_new(layers)?),
+        })
+    }
+
+    /// Weight-light mixed profile: binary weights everywhere (1-bit
+    /// planes, cheapest storage) but 4-bit activations on the inner
+    /// layers — the "multi-precision activations over binary weights"
+    /// half of the design space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrecisionError`] for a zero layer count.
+    pub fn activations_only(layer_count: usize) -> Result<Self, PrecisionError> {
+        let mut layers = Vec::with_capacity(layer_count);
+        for i in 0..layer_count {
+            let spec = if i == 0 {
+                PrecisionSpec::try_new(FIRST_LAYER_A_BITS, 1)?
+            } else {
+                PrecisionSpec::try_new(4, 1)?
+            };
+            layers.push(spec);
+        }
+        Ok(Self {
+            label: "a4w1".to_owned(),
+            precision: Some(NetworkPrecision::try_new(layers)?),
+        })
+    }
+
+    /// The standard exploration set: the 1-bit chain, the uniform
+    /// {2, 4, 8}² diagonal, and the two mixed tapers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_count` is zero (every constructor rejects it).
+    pub fn standard(layer_count: usize) -> Vec<Self> {
+        vec![
+            Self::one_bit(),
+            Self::uniform(layer_count, 2, 2).expect("supported widths"),
+            Self::uniform(layer_count, 4, 4).expect("supported widths"),
+            Self::uniform(layer_count, 8, 8).expect("supported widths"),
+            Self::taper_descending(layer_count).expect("supported widths"),
+            Self::activations_only(layer_count).expect("supported widths"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_set_has_unique_labels_and_valid_precisions() {
+        let profiles = Profile::standard(9);
+        assert_eq!(profiles.len(), 6);
+        let mut labels: Vec<&str> = profiles.iter().map(|p| p.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), profiles.len(), "duplicate profile labels");
+        for p in &profiles {
+            if let Some(net) = &p.precision {
+                assert_eq!(net.len(), 9, "{}", p.label);
+                assert_eq!(net.layers()[0].a_bits(), FIRST_LAYER_A_BITS, "{}", p.label);
+            }
+        }
+    }
+
+    #[test]
+    fn taper_descends_and_activations_only_keeps_binary_weights() {
+        let taper = Profile::taper_descending(9).unwrap();
+        let layers = taper.precision.unwrap();
+        let widths: Vec<usize> = layers.layers().iter().map(|s| s.a_bits()).collect();
+        for pair in widths.windows(2).skip(1) {
+            assert!(pair[0] >= pair[1], "taper not monotone: {widths:?}");
+        }
+        let act = Profile::activations_only(9).unwrap();
+        for spec in act.precision.unwrap().layers() {
+            assert_eq!(spec.w_bits(), 1);
+        }
+    }
+}

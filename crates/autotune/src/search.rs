@@ -1,0 +1,426 @@
+//! Beam search over per-engine folding frontiers, one precision
+//! profile at a time, with the oracle as the single source of truth
+//! for legality and cost.
+
+use serde::Serialize;
+
+use mp_bnn::EngineSpec;
+use mp_fpga::folding::{EngineFolding, Folding, FoldingSearch};
+use mp_int::NetworkPrecision;
+use mp_verify::{Candidate, CandidateCost, Feasibility, Oracle, Stage};
+
+use crate::profile::Profile;
+
+/// The shipped Fig. 3/4 sweep's latency-target grid, reused verbatim as
+/// search seeds so the tuned front always contains (or dominates) every
+/// hand-picked configuration.
+const SEED_MIN_CYCLES: u64 = 25_000;
+const SEED_MAX_CYCLES: u64 = 1_000_000;
+const SEED_STEPS: usize = 16;
+
+/// One feasible point the search found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedPoint {
+    /// The precision profile's label.
+    pub profile: String,
+    /// The chosen per-engine folding.
+    pub folding: Folding,
+    /// The declared precision (`None` for the 1-bit chain).
+    pub precision: Option<NetworkPrecision>,
+    /// The oracle's cost verdict.
+    pub cost: CandidateCost,
+    /// Measured accuracy of the profile, when the caller evaluated it
+    /// (the cost model cannot derive accuracy; `pareto_front` treats
+    /// missing accuracy as 0).
+    pub accuracy: Option<f64>,
+}
+
+/// Outcome counters of one [`Autotuner::search`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct SearchStats {
+    /// Complete candidates submitted to the oracle.
+    pub candidates_checked: usize,
+    /// Candidates the oracle rejected.
+    pub infeasible: usize,
+    /// Partial states discarded by dominance pruning.
+    pub pruned_dominated: usize,
+    /// Partial states discarded by the beam cap.
+    pub pruned_beam: usize,
+    /// Profiles skipped because their width proofs block every folding.
+    pub profiles_blocked: usize,
+}
+
+/// One pre-priced frontier option of one engine.
+#[derive(Debug, Clone, Copy)]
+struct EngineOption {
+    folding: EngineFolding,
+    /// Quantized cycles: eq. (3)/(4) × the layer's MPIC factor.
+    qcycles: f64,
+    bram: u64,
+    luts: u64,
+}
+
+/// A partial assignment: engines `0..choices.len()` chosen.
+#[derive(Debug, Clone)]
+struct State {
+    choices: Vec<usize>,
+    qmax: f64,
+    bram: u64,
+    luts: u64,
+}
+
+/// Joint folding × precision searcher over a fixed engine chain.
+///
+/// Construct the [`Oracle`] with an *exploratory* target
+/// (`VerifyTarget::exploratory()`) to let the search report
+/// over-budget points (`cost.fits == false`) alongside fitting ones —
+/// the shipped Fig. 3/4 sweeps contain such points, and the front is
+/// only comparable if the search may keep them too. A strict oracle
+/// simply rejects them.
+#[derive(Debug)]
+pub struct Autotuner {
+    oracle: Oracle,
+    engines: Vec<EngineSpec>,
+    beam_width: usize,
+    stats: SearchStats,
+}
+
+impl Autotuner {
+    /// Wraps `oracle` with the default beam width (64).
+    pub fn new(oracle: Oracle) -> Self {
+        let engines = oracle.engines().to_vec();
+        Self {
+            oracle,
+            engines,
+            beam_width: 64,
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Sets the beam width (minimum 2; wider explores more).
+    pub fn with_beam_width(mut self, beam_width: usize) -> Self {
+        self.beam_width = beam_width.max(2);
+        self
+    }
+
+    /// The rate-balanced seed foldings: the exact grid the shipped
+    /// Fig. 3/4 sweep evaluates.
+    pub fn seeds(&self) -> Vec<Folding> {
+        FoldingSearch::new(&self.engines).sweep(SEED_MIN_CYCLES, SEED_MAX_CYCLES, SEED_STEPS)
+    }
+
+    /// Counters accumulated across searches.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// The wrapped oracle (e.g. to read its memo statistics).
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    /// Searches every profile and returns all feasible points found
+    /// (deduplicated per profile). Feed the result to [`pareto_front`].
+    pub fn search(&mut self, profiles: &[Profile]) -> Vec<TunedPoint> {
+        let mut out = Vec::new();
+        for profile in profiles {
+            out.extend(self.search_profile(profile));
+        }
+        out
+    }
+
+    /// Searches one profile: beam over the per-engine frontiers plus
+    /// the rate-balanced seeds, every complete candidate validated by
+    /// the oracle.
+    pub fn search_profile(&mut self, profile: &Profile) -> Vec<TunedPoint> {
+        if self.engines.is_empty() {
+            return Vec::new();
+        }
+        // Width proofs are folding-independent: if the profile's widths
+        // block any engine, every candidate fails, so probe once with
+        // the cheapest folding and skip the whole profile on a width
+        // (or structure) block.
+        let minimal = Folding::new(vec![EngineFolding::new(1, 1); self.engines.len()]);
+        let probe = self.oracle.check(&Candidate {
+            folding: minimal,
+            precision: profile.precision.clone(),
+        });
+        if let Feasibility::Infeasible(block) = probe {
+            if matches!(block.stage, Stage::Width | Stage::Structure) {
+                self.stats.profiles_blocked += 1;
+                return Vec::new();
+            }
+        }
+
+        let options = self.price_frontiers(profile);
+        let mut states = vec![State {
+            choices: Vec::new(),
+            qmax: 0.0,
+            bram: 0,
+            luts: 0,
+        }];
+        for engine_options in &options {
+            let mut next = Vec::with_capacity(states.len() * engine_options.len());
+            for state in &states {
+                for (j, opt) in engine_options.iter().enumerate() {
+                    let mut choices = state.choices.clone();
+                    choices.push(j);
+                    next.push(State {
+                        choices,
+                        qmax: state.qmax.max(opt.qcycles),
+                        bram: state.bram + opt.bram,
+                        luts: state.luts + opt.luts,
+                    });
+                }
+            }
+            states = self.prune(next);
+        }
+
+        let mut foldings: Vec<Folding> = states
+            .into_iter()
+            .map(|state| {
+                Folding::new(
+                    state
+                        .choices
+                        .iter()
+                        .zip(&options)
+                        .map(|(&j, opts)| opts[j].folding)
+                        .collect(),
+                )
+            })
+            .collect();
+        for seed in self.seeds() {
+            if !foldings.contains(&seed) {
+                foldings.push(seed);
+            }
+        }
+
+        let mut points = Vec::new();
+        for folding in foldings {
+            let candidate = Candidate {
+                folding,
+                precision: profile.precision.clone(),
+            };
+            self.stats.candidates_checked += 1;
+            match self.oracle.check(&candidate) {
+                Feasibility::Feasible(cost) => points.push(TunedPoint {
+                    profile: profile.label.clone(),
+                    folding: candidate.folding,
+                    precision: candidate.precision,
+                    cost,
+                    accuracy: None,
+                }),
+                Feasibility::Infeasible(_) => self.stats.infeasible += 1,
+            }
+        }
+        points
+    }
+
+    /// Prices every engine's folding frontier under the profile with
+    /// the oracle's own factors and memoised demand.
+    fn price_frontiers(&mut self, profile: &Profile) -> Vec<Vec<EngineOption>> {
+        let specs = profile.precision.as_ref().map(|p| p.layers().to_vec());
+        (0..self.engines.len())
+            .map(|i| {
+                let factor = match &specs {
+                    Some(layers) => self.oracle.layer_factor(i, layers[i]),
+                    None => 1.0,
+                };
+                FoldingSearch::engine_frontier(&self.engines[i])
+                    .into_iter()
+                    .map(|(folding, cycles)| {
+                        let (bram, luts) =
+                            self.oracle
+                                .quant_engine_demand(i, folding, profile.precision.as_ref());
+                        EngineOption {
+                            folding,
+                            qcycles: cycles as f64 * factor,
+                            bram,
+                            luts,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Dominance pruning then a spread-preserving beam cap. All three
+    /// accumulators are monotone under extension, so a dominated
+    /// partial state cannot finish ahead of its dominator.
+    fn prune(&mut self, mut states: Vec<State>) -> Vec<State> {
+        // Sort by (qmax, bram, luts); a state can only be dominated by
+        // an earlier one, so one backward-looking scan suffices.
+        states.sort_by(|a, b| {
+            a.qmax
+                .total_cmp(&b.qmax)
+                .then(a.bram.cmp(&b.bram))
+                .then(a.luts.cmp(&b.luts))
+        });
+        let mut kept: Vec<State> = Vec::with_capacity(states.len());
+        for state in states {
+            let dominated = kept
+                .iter()
+                .any(|k| k.qmax <= state.qmax && k.bram <= state.bram && k.luts <= state.luts);
+            if dominated {
+                self.stats.pruned_dominated += 1;
+            } else {
+                kept.push(state);
+            }
+        }
+        if kept.len() > self.beam_width {
+            // Evenly spaced along the qmax axis, keeping both extremes:
+            // the fastest and cheapest corners survive every cap.
+            let len = kept.len();
+            let picked: Vec<State> = (0..self.beam_width)
+                .map(|i| kept[i * (len - 1) / (self.beam_width - 1)].clone())
+                .collect();
+            self.stats.pruned_beam += len - picked.len();
+            kept = picked;
+        }
+        kept
+    }
+}
+
+/// The 4-objective non-dominated subset: throughput ↑, accuracy ↑,
+/// BRAM ↓, LUTs ↓. Missing accuracy compares as 0. Exact duplicates
+/// keep their first occurrence.
+pub fn pareto_front(points: &[TunedPoint]) -> Vec<TunedPoint> {
+    fn key(p: &TunedPoint) -> (f64, f64, u64, u64) {
+        (
+            p.cost.modeled_fps,
+            p.accuracy.unwrap_or(0.0),
+            p.cost.bram_18k,
+            p.cost.luts,
+        )
+    }
+    fn dominates(a: (f64, f64, u64, u64), b: (f64, f64, u64, u64)) -> bool {
+        a.0 >= b.0 && a.1 >= b.1 && a.2 <= b.2 && a.3 <= b.3 && a != b
+    }
+    let mut front: Vec<TunedPoint> = Vec::new();
+    for p in points {
+        let kp = key(p);
+        if front.iter().any(|q| dominates(key(q), kp) || key(q) == kp) {
+            continue;
+        }
+        front.retain(|q| !dominates(kp, key(q)));
+        front.push(p.clone());
+    }
+    front.sort_by(|a, b| a.cost.modeled_fps.total_cmp(&b.cost.modeled_fps));
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_bnn::FinnTopology;
+    use mp_fpga::device::Device;
+    use mp_verify::VerifyTarget;
+
+    fn tuner(beam: usize) -> Autotuner {
+        let topo = FinnTopology::paper();
+        let target = VerifyTarget::from_topology("autotune", &topo, Device::zc702()).exploratory();
+        Autotuner::new(Oracle::new(&target)).with_beam_width(beam)
+    }
+
+    #[test]
+    fn one_bit_search_covers_every_seed() {
+        let mut t = tuner(8);
+        let seeds = t.seeds();
+        let engines = t.oracle().engines().to_vec();
+        let points = t.search_profile(&Profile::one_bit());
+        assert!(points.len() >= seeds.len());
+        // Every seed folding appears verbatim with its eq. (3)–(5)
+        // throughput: the front can't lose to the shipped sweep.
+        for seed in &seeds {
+            let bottleneck = seed.bottleneck_cycles(&engines);
+            let hit = points
+                .iter()
+                .find(|p| &p.folding == seed)
+                .unwrap_or_else(|| panic!("seed missing: {seed:?}"));
+            assert_eq!(hit.cost.bottleneck_cycles, bottleneck);
+        }
+    }
+
+    #[test]
+    fn beam_finds_points_beyond_the_seeds() {
+        let mut t = tuner(16);
+        let seeds = t.seeds();
+        let points = t.search_profile(&Profile::one_bit());
+        assert!(
+            points.iter().any(|p| !seeds.contains(&p.folding)),
+            "beam search added nothing beyond the seed grid"
+        );
+        let stats = t.stats();
+        assert!(stats.pruned_dominated > 0);
+        assert!(stats.candidates_checked >= points.len());
+    }
+
+    #[test]
+    fn quantized_profiles_price_higher_cycles() {
+        let mut t = tuner(6);
+        let n = t.oracle().engines().len();
+        let one = t.search_profile(&Profile::one_bit());
+        let quant = t.search_profile(&Profile::uniform(n, 4, 4).unwrap());
+        assert!(!quant.is_empty());
+        // Compare the shared seed folding: same cycles, bigger price.
+        let seed = &one[0].folding;
+        let base = one.iter().find(|p| &p.folding == seed).unwrap();
+        if let Some(q) = quant.iter().find(|p| &p.folding == seed) {
+            assert!(q.cost.quant_bottleneck_cycles > base.cost.quant_bottleneck_cycles);
+            assert!(q.cost.bram_18k > base.cost.bram_18k);
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_non_dominated_and_sorted() {
+        let mut t = tuner(8);
+        let n = t.oracle().engines().len();
+        let mut points = t.search(&[Profile::one_bit(), Profile::uniform(n, 2, 2).unwrap()]);
+        // Give the quantized profile an accuracy edge so both profiles
+        // can survive on the front.
+        for p in &mut points {
+            p.accuracy = Some(if p.profile == "1bit" { 0.80 } else { 0.84 });
+        }
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let ka = (
+                    a.cost.modeled_fps,
+                    a.accuracy.unwrap(),
+                    a.cost.bram_18k,
+                    a.cost.luts,
+                );
+                let kb = (
+                    b.cost.modeled_fps,
+                    b.accuracy.unwrap(),
+                    b.cost.bram_18k,
+                    b.cost.luts,
+                );
+                assert!(
+                    !(ka.0 >= kb.0 && ka.1 >= kb.1 && ka.2 <= kb.2 && ka.3 <= kb.3 && ka != kb),
+                    "front point {j} dominated by {i}"
+                );
+            }
+        }
+        for pair in front.windows(2) {
+            assert!(pair[0].cost.modeled_fps <= pair[1].cost.modeled_fps);
+        }
+    }
+
+    #[test]
+    fn blocked_profile_is_skipped_not_searched() {
+        // A wrong-length precision blocks at the structure stage.
+        let mut t = tuner(4);
+        let profile = Profile {
+            label: "wrong-len".to_owned(),
+            precision: Some(NetworkPrecision::uniform(3, 4, 4).unwrap()),
+        };
+        let points = t.search_profile(&profile);
+        assert!(points.is_empty());
+        assert_eq!(t.stats().profiles_blocked, 1);
+    }
+}

@@ -15,10 +15,13 @@
 //! | `table5` | Table V — the multi-precision systems A/B/C + FINN |
 //! | `eq_validation` | eqs. (1)–(2) vs the discrete-event pipeline |
 //! | `batch_ablation` | the paper's batch-size claim (§III) |
+//! | `autotune` | folding × precision Pareto front vs the shipped Fig. 3/4 sweeps |
 //!
 //! Trained-system binaries accept `--smoke` for a fast low-fidelity run
 //! and honour `--seed N`. Every binary appends its rows to
 //! `results/<name>.json` so EXPERIMENTS.md can cite exact numbers.
+
+#![deny(deprecated)]
 
 pub mod figures;
 

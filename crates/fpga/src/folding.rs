@@ -250,6 +250,46 @@ impl<'a> FoldingSearch<'a> {
         )
     }
 
+    /// The non-dominated `(lanes, cycles)` frontier of one engine's
+    /// divisor-only foldings: every `(P, S)` pair such that no other
+    /// pair is both cheaper (fewer `P·S` lanes) and faster (fewer
+    /// eq. (3)/(4) cycles). Returned in increasing lane order, which is
+    /// strictly decreasing cycle order.
+    ///
+    /// This is the per-engine search space a design-space explorer
+    /// needs: any folding off this frontier is dominated for every
+    /// objective that is monotone in lanes and cycles, so joint
+    /// searches over engines can enumerate frontier options only.
+    /// Ties on the lane count keep the squarer tile, matching
+    /// [`Self::fold_engine`]'s preference.
+    pub fn engine_frontier(spec: &EngineSpec) -> Vec<(EngineFolding, u64)> {
+        fn imbalance(f: EngineFolding) -> f64 {
+            ((f.p as f64).ln() - (f.s as f64).ln()).abs()
+        }
+        let mut options: Vec<(EngineFolding, u64)> = Vec::new();
+        for &p in &valid_p(spec) {
+            for &s in &valid_s(spec) {
+                let f = EngineFolding::new(p, s);
+                options.push((f, engine_cycles(spec, p, s)));
+            }
+        }
+        // Cheap-first; at equal cost, fastest first, then squarest.
+        options.sort_by(|(fa, ca), (fb, cb)| {
+            (fa.lanes(), ca)
+                .cmp(&(fb.lanes(), cb))
+                .then(imbalance(*fa).total_cmp(&imbalance(*fb)))
+        });
+        let mut frontier: Vec<(EngineFolding, u64)> = Vec::new();
+        for (f, cycles) in options {
+            match frontier.last() {
+                // Strictly faster than everything cheaper → keep.
+                Some(&(_, best)) if cycles >= best => {}
+                _ => frontier.push((f, cycles)),
+            }
+        }
+        frontier
+    }
+
     /// Sweeps a geometric grid of latency targets, returning deduplicated
     /// foldings ordered by increasing total PE count — the configuration
     /// series plotted in Figs. 3–4.
@@ -334,6 +374,42 @@ mod tests {
         for pair in sweep.windows(2) {
             assert!(pair[0].total_pe() <= pair[1].total_pe());
             assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn engine_frontier_is_strictly_monotone_and_covers_balanced_picks() {
+        let engines = engines();
+        for spec in &engines {
+            let frontier = FoldingSearch::engine_frontier(spec);
+            assert!(!frontier.is_empty(), "{}", spec.name);
+            for pair in frontier.windows(2) {
+                let ((fa, ca), (fb, cb)) = (pair[0], pair[1]);
+                assert!(
+                    fa.lanes() < fb.lanes(),
+                    "{}: lanes not increasing",
+                    spec.name
+                );
+                assert!(ca > cb, "{}: cycles not decreasing", spec.name);
+            }
+            for (f, cycles) in &frontier {
+                assert_eq!(spec.weight_rows() % f.p, 0);
+                assert_eq!(spec.weight_cols() % f.s, 0);
+                assert_eq!(*cycles, engine_cycles(spec, f.p, f.s));
+            }
+            // Every balanced pick is meet-or-beat by a frontier point at
+            // no greater lane cost (the frontier dominates fold_engine).
+            for target in [50_000u64, 250_000, 1_000_000] {
+                let picked = FoldingSearch::fold_engine(spec, target);
+                let picked_cycles = engine_cycles(spec, picked.p, picked.s);
+                assert!(
+                    frontier
+                        .iter()
+                        .any(|(f, c)| f.lanes() <= picked.lanes() && *c <= picked_cycles),
+                    "{}: no frontier point dominates {picked:?}",
+                    spec.name
+                );
+            }
         }
     }
 

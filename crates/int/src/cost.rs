@@ -11,12 +11,42 @@
 //! which is what prices quantized configurations in
 //! `modeled_batch_time`.
 
+use std::fmt;
+
 use mp_fpga::cycle_model::engine_cycles;
 use serde::{Deserialize, Error, Serialize, Value};
 
 use mp_bnn::EngineSpec;
 
 use crate::precision::{NetworkPrecision, PrecisionSpec, SUPPORTED_BITS};
+
+/// A [`CostLut`] lookup at widths the table does not tabulate.
+///
+/// The table covers `(a_bits, w_bits) ∈ {1, 2, 4, 8}²`; any other pair
+/// has no measured rate, and inventing one would silently misprice a
+/// configuration. [`CostLut::try_macs_per_cycle`] returns this typed
+/// error; the panicking [`CostLut::macs_per_cycle`] stays for callers
+/// holding already-validated [`PrecisionSpec`] widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostError {
+    /// The requested activation width.
+    pub a_bits: usize,
+    /// The requested weight width.
+    pub w_bits: usize,
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no tabulated MAC rate for (a_bits, w_bits) = ({}, {}); \
+             supported widths are {SUPPORTED_BITS:?}",
+            self.a_bits, self.w_bits
+        )
+    }
+}
+
+impl std::error::Error for CostError {}
 
 /// Throughput table: MACs per cycle per `(a_bits, w_bits)` pair, for
 /// widths in {1, 2, 4, 8}.
@@ -93,15 +123,30 @@ impl CostLut {
         }
     }
 
+    /// MACs per cycle at `(a_bits, w_bits)`, or a typed [`CostError`]
+    /// for widths outside {1, 2, 4, 8}.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError`] when either width is untabulated.
+    pub fn try_macs_per_cycle(&self, a_bits: usize, w_bits: usize) -> Result<f64, CostError> {
+        match (idx(a_bits), idx(w_bits)) {
+            (Some(ai), Some(wi)) => Ok(self.rates[ai][wi]),
+            _ => Err(CostError { a_bits, w_bits }),
+        }
+    }
+
     /// MACs per cycle at `(a_bits, w_bits)`.
     ///
     /// # Panics
     ///
-    /// Panics if either width is outside {1, 2, 4, 8}.
+    /// Panics if either width is outside {1, 2, 4, 8}; use
+    /// [`Self::try_macs_per_cycle`] to handle raw widths gracefully.
     pub fn macs_per_cycle(&self, a_bits: usize, w_bits: usize) -> f64 {
-        let ai = idx(a_bits).unwrap_or_else(|| panic!("unsupported a_bits {a_bits}"));
-        let wi = idx(w_bits).unwrap_or_else(|| panic!("unsupported w_bits {w_bits}"));
-        self.rates[ai][wi]
+        match self.try_macs_per_cycle(a_bits, w_bits) {
+            Ok(rate) => rate,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Cycle-cost multiplier of `(a_bits, w_bits)` MACs relative to the
@@ -109,6 +154,30 @@ impl CostLut {
     /// the 1-bit corner.
     pub fn cost_factor(&self, spec: PrecisionSpec) -> f64 {
         self.macs_per_cycle(1, 1) / self.macs_per_cycle(spec.a_bits(), spec.w_bits())
+    }
+
+    /// Cycle-cost multiplier from raw widths, with a typed error for
+    /// untabulated pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError`] when either width is untabulated.
+    pub fn try_cost_factor(&self, a_bits: usize, w_bits: usize) -> Result<f64, CostError> {
+        Ok(self.try_macs_per_cycle(1, 1)? / self.try_macs_per_cycle(a_bits, w_bits)?)
+    }
+
+    /// One layer's cycle multiplier against its own baseline: layer 0
+    /// is priced against `(a_bits, 1)` (fixed-point pixels × binary
+    /// weights, the shipped FINN first stage), inner layers against the
+    /// `(1, 1)` XNOR datapath — the per-layer term that
+    /// [`Self::network_factor`] MAC-weights.
+    pub fn layer_factor(&self, layer: usize, spec: PrecisionSpec) -> f64 {
+        let baseline = if layer == 0 {
+            self.macs_per_cycle(spec.a_bits(), 1)
+        } else {
+            self.macs_per_cycle(1, 1)
+        };
+        baseline / self.macs_per_cycle(spec.a_bits(), spec.w_bits())
     }
 
     /// Modeled cycles of one quantized engine: the eq. (3)/(4) 1-bit
@@ -155,14 +224,7 @@ impl CostLut {
             .iter()
             .zip(macs_per_layer)
             .enumerate()
-            .map(|(i, (&spec, &macs))| {
-                let baseline = if i == 0 {
-                    self.macs_per_cycle(spec.a_bits(), 1)
-                } else {
-                    self.macs_per_cycle(1, 1)
-                };
-                baseline / self.macs_per_cycle(spec.a_bits(), spec.w_bits()) * macs as f64
-            })
+            .map(|(i, (&spec, &macs))| self.layer_factor(i, spec) * macs as f64)
             .sum::<f64>()
             / total as f64
     }
@@ -239,6 +301,67 @@ mod tests {
         let base = engine_cycles(&engines[1], 1, 1) as f64;
         let quant = lut.quant_engine_cycles(&engines[1], 1, 1, spec);
         assert!((quant / base - lut.cost_factor(spec)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsupported_activation_width_is_a_typed_error() {
+        let lut = CostLut::mpic();
+        for a in [0usize, 3, 5, 16] {
+            let err = lut.try_macs_per_cycle(a, 2).unwrap_err();
+            assert_eq!(
+                err,
+                CostError {
+                    a_bits: a,
+                    w_bits: 2
+                }
+            );
+            assert!(err.to_string().contains(&format!("({a}, 2)")), "{err}");
+        }
+    }
+
+    #[test]
+    fn unsupported_weight_width_is_a_typed_error() {
+        let lut = CostLut::mpic();
+        for w in [0usize, 3, 6, 9] {
+            let err = lut.try_macs_per_cycle(4, w).unwrap_err();
+            assert_eq!(
+                err,
+                CostError {
+                    a_bits: 4,
+                    w_bits: w
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn both_widths_unsupported_reports_the_pair() {
+        let lut = CostLut::mpic();
+        let err = lut.try_macs_per_cycle(7, 0).unwrap_err();
+        assert_eq!(
+            err,
+            CostError {
+                a_bits: 7,
+                w_bits: 0
+            }
+        );
+        assert!(lut.try_cost_factor(7, 0).is_err());
+    }
+
+    #[test]
+    fn try_variants_agree_with_panicking_lookups_on_valid_widths() {
+        let lut = CostLut::mpic();
+        for (a, w, rate) in lut.entries() {
+            assert_eq!(lut.try_macs_per_cycle(a, w).unwrap(), rate);
+            let spec = PrecisionSpec::try_new(a, w).unwrap();
+            assert_eq!(lut.try_cost_factor(a, w).unwrap(), lut.cost_factor(spec));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no tabulated MAC rate")]
+    fn panicking_lookup_names_the_bad_pair() {
+        CostLut::mpic().macs_per_cycle(3, 2);
     }
 
     #[test]

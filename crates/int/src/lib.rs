@@ -35,12 +35,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod cost;
 pub mod precision;
 pub mod quant;
 
-pub use cost::CostLut;
+pub use cost::{CostError, CostLut};
 pub use precision::{
     NetworkPrecision, PrecisionError, PrecisionSpec, FIRST_LAYER_A_BITS, SUPPORTED_BITS,
 };

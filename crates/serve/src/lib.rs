@@ -48,6 +48,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 mod batcher;
 mod queue;

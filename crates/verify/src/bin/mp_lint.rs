@@ -1,14 +1,18 @@
 //! `mp-lint`: static design-rule checking over the shipped
 //! configurations.
 //!
-//! Runs all three mp-verify passes over the paper topology (anchor
+//! Runs all four mp-verify passes over the paper topology (anchor
 //! folding, naive and partitioned memory), the scaled topologies, the
 //! partially-binarised variant, every folding-sweep design point behind
-//! Figs. 3–4, the quantized `{2,4,8}²` precision corners (threshold
-//! words re-synthesised from the quantized intervals), and the host
-//! model zoo with a DMU attached — then writes
-//! `results/lint_report.json` and exits non-zero if any error-severity
-//! diagnostic was found.
+//! Figs. 3–4, the quantized `{2,4,8}²` precision corners and mixed
+//! (non-uniform) per-layer profiles (chains re-synthesised via
+//! `synthesize_quantized_chain`, exercising the MP04xx pass), and the
+//! host model zoo with a DMU attached — then writes
+//! `results/lint_report.json`.
+//!
+//! Exit codes: `0` clean, `1` any error-severity diagnostic, `2`
+//! warnings only (so CI can gate on errors while still surfacing
+//! warnings-only runs distinctly).
 //!
 //! ```text
 //! cargo run --release -p mp-verify --bin mp_lint [-- --quiet]
@@ -24,9 +28,19 @@ use mp_fpga::device::Device;
 use mp_fpga::folding::FoldingSearch;
 use mp_fpga::memory::MemoryModel;
 use mp_host::zoo::{self, ModelId};
+use mp_int::{NetworkPrecision, PrecisionSpec};
 use mp_tensor::init::TensorRng;
-use mp_verify::interval::{quant_engine_interval, required_threshold_bits};
-use mp_verify::{verify, Report, Severity, VerifyTarget};
+use mp_verify::{synthesize_quantized_chain, verify, Report, Severity, VerifyTarget};
+
+/// Per-target severity counts, for report consumers that only want the
+/// summary (dashboards, CI annotations) without the full diagnostics.
+#[derive(Debug, Serialize)]
+struct TargetSummary {
+    target: String,
+    errors: usize,
+    warnings: usize,
+    infos: usize,
+}
 
 /// The whole lint run, as written to `results/lint_report.json`.
 #[derive(Debug, Serialize)]
@@ -36,6 +50,7 @@ struct LintReport {
     errors: usize,
     warnings: usize,
     infos: usize,
+    summary: Vec<TargetSummary>,
     reports: Vec<Report>,
 }
 
@@ -114,39 +129,67 @@ fn main() {
     }
 
     // 5. Quantized configurations: every uniform (a_bits, w_bits)
-    //    corner of the {2,4,8}² sweep over the paper topology, with the
-    //    threshold words re-synthesised from the quantized accumulator
-    //    intervals (`required_threshold_bits`). The declared precision
-    //    must match the chain (MP0211) and every widened word must fit
-    //    its interval (MP0210); budgets are exploratory since the wider
-    //    memories target the larger device.
+    //    corner of the {2,4,8}² sweep over the paper topology, the
+    //    chain re-synthesised for the declared widths
+    //    (`synthesize_quantized_chain` widens both the lanes and the
+    //    threshold words, so the mixed pass's MP0401 chain check and
+    //    the interval pass's MP0210 word proofs both see the
+    //    configuration the precision actually needs); budgets are
+    //    exploratory since the wider memories target the larger device.
     for a in [2usize, 4, 8] {
         for w in [2usize, 4, 8] {
             let precision =
-                mp_int::NetworkPrecision::uniform(engines.len(), a, w).expect("supported widths");
+                NetworkPrecision::uniform(engines.len(), a, w).expect("supported widths");
             let mut target = VerifyTarget::from_topology(
                 format!("paper-quantized-a{a}w{w}"),
                 &paper,
                 Device::zu3eg(),
             )
             .exploratory();
-            let last = target.engines.len() - 1;
-            for (i, (engine, &spec)) in target
-                .engines
-                .iter_mut()
-                .zip(precision.layers())
-                .enumerate()
-            {
-                if i == last || engine.threshold_bits == 0 {
-                    continue;
-                }
-                let acc = quant_engine_interval(engine, spec, i == 0)
-                    .expect("paper fan-ins cannot overflow i64");
-                engine.threshold_bits = required_threshold_bits(acc)
-                    .expect("paper intervals fit 62-bit words")
-                    .max(engine.threshold_bits);
-            }
+            target.engines = synthesize_quantized_chain(&target.engines, &precision);
             target.precision = Some(precision);
+            let folding = FoldingSearch::new(&target.engines).balanced(232_558);
+            target.folding = Some(folding);
+            target.memory = MemoryModel::partitioned();
+            reports.push(verify(&target));
+        }
+    }
+
+    // 5b. Mixed (non-uniform) per-layer precisions: the tapered and
+    //     activation-only profiles the autotuner explores, exercising
+    //     the MP04xx mixed pass (chain compatibility, quantized
+    //     accumulator proofs, bit-plane-scaled budgets) end to end.
+    {
+        let n = engines.len();
+        let taper: Vec<PrecisionSpec> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    PrecisionSpec::try_new(8, 8)
+                } else if i <= n / 2 {
+                    PrecisionSpec::try_new(4, 4)
+                } else {
+                    PrecisionSpec::try_new(2, 2)
+                }
+                .expect("supported widths")
+            })
+            .collect();
+        let act_only: Vec<PrecisionSpec> = (0..n)
+            .map(|i| {
+                PrecisionSpec::try_new(if i == 0 { 8 } else { 4 }, 1).expect("supported widths")
+            })
+            .collect();
+        for (name, layers) in [
+            ("paper-mixed-taper-842", taper),
+            ("paper-mixed-a4w1", act_only),
+        ] {
+            let precision = NetworkPrecision::try_new(layers).expect("valid mixed profile");
+            let mut target =
+                VerifyTarget::from_topology(name, &paper, Device::zu3eg()).exploratory();
+            target.engines = synthesize_quantized_chain(&target.engines, &precision);
+            target.precision = Some(precision);
+            let folding = FoldingSearch::new(&target.engines).balanced(232_558);
+            target.folding = Some(folding);
+            target.memory = MemoryModel::partitioned();
             reports.push(verify(&target));
         }
     }
@@ -180,9 +223,18 @@ fn main() {
         }
     }
 
-    let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
-    let warnings: usize = reports.iter().map(|r| r.count(Severity::Warning)).sum();
-    let infos: usize = reports.iter().map(|r| r.count(Severity::Info)).sum();
+    let summary: Vec<TargetSummary> = reports
+        .iter()
+        .map(|r| TargetSummary {
+            target: r.target.clone(),
+            errors: r.count(Severity::Error),
+            warnings: r.count(Severity::Warning),
+            infos: r.count(Severity::Info),
+        })
+        .collect();
+    let errors: usize = summary.iter().map(|s| s.errors).sum();
+    let warnings: usize = summary.iter().map(|s| s.warnings).sum();
+    let infos: usize = summary.iter().map(|s| s.infos).sum();
 
     if !quiet {
         for r in &reports {
@@ -204,6 +256,7 @@ fn main() {
         errors,
         warnings,
         infos,
+        summary,
         reports,
     };
     let path = results_path();
@@ -223,5 +276,8 @@ fn main() {
 
     if errors > 0 {
         std::process::exit(1);
+    }
+    if warnings > 0 {
+        std::process::exit(2);
     }
 }

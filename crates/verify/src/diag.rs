@@ -10,6 +10,7 @@
 //! | `MP01xx` | dataflow / shape checking |
 //! | `MP02xx` | interval abstract interpretation |
 //! | `MP03xx` | folding & resource legality |
+//! | `MP04xx` | mixed-precision chain & budget legality |
 
 use std::fmt;
 
@@ -87,6 +88,24 @@ pub mod codes {
     pub const BOTTLENECK_IMBALANCE: &str = "MP0308";
     /// Resource use within budget but above 90 % of the device.
     pub const NEAR_BUDGET: &str = "MP0309";
+
+    /// Inner engine's lanes are narrower than the activation width the
+    /// declared precision streams through them: the chain cannot carry
+    /// the declared `a_bits` across this engine boundary.
+    pub const MIXED_CHAIN: &str = "MP0401";
+    /// Quantized accumulator interval escapes the i32 fast path: the
+    /// `(2^a−1)·(2^w−1)`-scaled analogue of [`ACC_OVERFLOW`], which the
+    /// binary-interval check cannot see.
+    pub const QUANT_ACC_OVERFLOW: &str = "MP0402";
+    /// Quantized BRAM-18K demand (weight bit-planes + threshold
+    /// ladders) exceeds the device budget.
+    pub const QUANT_BRAM_BUDGET: &str = "MP0403";
+    /// Quantized LUT demand (multi-bit lanes + ladder muxing) exceeds
+    /// the device budget.
+    pub const QUANT_LUT_BUDGET: &str = "MP0404";
+    /// Engine lanes are wider than the declared activation width:
+    /// legal, but the extra bits are dead area (over-provisioned chain).
+    pub const MIXED_OVERWIDE: &str = "MP0405";
 }
 
 /// How bad a diagnostic is.
@@ -121,7 +140,8 @@ pub struct Diagnostic {
     pub code: String,
     /// Severity level.
     pub severity: Severity,
-    /// The pass that produced it: `dataflow`, `interval` or `resource`.
+    /// The pass that produced it: `dataflow`, `interval`, `resource`
+    /// or `mixed`.
     pub pass: String,
     /// Where in the configuration: `"engine 3 (3x3-conv-128)"`,
     /// `"host layer 2 (conv5x5-32)"`, `"device"`, …

@@ -181,7 +181,7 @@ pub fn required_threshold_bits(acc: Interval) -> Option<usize> {
 }
 
 /// Signed range of a `bits`-wide threshold word.
-fn threshold_word_range(bits: usize) -> Interval {
+pub(crate) fn threshold_word_range(bits: usize) -> Interval {
     let bits = bits.clamp(1, 62) as u32;
     Interval {
         lo: -(1i64 << (bits - 1)),

@@ -21,10 +21,20 @@
 //!    P·S, range, divisor), cycle-model consistency against an
 //!    independent transliteration of eqs. (3)–(4), BRAM-18K/LUT budgets
 //!    vs the [`Device`], and bottleneck-imbalance lints.
+//! 4. **mixed** ([`mixed`]) — mixed-precision chain legality: per-layer
+//!    `(a_bits, w_bits)` compatibility across engine boundaries,
+//!    quantized i32 fast-path proofs, and BRAM/LUT budgets scaled by
+//!    weight bit-planes and threshold ladders (MP04xx).
 //!
 //! The `mp_lint` binary runs all passes over the shipped configurations
 //! and writes `results/lint_report.json`; CI gates on error-severity
 //! diagnostics.
+//!
+//! For search workloads, [`oracle::Oracle`] wraps the same passes as an
+//! in-memory feasibility API: precomputed structural verdicts, interval
+//! proofs as table lookups, memoised budget accounting, and early exit
+//! — `Oracle::check(&Candidate)` reaches the exact error verdict of
+//! [`verify`] at a fraction of the cost.
 //!
 //! # Example
 //!
@@ -45,14 +55,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod dataflow;
 pub mod diag;
 pub mod interval;
+pub mod mixed;
+pub mod oracle;
 pub mod resource;
 
 pub use diag::{codes, Diagnostic, Report, Severity};
 pub use interval::Interval;
+pub use mixed::synthesize_quantized_chain;
+pub use oracle::{Block, Candidate, CandidateCost, Feasibility, Oracle, OracleStats, Stage};
 
 use mp_bnn::{EngineSpec, FinnTopology, HardwareBnn};
 use mp_core::dmu::Dmu;
@@ -197,12 +212,13 @@ impl<'a> VerifyTarget<'a> {
     }
 }
 
-/// Runs all three passes over `target` and returns the report.
+/// Runs all four passes over `target` and returns the report.
 pub fn verify(target: &VerifyTarget) -> Report {
     let mut report = Report::new(target.name.clone());
     dataflow::check(target, &mut report);
     interval::check(target, &mut report);
     resource::check(target, &mut report);
+    mixed::check(target, &mut report);
     report
 }
 

@@ -1,0 +1,475 @@
+//! Pass 4: mixed-precision chain and budget legality (MP04xx).
+//!
+//! The MP02xx quantized checks (MP0209–MP0211) prove *per-engine*
+//! accumulator and threshold widths at the declared
+//! [`NetworkPrecision`]. This pass proves the properties that only
+//! exist *between* engines and *under a folding* once the precision is
+//! non-uniform:
+//!
+//! - **chain compatibility** (MP0401/MP0405): engine `i` consumes the
+//!   activations engine `i−1` produces, so its lanes must be at least
+//!   `a_bits[i]` wide. Narrower lanes cannot stream the declared
+//!   activations at all (error); wider lanes are dead area (warning).
+//! - **i32 fast-path proof** (MP0402): the quantized accumulator is
+//!   bounded by `fan_in·(2^a−1)·(2^w−1)`, which can escape the i32
+//!   fast path even when the binary bound `fan_in·2^(b−1)` does not.
+//! - **quantized budgets** (MP0403/MP0404): a `w`-bit engine stores
+//!   `w` bit-planes of its weight matrix, and re-quantising to `a'`
+//!   output levels needs a ladder of `2^{a'}−1` thresholds per channel,
+//!   so BRAM/LUT demand scales with the precision, not just the
+//!   folding. Budgets follow the target's `require_fit` flag like the
+//!   base MP0306/MP0307 checks.
+//!
+//! [`synthesize_quantized_chain`] is the constructive counterpart: it
+//! widens a 1-bit engine chain's lane and threshold words to the
+//! declared precision so a quantized configuration can be *made* legal
+//! rather than merely rejected. `mp_lint` and the `mp-autotune` search
+//! both build their quantized candidates through it.
+
+use mp_bnn::{EngineKind, EngineSpec};
+use mp_fpga::datapath::DatapathModel;
+use mp_fpga::folding::EngineFolding;
+use mp_fpga::memory::{allocate_array, best_partition, ArrayAlloc, EngineMemory, MemoryModel};
+use mp_int::{NetworkPrecision, PrecisionSpec};
+
+use crate::diag::{codes, Report, Severity};
+use crate::interval::{quant_engine_interval, required_threshold_bits};
+use crate::{engine_site, VerifyTarget};
+
+const PASS: &str = "mixed";
+
+/// Threshold-ladder length for a consumer at `a_bits`: re-quantising an
+/// accumulator to `2^a` levels takes `2^a − 1` thresholds per output
+/// channel (one at `a = 1`, the plain binarisation).
+pub fn ladder_levels(a_bits: usize) -> u64 {
+    (1u64 << a_bits.clamp(1, 32)) - 1
+}
+
+/// Whether `precision` is the pure 1-bit corner (binary weights
+/// everywhere, binary inner activations). At the corner the quantized
+/// accounting collapses to the base 1-bit accounting, so the MP04xx
+/// budget checks defer to MP0306/MP0307 instead of double-reporting.
+pub fn is_one_bit_corner(precision: &NetworkPrecision) -> bool {
+    precision
+        .layers()
+        .iter()
+        .enumerate()
+        .all(|(i, spec)| spec.w_bits() == 1 && (i == 0 || spec.a_bits() == 1))
+}
+
+/// Widens a (typically 1-bit) engine chain to carry `precision`: every
+/// engine's lanes grow to the declared `a_bits` and every threshold
+/// word to the width the *quantized* accumulator interval requires
+/// (never narrower than it already was). The result is the chain a
+/// legal quantized configuration actually ships, and the chain
+/// [`Oracle`](crate::oracle::Oracle) prices.
+///
+/// Engines whose interval has no representable width keep their word
+/// and fail MP0210 downstream; a precision whose layer count does not
+/// match returns the chain unchanged and fails MP0211 downstream —
+/// this function never hides an error, it only removes the
+/// representable ones.
+pub fn synthesize_quantized_chain(
+    engines: &[EngineSpec],
+    precision: &NetworkPrecision,
+) -> Vec<EngineSpec> {
+    let mut out = engines.to_vec();
+    if precision.len() != engines.len() {
+        return out;
+    }
+    for (i, (engine, &spec)) in out.iter_mut().zip(precision.layers()).enumerate() {
+        engine.input_bits = spec.a_bits();
+        if engine.threshold_bits > 0 {
+            if let Ok(acc) = quant_engine_interval(engine, spec, i == 0) {
+                // No representable width (None) clamps to the widest
+                // supported word; MP0210 still fires on it.
+                let required = required_threshold_bits(acc).unwrap_or(62);
+                engine.threshold_bits = required.max(engine.threshold_bits);
+            }
+        }
+    }
+    out
+}
+
+/// One engine's memory under `folding` at quantized widths: `w_bits`
+/// bit-planes of the weight matrix packed into the `P` weight files,
+/// a threshold ladder of `out_levels` words per output channel, and
+/// stream buffers at the declared activation width. At the 1-bit
+/// corner (`w_bits = 1`, `out_levels = 1`, `a_bits` = the engine's
+/// input width) this reproduces
+/// [`MemoryModel::allocate_engine`] exactly.
+///
+/// # Panics
+///
+/// Panics on degenerate foldings (`p` or `s` zero) or zero-width
+/// arrays, like the base model; callers gate those on MP0301/MP0109.
+pub fn quantized_engine_memory(
+    memory: &MemoryModel,
+    spec: &EngineSpec,
+    folding: EngineFolding,
+    layer: PrecisionSpec,
+    out_levels: u64,
+) -> EngineMemory {
+    let p = folding.p as u64;
+    let s = folding.s as u64;
+    let plane_bits = spec
+        .total_weight_bits()
+        .checked_mul(layer.w_bits() as u64)
+        .expect("weight plane bits overflow u64");
+    let weight_file_depth = plane_bits.div_ceil(p * s);
+    let weights = scale_alloc(parameter_array(memory, weight_file_depth, s), p);
+
+    let thresholds = if spec.threshold_bits > 0 {
+        let depth = (spec.out_channels as u64).div_ceil(p) * out_levels;
+        scale_alloc(
+            parameter_array(memory, depth, spec.threshold_bits as u64),
+            p,
+        )
+    } else {
+        ArrayAlloc::default()
+    };
+
+    let a_bits = layer.a_bits() as u64;
+    let buffers = match spec.kind {
+        EngineKind::Conv => {
+            let depth = (spec.kernel * spec.in_width) as u64;
+            let width = spec.in_channels as u64 * a_bits;
+            allocate_array(depth, width, 1)
+        }
+        EngineKind::Fc => allocate_array(2, spec.in_channels as u64 * a_bits, 1),
+    };
+
+    EngineMemory {
+        weights,
+        thresholds,
+        buffers,
+    }
+}
+
+/// One engine's total `(BRAM-18K, LUT)` demand at quantized widths:
+/// [`quantized_engine_memory`] plus the datapath at `a_bits`-wide
+/// lanes. Shared verbatim between this pass, the oracle's memoised
+/// budget stage, and the autotuner's bound function, so all three
+/// price a candidate identically.
+pub fn quantized_engine_demand(
+    memory: &MemoryModel,
+    spec: &EngineSpec,
+    folding: EngineFolding,
+    layer: PrecisionSpec,
+    out_levels: u64,
+) -> (u64, u64) {
+    let mem = quantized_engine_memory(memory, spec, folding, layer, out_levels);
+    let mut lanes = spec.clone();
+    lanes.input_bits = layer.a_bits();
+    let datapath = DatapathModel::default().engine_luts(&lanes, folding);
+    (mem.bram_18k(), mem.luts() + datapath)
+}
+
+/// Whole-network quantized `(BRAM-18K, LUT)` demand, including the
+/// datapath infrastructure. Engine `i`'s ladder length comes from the
+/// *next* layer's activation width (the producer re-quantises for its
+/// consumer); the last engine feeds raw scores to the DMU.
+///
+/// # Panics
+///
+/// Panics if the lists disagree in length or a folding is degenerate.
+pub fn quantized_network_demand(
+    memory: &MemoryModel,
+    engines: &[EngineSpec],
+    foldings: &[EngineFolding],
+    precision: &NetworkPrecision,
+) -> (u64, u64) {
+    assert_eq!(engines.len(), foldings.len(), "engine count mismatch");
+    assert_eq!(engines.len(), precision.len(), "precision count mismatch");
+    let specs = precision.layers();
+    let mut bram = 0u64;
+    let mut luts = DatapathModel::default().infra_luts;
+    for (i, (spec, &f)) in engines.iter().zip(foldings).enumerate() {
+        let out_levels = specs
+            .get(i + 1)
+            .map_or(1, |next| ladder_levels(next.a_bits()));
+        let (b, l) = quantized_engine_demand(memory, spec, f, specs[i], out_levels);
+        bram += b;
+        luts += l;
+    }
+    (bram, luts)
+}
+
+fn parameter_array(memory: &MemoryModel, depth: u64, width: u64) -> ArrayAlloc {
+    let blocks = if memory.partitioned {
+        best_partition(depth, width)
+    } else {
+        1
+    };
+    allocate_array(depth, width, blocks)
+}
+
+fn scale_alloc(one: ArrayAlloc, count: u64) -> ArrayAlloc {
+    ArrayAlloc {
+        bram_18k: one.bram_18k * count,
+        luts: one.luts * count,
+        stored_bits: one.stored_bits * count,
+    }
+}
+
+pub(crate) fn check(target: &VerifyTarget, report: &mut Report) {
+    let Some(precision) = &target.precision else {
+        return;
+    };
+    // Empty chains and count mismatches are MP0208/MP0211 territory.
+    if target.engines.is_empty() || precision.len() != target.engines.len() {
+        return;
+    }
+    let specs = precision.layers();
+
+    // Chain compatibility across inner boundaries. The first engine's
+    // pixel width is MP0211's check; every later engine must have lanes
+    // at least as wide as the activations its producer emits.
+    for (i, spec) in specs.iter().enumerate().skip(1) {
+        let engine = &target.engines[i];
+        let a = spec.a_bits();
+        if engine.input_bits < a {
+            report.push(
+                codes::MIXED_CHAIN,
+                Severity::Error,
+                PASS,
+                engine_site(i, engine),
+                format!(
+                    "engine lanes are {} bit(s) wide but the declared precision \
+                     streams {a}-bit activations through them; the chain cannot \
+                     carry {spec} across this boundary",
+                    engine.input_bits
+                ),
+            );
+        } else if engine.input_bits > a {
+            report.push(
+                codes::MIXED_OVERWIDE,
+                Severity::Warning,
+                PASS,
+                engine_site(i, engine),
+                format!(
+                    "engine lanes are {} bit(s) wide for {a}-bit activations: \
+                     the extra lane bits are dead area",
+                    engine.input_bits
+                ),
+            );
+        }
+    }
+
+    // i32 fast-path proof at the quantized magnitudes. The 1-bit corner
+    // reproduces the binary interval, which MP0201 already covers.
+    for (i, (engine, &spec)) in target.engines.iter().zip(specs).enumerate() {
+        if spec.w_bits() == 1 && (i == 0 || spec.a_bits() == 1) {
+            continue;
+        }
+        // An unrepresentable interval is MP0209, reported by the
+        // interval pass; nothing further is provable here.
+        if let Ok(acc) = quant_engine_interval(engine, spec, i == 0) {
+            if acc.magnitude().saturating_mul(2) > i64::from(i32::MAX) {
+                report.push(
+                    codes::QUANT_ACC_OVERFLOW,
+                    Severity::Error,
+                    PASS,
+                    engine_site(i, engine),
+                    format!(
+                        "at {spec} the quantized accumulator reaches [{}, {}], \
+                         escaping the i32 fast path (|acc|*2 > i32::MAX) even \
+                         though the binary bound fits",
+                        acc.lo, acc.hi
+                    ),
+                );
+            }
+        }
+    }
+
+    // Quantized budgets need a complete, non-degenerate folding
+    // (MP0304/MP0301 gate the rest), and defer to MP0306/MP0307 at the
+    // 1-bit corner where both accountings coincide.
+    let Some(folding) = &target.folding else {
+        return;
+    };
+    if folding.engines().len() != target.engines.len() {
+        return;
+    }
+    if folding.engines().iter().any(|f| f.p == 0 || f.s == 0) {
+        return;
+    }
+    if is_one_bit_corner(precision) {
+        return;
+    }
+    let (bram, luts) = quantized_network_demand(
+        &target.memory,
+        &target.engines,
+        folding.engines(),
+        precision,
+    );
+    let over_severity = if target.require_fit {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    let device = &target.device;
+    for (code, what, used, budget) in [
+        (codes::QUANT_BRAM_BUDGET, "BRAM-18K", bram, device.bram_18k),
+        (codes::QUANT_LUT_BUDGET, "LUT", luts, device.luts),
+    ] {
+        if used > budget {
+            report.push(
+                code,
+                over_severity,
+                PASS,
+                "device",
+                format!(
+                    "quantized {what} demand {used} (weight bit-planes + \
+                     threshold ladders at {precision}) exceeds the device \
+                     budget {budget} ({:.1} %)",
+                    100.0 * used as f64 / budget as f64
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use mp_bnn::FinnTopology;
+    use mp_fpga::device::Device;
+    use mp_fpga::folding::FoldingSearch;
+
+    fn paper_precision(a: usize, w: usize) -> NetworkPrecision {
+        let n = FinnTopology::paper().engines().len();
+        NetworkPrecision::uniform(n, a, w).unwrap()
+    }
+
+    #[test]
+    fn one_bit_chain_synthesis_is_identity_plus_threshold_floor() {
+        let engines = FinnTopology::paper().engines();
+        let n = engines.len();
+        let synth = synthesize_quantized_chain(&engines, &NetworkPrecision::one_bit(n).unwrap());
+        for (base, s) in engines.iter().zip(&synth) {
+            assert_eq!(base.input_bits, s.input_bits);
+            // Shipped words already cover the binary intervals.
+            assert_eq!(base.threshold_bits, s.threshold_bits);
+        }
+    }
+
+    #[test]
+    fn synthesized_quantized_chain_verifies_clean() {
+        let topo = FinnTopology::paper();
+        let engines = topo.engines();
+        for (a, w) in [(2usize, 2usize), (4, 4), (8, 8), (2, 8), (8, 2)] {
+            let precision = paper_precision(a, w);
+            let folding = FoldingSearch::new(&engines).balanced(232_558);
+            let mut t =
+                VerifyTarget::from_topology(format!("synth-a{a}w{w}"), &topo, Device::zu3eg())
+                    .exploratory();
+            t.engines = synthesize_quantized_chain(&engines, &precision);
+            t.folding = Some(folding);
+            t.precision = Some(precision);
+            let report = verify(&t);
+            assert!(!report.has_errors(), "{}", report.render_human());
+        }
+    }
+
+    #[test]
+    fn ladder_lengths_match_level_counts() {
+        assert_eq!(ladder_levels(1), 1);
+        assert_eq!(ladder_levels(2), 3);
+        assert_eq!(ladder_levels(4), 15);
+        assert_eq!(ladder_levels(8), 255);
+    }
+
+    #[test]
+    fn one_bit_corner_detection() {
+        let n = 4;
+        assert!(is_one_bit_corner(&NetworkPrecision::one_bit(n).unwrap()));
+        assert!(!is_one_bit_corner(
+            &NetworkPrecision::uniform(n, 1, 2).unwrap()
+        ));
+        assert!(!is_one_bit_corner(
+            &NetworkPrecision::uniform(n, 2, 1).unwrap()
+        ));
+    }
+
+    #[test]
+    fn quantized_memory_reproduces_base_model_at_one_bit() {
+        let engines = FinnTopology::paper().engines();
+        let one = PrecisionSpec::try_new(1, 1).unwrap();
+        for memory in [MemoryModel::naive(), MemoryModel::partitioned()] {
+            for spec in engines.iter().skip(1) {
+                let f = EngineFolding::new(4, 8);
+                let base = memory.allocate_engine(spec, f);
+                let quant = quantized_engine_memory(&memory, spec, f, one, 1);
+                assert_eq!(base, quant, "{}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_planes_scale_with_weight_width() {
+        let engines = FinnTopology::paper().engines();
+        let f = EngineFolding::new(8, 16);
+        let memory = MemoryModel::naive();
+        let w1 = quantized_engine_memory(
+            &memory,
+            &engines[1],
+            f,
+            PrecisionSpec::try_new(1, 1).unwrap(),
+            1,
+        );
+        let w8 = quantized_engine_memory(
+            &memory,
+            &engines[1],
+            f,
+            PrecisionSpec::try_new(1, 8).unwrap(),
+            1,
+        );
+        assert_eq!(w8.weights.stored_bits, 8 * w1.weights.stored_bits);
+        assert!(w8.weights.bram_18k >= w1.weights.bram_18k);
+    }
+
+    #[test]
+    fn threshold_ladders_scale_with_consumer_levels() {
+        let engines = FinnTopology::paper().engines();
+        let f = EngineFolding::new(8, 16);
+        let memory = MemoryModel::naive();
+        let spec = PrecisionSpec::try_new(1, 1).unwrap();
+        let one = quantized_engine_memory(&memory, &engines[1], f, spec, 1);
+        let ladder = quantized_engine_memory(&memory, &engines[1], f, spec, 255);
+        assert_eq!(
+            ladder.thresholds.stored_bits,
+            255 * one.thresholds.stored_bits
+        );
+    }
+
+    #[test]
+    fn quantized_budget_overflow_warns_when_exploratory() {
+        // 8×8 everywhere on the small device: weight planes alone blow
+        // the zc702 budget; exploratory targets downgrade to warnings.
+        let topo = FinnTopology::paper();
+        let engines = topo.engines();
+        let precision = paper_precision(8, 8);
+        let folding = FoldingSearch::new(&engines).balanced(232_558);
+        let mut t = VerifyTarget::from_topology("quant-8x8", &topo, Device::zc702()).exploratory();
+        t.engines = synthesize_quantized_chain(&engines, &precision);
+        t.folding = Some(folding.clone());
+        t.precision = Some(precision.clone());
+        let report = verify(&t);
+        assert!(
+            report.has_code(codes::QUANT_BRAM_BUDGET),
+            "{}",
+            report.render_human()
+        );
+        assert!(!report.has_errors(), "{}", report.render_human());
+
+        // The same target with require_fit errors out.
+        let mut strict = VerifyTarget::from_topology("quant-8x8", &topo, Device::zc702());
+        strict.engines = t.engines.clone();
+        strict.folding = Some(folding);
+        strict.precision = Some(precision);
+        let report = verify(&strict);
+        assert!(report.has_errors());
+    }
+}

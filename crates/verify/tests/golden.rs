@@ -227,3 +227,120 @@ fn golden_report_serializes_codes() {
     );
     assert!(json.contains("\"target\""));
 }
+
+/// A declared multi-bit precision over the unmodified 1-bit chain: the
+/// inner engines' lanes are too narrow for the activations → MP0401.
+#[test]
+fn golden_unsynthesized_quantized_chain_is_mp0401() {
+    let topo = FinnTopology::paper();
+    let n = topo.engines().len();
+    let mut target =
+        VerifyTarget::from_topology("narrow-lanes", &topo, Device::zu3eg()).exploratory();
+    target.precision = Some(mp_int::NetworkPrecision::uniform(n, 4, 4).expect("widths"));
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::MIXED_CHAIN),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// A quantized accumulator interval that escapes the i32 fast path
+/// (huge fan-in × (2^8−1)² levels) → MP0402.
+#[test]
+fn golden_quantized_i32_overflow_is_mp0402() {
+    let topo = FinnTopology::paper();
+    let n = topo.engines().len();
+    let precision = mp_int::NetworkPrecision::uniform(n, 8, 8).expect("widths");
+    let mut target =
+        VerifyTarget::from_topology("quant-overflow", &topo, Device::zu3eg()).exploratory();
+    target.engines = mp_verify::synthesize_quantized_chain(&target.engines, &precision);
+    // fan_in = 9 · 4096 = 36 864; 36 864 · 255² ≈ 2.4e9 — the doubled
+    // magnitude escapes i32 (the binary interval, ±fan_in·2^7, does
+    // not, so only the quantized proof can catch this).
+    target.engines[2].in_channels = 4096;
+    target.precision = Some(precision);
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::QUANT_ACC_OVERFLOW),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// 8-bit weight planes blow the small device's BRAM budget on a strict
+/// target → MP0403 at error severity, quoting the far larger
+/// bit-plane-scaled demand (the base accounting of the widened chain
+/// may overflow too — MP0306 — but MP0403 prices the planes).
+#[test]
+fn golden_quantized_bram_budget_is_mp0403() {
+    let topo = FinnTopology::paper();
+    let n = topo.engines().len();
+    let precision = mp_int::NetworkPrecision::uniform(n, 8, 8).expect("widths");
+    let mut device = Device::zc702();
+    device.luts = 100_000_000; // isolate the BRAM axis
+    let mut target = VerifyTarget::from_topology("quant-bram", &topo, device);
+    target.engines = mp_verify::synthesize_quantized_chain(&target.engines, &precision);
+    let folding = FoldingSearch::new(&target.engines).balanced(232_558);
+    target.folding = Some(folding);
+    target.memory = MemoryModel::partitioned();
+    target.precision = Some(precision);
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::QUANT_BRAM_BUDGET),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// 8-bit datapath lanes blow the LUT budget once BRAM is taken out of
+/// the picture → MP0404.
+#[test]
+fn golden_quantized_lut_budget_is_mp0404() {
+    let topo = FinnTopology::paper();
+    let n = topo.engines().len();
+    let precision = mp_int::NetworkPrecision::uniform(n, 8, 8).expect("widths");
+    let mut device = Device::zc702();
+    device.bram_18k = 100_000_000; // isolate the LUT axis
+    let mut target = VerifyTarget::from_topology("quant-luts", &topo, device);
+    target.engines = mp_verify::synthesize_quantized_chain(&target.engines, &precision);
+    let folding = FoldingSearch::new(&target.engines).balanced(100_000);
+    target.folding = Some(folding);
+    target.memory = MemoryModel::partitioned();
+    target.precision = Some(precision);
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::QUANT_LUT_BUDGET),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// Lanes wider than the declared activations (an 8-bit chain declared
+/// to run 2-bit) are legal but wasteful → MP0405 at warning severity.
+#[test]
+fn golden_overwide_lanes_are_mp0405_warning() {
+    let topo = FinnTopology::paper();
+    let n = topo.engines().len();
+    let wide = mp_int::NetworkPrecision::uniform(n, 8, 8).expect("widths");
+    let narrow = mp_int::NetworkPrecision::uniform(n, 2, 2).expect("widths");
+    let mut target =
+        VerifyTarget::from_topology("overwide-lanes", &topo, Device::zu3eg()).exploratory();
+    target.engines = mp_verify::synthesize_quantized_chain(&target.engines, &wide);
+    target.precision = Some(narrow);
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::MIXED_OVERWIDE),
+        "{}",
+        report.render_human()
+    );
+    assert!(
+        !report.has_errors(),
+        "over-provisioning is a lint, not an error:\n{}",
+        report.render_human()
+    );
+}

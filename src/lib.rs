@@ -22,7 +22,8 @@
 //! | [`int`] | `mp-int` | multi-precision integer path: 2/4/8-bit quantized inference + MPIC cost LUT |
 //! | [`core`] | `mp-core` | DMU, multi-precision pipeline, experiments |
 //! | [`obs`] | `mp-obs` | zero-dependency tracing/metrics recorder + JSON report |
-//! | [`verify`] | `mp-verify` | static design-rule checker + abstract interpretation (`mp-lint`) |
+//! | [`verify`] | `mp-verify` | static design-rule checker + abstract interpretation (`mp-lint`), feasibility oracle |
+//! | [`autotune`] | `mp-autotune` | folding × precision design-space autotuner over the feasibility oracle |
 //! | [`serve`] | `mp-serve` | request-level serving: admission queue, dynamic batcher, latency accounting |
 //! | [`fleet`] | `mp-fleet` | fault-tolerant multi-replica serving: health-aware routing, circuit breakers, hedged retries, replica failure/recovery |
 //!
@@ -57,7 +58,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
+pub use mp_autotune as autotune;
 pub use mp_bnn as bnn;
 pub use mp_core as core;
 pub use mp_dataset as dataset;

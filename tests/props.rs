@@ -17,7 +17,8 @@ use multiprec::core::{MultiPrecisionPipeline, PipelineTiming, RunOptions};
 use multiprec::dataset::{Dataset, SynthSpec};
 use multiprec::fleet::{FleetConfig, FleetSim, PredictionCache, ReplicaSpec, RoutingPolicy};
 use multiprec::fpga::cycle_model::{divisors, engine_cycles};
-use multiprec::fpga::folding::FoldingSearch;
+use multiprec::fpga::device::Device;
+use multiprec::fpga::folding::{EngineFolding, Folding, FoldingSearch};
 use multiprec::fpga::memory::{allocate_array, best_partition};
 use multiprec::fpga::stream_sim::StreamSim;
 use multiprec::int::{NetworkPrecision, QuantBnn};
@@ -28,6 +29,7 @@ use multiprec::serve::{BatchServer, BatcherConfig, Request};
 use multiprec::tensor::conv::{col2im, im2col, ConvGeometry};
 use multiprec::tensor::init::TensorRng;
 use multiprec::tensor::{linalg, Parallelism, Shape, Tensor};
+use multiprec::verify::{verify, Candidate, Oracle, VerifyTarget};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -819,5 +821,66 @@ proptest! {
         prop_assert_eq!(quant.scores_scale(), 1.0);
         prop_assert_eq!(fast.shape(), q.shape());
         prop_assert_eq!(fast.as_slice(), q.as_slice());
+    }
+}
+
+/// Shared oracles over the paper topology for the agreement property:
+/// one strict (shipped-design budgets are errors) and one exploratory
+/// (budgets soften to warnings), so both severity policies are covered.
+fn paper_oracles() -> &'static std::sync::Mutex<(Oracle, Oracle)> {
+    static ORACLES: OnceLock<std::sync::Mutex<(Oracle, Oracle)>> = OnceLock::new();
+    ORACLES.get_or_init(|| {
+        let topo = FinnTopology::paper();
+        let strict = VerifyTarget::from_topology("props-strict", &topo, Device::zc702());
+        let exploratory =
+            VerifyTarget::from_topology("props-exploratory", &topo, Device::zu3eg()).exploratory();
+        std::sync::Mutex::new((Oracle::new(&strict), Oracle::new(&exploratory)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fast in-memory feasibility oracle must agree with the full
+    /// batch verifier on the error-severity verdict for *any* candidate:
+    /// `Oracle::check` says Feasible exactly when `verify` over the
+    /// reconstructed target reports zero errors. Candidates are drawn
+    /// adversarially — per-engine `(P, S)` including zeros (degenerate)
+    /// and non-divisors (illegal folds), crossed with no precision, a
+    /// valid uniform profile, the explicit 1-bit profile, and a
+    /// wrong-length profile — under both the strict and the exploratory
+    /// severity policies.
+    #[test]
+    fn oracle_verdict_agrees_with_full_verifier(
+        ps in proptest::collection::vec((0usize..40, 0usize..40), 9),
+        precision_sel in 0usize..4,
+        a_sel in 0usize..3, w_sel in 0usize..3,
+        strict in any::<bool>()
+    ) {
+        let mut guard = paper_oracles().lock().unwrap();
+        let oracle = if strict { &mut guard.0 } else { &mut guard.1 };
+        let n = oracle.engines().len();
+        prop_assert_eq!(n, 9, "paper chain depth changed; widen the ps vector");
+        let folding = Folding::new_unchecked(
+            ps.iter().map(|&(p, s)| EngineFolding { p, s }).collect(),
+        );
+        let (a_bits, w_bits) = ([2usize, 4, 8][a_sel], [2usize, 4, 8][w_sel]);
+        let precision = match precision_sel {
+            0 => None,
+            1 => Some(NetworkPrecision::uniform(n, a_bits, w_bits).unwrap()),
+            2 => Some(NetworkPrecision::one_bit(n).unwrap()),
+            _ => Some(NetworkPrecision::uniform(3, a_bits, w_bits).unwrap()),
+        };
+        let cand = Candidate { folding, precision };
+        let fast = oracle.check(&cand);
+        let report = verify(&oracle.target(&cand));
+        prop_assert_eq!(
+            fast.is_feasible(),
+            !report.has_errors(),
+            "oracle/verifier disagreement (strict={}) on {:?}:\n{}",
+            strict,
+            &cand,
+            report.render_human()
+        );
     }
 }
