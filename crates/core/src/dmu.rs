@@ -273,6 +273,11 @@ impl Dmu {
     /// Applies a confidence `threshold`: images with `p ≥ threshold` are
     /// estimated correct (kept); the rest are flagged for host rerun.
     ///
+    /// The comparison is the shared cascade gate
+    /// ([`crate::cascade::gate_accepts`]), so a NaN confidence — NaN
+    /// logits anywhere upstream — never passes: the image is flagged
+    /// for re-inference, the safe direction.
+    ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] if `scores` is not `[N, classes]`.
@@ -280,7 +285,7 @@ impl Dmu {
         Ok(self
             .predict_batch(scores)?
             .into_iter()
-            .map(|p| p >= threshold)
+            .map(|p| crate::cascade::gate_accepts(p, threshold))
             .collect())
     }
 

@@ -17,9 +17,14 @@
 //!   pseudo-code and a real two-thread implementation where the FPGA
 //!   simulator and the host network run concurrently (Fig. 2);
 //! - [`run`]: the unified [`RunOptions`] builder consumed by
-//!   [`MultiPrecisionPipeline::execute`] — execution mode, threshold and
-//!   parallelism overrides, fault plan, degradation policy, and an
-//!   attachable `mp_obs` recorder for passive instrumentation;
+//!   [`MultiPrecisionPipeline::execute`] — execution mode, cascade
+//!   policy and parallelism overrides, fault plan, degradation policy,
+//!   and an attachable `mp_obs` recorder for passive instrumentation;
+//! - [`cascade`]: the first-class decision API — an N-stage
+//!   [`CascadePolicy`] of increasing-precision classifiers with
+//!   validated confidence gates, subsuming the DMU threshold as its
+//!   canonical 2-stage instance ([`CascadePolicy::dmu`]), plus the
+//!   cost-aware gate tuner ([`cascade::tune_gates`]);
 //! - [`experiment`]: end-to-end orchestration that trains the BNN, the
 //!   host models and the DMU on the synthetic dataset and produces the
 //!   records behind Tables II, IV and V;
@@ -46,6 +51,7 @@
 
 mod error;
 
+pub mod cascade;
 pub mod dmu;
 pub mod experiment;
 pub mod fault;
@@ -54,12 +60,18 @@ pub mod pipeline;
 pub mod run;
 pub mod stats;
 
+pub use cascade::{
+    gate_accepts, CascadePolicy, CascadeShape, CascadeStage, StageClassifier, StageShape,
+};
 pub use dmu::{ConfusionQuadrants, Dmu};
 pub use error::CoreError;
 pub use fault::{
     CircuitBreaker, DegradationPolicy, DegradationStats, FaultEvent, FaultInjector, FaultKind,
     FaultPlan, FleetFaultPlan, ReplicaFault, ReplicaFaultEvent,
 };
-pub use pipeline::{modeled_batch_time, MultiPrecisionPipeline, PipelineResult, PipelineTiming};
+pub use pipeline::{
+    modeled_batch_time, modeled_cascade_time, MultiPrecisionPipeline, PipelineResult,
+    PipelineTiming, StageTraffic,
+};
 pub use run::{Concurrency, Precision, RunOptions};
 pub use stats::nearest_rank_percentile;

@@ -97,6 +97,82 @@ pub fn accuracy_gain(acc_fp: f64, rerun_ratio: f64, rerun_err_ratio: f64) -> f64
     acc_fp * rerun_ratio - rerun_err_ratio
 }
 
+/// Eq. (1) generalised to an N-stage cascade: with every stage's
+/// execution overlapping the others (the ideal dataflow pipeline), the
+/// steady-state interval is set by the busiest stage:
+///
+/// ```text
+/// t_cascade ≈ max_s (t_s · f_s)
+/// ```
+///
+/// where `f_s` is the fraction of images **entering** stage `s`
+/// (`f_0 = 1` by convention — pass the full per-stage enter fractions,
+/// including the leading 1). Reduces to [`interval_per_image`] for the
+/// 2-stage `[t_bnn, t_fp]` / `[1, R_rerun]` instance.
+///
+/// # Panics
+///
+/// Panics on empty or length-mismatched slices, negative times, or
+/// enter fractions outside `[0, 1]`.
+pub fn interval_per_image_n(stage_times: &[f64], enter_fracs: &[f64]) -> f64 {
+    assert!(!stage_times.is_empty(), "cascade must have stages");
+    assert_eq!(
+        stage_times.len(),
+        enter_fracs.len(),
+        "one enter fraction per stage"
+    );
+    stage_times
+        .iter()
+        .zip(enter_fracs)
+        .map(|(&t, &f)| {
+            assert!(t >= 0.0, "times must be non-negative");
+            assert!((0.0..=1.0).contains(&f), "enter fraction must be in [0,1]");
+            t * f
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Eq. (2) generalised to an N-stage cascade. Stage 0 contributes its
+/// standalone accuracy; each upgrade stage `s ≥ 1` contributes the
+/// images it corrects minus the correct-at-stage-0 images that were
+/// escalated and lost:
+///
+/// ```text
+/// Acc ≈ Acc_0 + Σ_{s≥1} (Acc_s · f_s − E_s)
+/// ```
+///
+/// with `f_s` the fraction entering stage `s`, `Acc_s` the stage's
+/// accuracy on its entering subset (use the global stage accuracy for
+/// the eq.(2)-style estimate, the measured subset accuracy for the
+/// exact identity), and `E_s` the fraction of **all** images that
+/// stage `s − 1` would have classified correctly but escalated.
+/// Reduces to [`accuracy_eq2`] / [`accuracy_exact`] at one upgrade.
+///
+/// # Panics
+///
+/// Panics if any accuracy or fraction is outside `[0, 1]`.
+pub fn accuracy_eq2_n(acc_stage0: f64, upgrades: &[(f64, f64, f64)]) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&acc_stage0),
+        "acc_stage0 must be in [0,1], got {acc_stage0}"
+    );
+    let mut acc = acc_stage0;
+    for (i, &(acc_s, enter_frac, err_frac)) in upgrades.iter().enumerate() {
+        for (name, v) in [
+            ("accuracy", acc_s),
+            ("enter fraction", enter_frac),
+            ("escalated-correct fraction", err_frac),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "upgrade {i} {name} must be in [0,1], got {v}"
+            );
+        }
+        acc += acc_s * enter_frac - err_frac;
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +220,51 @@ mod tests {
     fn gain_decomposition() {
         let gain = accuracy_gain(0.65, 0.251, 0.123);
         assert!((accuracy_exact(0.785, 0.65, 0.251, 0.123) - (0.785 + gain)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_n_reduces_to_two_stage_form() {
+        let t_fp = 1.0 / 29.68;
+        let t_bnn = 1.0 / 430.15;
+        for r in [0.0, 0.123, 0.251, 1.0] {
+            let two = interval_per_image(t_fp, t_bnn, r);
+            let n = interval_per_image_n(&[t_bnn, t_fp], &[1.0, r]);
+            assert!((two - n).abs() < 1e-15, "r={r}: {two} vs {n}");
+        }
+    }
+
+    #[test]
+    fn eq1_n_picks_the_busiest_stage() {
+        // Three stages: the middle one dominates at these fractions.
+        let t = interval_per_image_n(&[1.0, 10.0, 100.0], &[1.0, 0.5, 0.01]);
+        assert!((t - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_n_reduces_to_two_stage_form() {
+        let two = accuracy_exact(0.785, 0.65, 0.251, 0.123);
+        let n = accuracy_eq2_n(0.785, &[(0.65, 0.251, 0.123)]);
+        assert!((two - n).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq2_n_accumulates_upgrades() {
+        // Two upgrade stages, each trading escalated-correct mass for
+        // corrected mass.
+        let acc = accuracy_eq2_n(0.70, &[(0.8, 0.3, 0.05), (0.95, 0.1, 0.02)]);
+        assert!((acc - (0.70 + 0.8 * 0.3 - 0.05 + 0.95 * 0.1 - 0.02)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "enter fraction")]
+    fn eq1_n_rejects_bad_fraction() {
+        let _ = interval_per_image_n(&[1.0], &[1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn eq2_n_rejects_bad_upgrade() {
+        let _ = accuracy_eq2_n(0.5, &[(1.2, 0.5, 0.1)]);
     }
 
     #[test]

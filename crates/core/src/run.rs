@@ -36,6 +36,7 @@ use mp_int::QuantBnn;
 use mp_obs::{Recorder, NULL_RECORDER};
 use mp_tensor::Parallelism;
 
+use crate::cascade::CascadePolicy;
 use crate::fault::{DegradationPolicy, FaultPlan};
 use crate::pipeline::PipelineTiming;
 
@@ -108,6 +109,7 @@ impl Precision {
 pub struct RunOptions<'r> {
     timing: PipelineTiming,
     threshold: Option<f32>,
+    cascade: Option<CascadePolicy>,
     parallelism: Option<Parallelism>,
     concurrency: Concurrency,
     precision: Precision,
@@ -122,6 +124,7 @@ impl std::fmt::Debug for RunOptions<'_> {
         f.debug_struct("RunOptions")
             .field("timing", &self.timing)
             .field("threshold", &self.threshold)
+            .field("cascade", &self.cascade)
             .field("parallelism", &self.parallelism)
             .field("concurrency", &self.concurrency)
             .field("precision", &self.precision.label())
@@ -138,6 +141,7 @@ impl Clone for RunOptions<'_> {
         Self {
             timing: self.timing,
             threshold: self.threshold,
+            cascade: self.cascade.clone(),
             parallelism: self.parallelism,
             concurrency: self.concurrency,
             precision: self.precision.clone(),
@@ -160,6 +164,7 @@ impl RunOptions<'static> {
         Self {
             timing,
             threshold: None,
+            cascade: None,
             parallelism: None,
             concurrency: Concurrency::Modeled,
             precision: Precision::OneBit,
@@ -173,9 +178,36 @@ impl RunOptions<'static> {
 
 impl<'r> RunOptions<'r> {
     /// Overrides the pipeline's DMU confidence threshold for this run.
+    ///
+    /// Deprecated: the threshold is the 2-stage special case of the
+    /// cascade API — use
+    /// `with_cascade(CascadePolicy::dmu(threshold))`, which is
+    /// bit-identical. The raw value is still validated by
+    /// [`execute`](crate::pipeline::MultiPrecisionPipeline::execute),
+    /// exactly as before.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use with_cascade(CascadePolicy::dmu(threshold)) — the cascade is the \
+                first-class decision API"
+    )]
     #[must_use]
     pub fn with_threshold(mut self, threshold: f32) -> Self {
         self.threshold = Some(threshold);
+        self
+    }
+
+    /// Installs an N-stage confidence cascade as this run's decision
+    /// policy. The canonical 2-stage instance
+    /// [`CascadePolicy::dmu`]`(t)` reproduces the legacy threshold
+    /// bit-identically (and supports both executors, faults included);
+    /// deeper cascades run under [`Concurrency::Modeled`].
+    ///
+    /// Mutually exclusive with the deprecated `with_threshold` —
+    /// [`execute`](crate::pipeline::MultiPrecisionPipeline::execute)
+    /// rejects options carrying both.
+    #[must_use]
+    pub fn with_cascade(mut self, cascade: CascadePolicy) -> Self {
+        self.cascade = Some(cascade);
         self
     }
 
@@ -245,6 +277,7 @@ impl<'r> RunOptions<'r> {
         RunOptions {
             timing: self.timing,
             threshold: self.threshold,
+            cascade: self.cascade,
             parallelism: self.parallelism,
             concurrency: self.concurrency,
             precision: self.precision,
@@ -263,6 +296,11 @@ impl<'r> RunOptions<'r> {
     /// The per-run threshold override, if any.
     pub fn threshold(&self) -> Option<f32> {
         self.threshold
+    }
+
+    /// The installed cascade policy, if any.
+    pub fn cascade(&self) -> Option<&CascadePolicy> {
+        self.cascade.as_ref()
     }
 
     /// The per-run parallelism override, if any.
@@ -340,18 +378,35 @@ mod tests {
     fn recorder_swap_keeps_settings() {
         let rec = mp_obs::SharedRecorder::new();
         let opts = RunOptions::new(PipelineTiming::new(1e-3, 1e-2, 10))
-            .with_threshold(0.7)
+            .with_cascade(CascadePolicy::dmu(0.7))
             .with_parallelism(Parallelism::new(3))
             .threaded()
             .with_host_accuracy(0.9)
             .with_recorder(&rec);
         assert!(opts.recorder().enabled());
-        assert_eq!(opts.threshold(), Some(0.7));
+        assert_eq!(
+            opts.cascade().and_then(CascadePolicy::dmu_threshold),
+            Some(0.7)
+        );
         assert_eq!(opts.concurrency(), Concurrency::Threaded);
         assert_eq!(opts.host_accuracy(), 0.9);
         let debug = format!("{opts:?}");
         assert!(debug.contains("recorder_enabled: true"));
         let cloned = opts.clone();
-        assert_eq!(cloned.threshold(), Some(0.7));
+        assert_eq!(
+            cloned.cascade().and_then(CascadePolicy::dmu_threshold),
+            Some(0.7)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_threshold_shim_still_stores_raw_value() {
+        // The shim must keep storing the raw f32 so `execute` stays the
+        // single validation point (see
+        // `execute_threshold_override_beats_constructor`).
+        let opts = RunOptions::new(PipelineTiming::new(1e-3, 1e-2, 10)).with_threshold(3.0);
+        assert_eq!(opts.threshold(), Some(3.0));
+        assert!(opts.cascade().is_none());
     }
 }

@@ -33,6 +33,10 @@ pub const SPAN_FLEET_BATCH: &str = "fleet.batch";
 /// `quant.stage<i>.<kind>` where `<kind>` is one of `first_conv`,
 /// `conv`, `fc`, `output`.
 pub const SPAN_QUANT_STAGE_PREFIX: &str = "quant.stage";
+/// Span-name prefix for per-stage cascade timing: `cascade.stage<i>`
+/// (see [`cascade_stage_span`]) — the wall time one cascade stage spent
+/// scoring its entering subset.
+pub const SPAN_CASCADE_STAGE_PREFIX: &str = "cascade.stage";
 
 /// Counter: images classified by the pipeline.
 pub const CTR_IMAGES: &str = "pipeline.images";
@@ -82,6 +86,12 @@ pub const CTR_FLEET_RECOVERIES: &str = "fleet.recoveries";
 /// Counter-name prefix for per-replica accounting:
 /// `fleet.replica<i>.served` / `fleet.replica<i>.redirected`.
 pub const CTR_FLEET_REPLICA_PREFIX: &str = "fleet.replica";
+/// Counter-name prefix for per-stage cascade traffic:
+/// `cascade.stage<i>.entered` / `cascade.stage<i>.accepted` (see
+/// [`cascade_entered_counter`] / [`cascade_accepted_counter`]). Every
+/// pipeline run reports these — the legacy threshold path is the
+/// 2-stage instance.
+pub const CTR_CASCADE_STAGE_PREFIX: &str = "cascade.stage";
 /// Counter: images classified by the quantized integer path.
 pub const CTR_QUANT_IMAGES: &str = "quant.images";
 /// Counter: binary plane-MACs executed by the quantized integer path
@@ -120,6 +130,25 @@ pub const LATENCY_BUCKET_EDGES_S: [f64; 12] = [
 
 /// Bucket edges for count-valued histograms (queue depths etc.).
 pub const COUNT_BUCKET_EDGES: [f64; 9] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// The span name of cascade stage `index`: `cascade.stage<i>`. One
+/// helper shared by the executor, benches and tests so the identifiers
+/// can never drift apart.
+pub fn cascade_stage_span(index: usize) -> String {
+    format!("{SPAN_CASCADE_STAGE_PREFIX}{index}")
+}
+
+/// The entered-traffic counter of cascade stage `index`:
+/// `cascade.stage<i>.entered`.
+pub fn cascade_entered_counter(index: usize) -> String {
+    format!("{CTR_CASCADE_STAGE_PREFIX}{index}.entered")
+}
+
+/// The accepted-traffic counter of cascade stage `index`:
+/// `cascade.stage<i>.accepted`.
+pub fn cascade_accepted_counter(index: usize) -> String {
+    format!("{CTR_CASCADE_STAGE_PREFIX}{index}.accepted")
+}
 
 /// The bucket edges a histogram name maps to: the `_s` suffix marks a
 /// latency in seconds, everything else is a count.
@@ -221,6 +250,21 @@ mod tests {
         assert!(valid_name("bnn.stage0.first_conv"));
         assert!(!valid_name(""));
         assert!(!valid_name("has space"));
+    }
+
+    #[test]
+    fn cascade_helpers_pin_the_naming_scheme() {
+        assert_eq!(cascade_stage_span(0), "cascade.stage0");
+        assert_eq!(cascade_entered_counter(2), "cascade.stage2.entered");
+        assert_eq!(cascade_accepted_counter(2), "cascade.stage2.accepted");
+        for name in [
+            cascade_stage_span(3),
+            cascade_entered_counter(3),
+            cascade_accepted_counter(3),
+        ] {
+            assert!(valid_name(&name), "{name}");
+            assert!(name.starts_with(SPAN_CASCADE_STAGE_PREFIX));
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | `MP02xx` | interval abstract interpretation |
 //! | `MP03xx` | folding & resource legality |
 //! | `MP04xx` | mixed-precision chain & budget legality |
+//! | `MP05xx` | cascade decision-policy structure |
 
 use std::fmt;
 
@@ -106,6 +107,29 @@ pub mod codes {
     /// Engine lanes are wider than the declared activation width:
     /// legal, but the extra bits are dead area (over-provisioned chain).
     pub const MIXED_OVERWIDE: &str = "MP0405";
+
+    /// Cascade has no stages: nothing classifies anything.
+    pub const CASCADE_EMPTY: &str = "MP0501";
+    /// Gate present/absent where the chain needs the opposite (missing
+    /// on a non-final stage, present on the terminal stage).
+    pub const CASCADE_GATE_PLACEMENT: &str = "MP0502";
+    /// Gate outside `[0, 1]` or not finite: no confidence can be
+    /// compared against it meaningfully.
+    pub const CASCADE_GATE_RANGE: &str = "MP0503";
+    /// A non-final gate of `0.0` accepts every image (NaN aside), so
+    /// every later stage is dead configuration.
+    pub const CASCADE_UNREACHABLE: &str = "MP0504";
+    /// A stage's modeled unit cost is non-finite or non-positive: the
+    /// throughput model (eq. 1 generalised) divides by it.
+    pub const CASCADE_COST_INVALID: &str = "MP0505";
+    /// Unit cost does not increase down the chain: a later stage is no
+    /// more expensive than an earlier one, so escalating to it buys
+    /// nothing the earlier stage couldn't (inverted cascade premise).
+    pub const CASCADE_COST_ORDER: &str = "MP0506";
+    /// A gate of `1.0` on a non-final stage rejects (almost) every
+    /// image — sigmoid confidences stay below 1 — so the stage is pure
+    /// added latency for the traffic that enters it.
+    pub const CASCADE_PASSTHROUGH: &str = "MP0507";
 }
 
 /// How bad a diagnostic is.
@@ -140,8 +164,8 @@ pub struct Diagnostic {
     pub code: String,
     /// Severity level.
     pub severity: Severity,
-    /// The pass that produced it: `dataflow`, `interval`, `resource`
-    /// or `mixed`.
+    /// The pass that produced it: `dataflow`, `interval`, `resource`,
+    /// `mixed` or `cascade`.
     pub pass: String,
     /// Where in the configuration: `"engine 3 (3x3-conv-128)"`,
     /// `"host layer 2 (conv5x5-32)"`, `"device"`, …

@@ -25,6 +25,10 @@
 //!    `(a_bits, w_bits)` compatibility across engine boundaries,
 //!    quantized i32 fast-path proofs, and BRAM/LUT budgets scaled by
 //!    weight bit-planes and threshold ladders (MP04xx).
+//! 5. **cascade** ([`cascade`]) — decision-policy structure: gate
+//!    placement/range on an N-stage [`CascadeShape`](mp_core::CascadeShape),
+//!    dead-stage and passthrough lints, unit-cost validity and
+//!    monotonicity down the chain (MP05xx).
 //!
 //! The `mp_lint` binary runs all passes over the shipped configurations
 //! and writes `results/lint_report.json`; CI gates on error-severity
@@ -57,6 +61,7 @@
 #![warn(missing_docs)]
 #![deny(deprecated)]
 
+pub mod cascade;
 pub mod dataflow;
 pub mod diag;
 pub mod interval;
@@ -115,6 +120,10 @@ pub struct VerifyTarget<'a> {
     /// `(a_bits, w_bits)` and proves the threshold words still fit
     /// (MP0210) and the precision matches the chain (MP0211).
     pub precision: Option<mp_int::NetworkPrecision>,
+    /// Resolved decision-cascade shape
+    /// ([`CascadePolicy::shape`](mp_core::CascadePolicy::shape)); `None`
+    /// skips the cascade pass.
+    pub cascade: Option<mp_core::CascadeShape>,
 }
 
 impl<'a> VerifyTarget<'a> {
@@ -152,6 +161,7 @@ impl<'a> VerifyTarget<'a> {
             host: None,
             hw: None,
             precision: None,
+            cascade: None,
         }
     }
 
@@ -210,15 +220,23 @@ impl<'a> VerifyTarget<'a> {
         self.precision = Some(precision);
         self
     }
+
+    /// Attaches a resolved cascade shape, enabling the MP05xx
+    /// decision-policy checks.
+    pub fn with_cascade(mut self, cascade: mp_core::CascadeShape) -> Self {
+        self.cascade = Some(cascade);
+        self
+    }
 }
 
-/// Runs all four passes over `target` and returns the report.
+/// Runs all five passes over `target` and returns the report.
 pub fn verify(target: &VerifyTarget) -> Report {
     let mut report = Report::new(target.name.clone());
     dataflow::check(target, &mut report);
     interval::check(target, &mut report);
     resource::check(target, &mut report);
     mixed::check(target, &mut report);
+    cascade::check(target, &mut report);
     report
 }
 

@@ -344,3 +344,111 @@ fn golden_overwide_lanes_are_mp0405_warning() {
         report.render_human()
     );
 }
+
+/// The canonical 2-stage DMU cascade, resolved at paper timing, passes
+/// the cascade pass with zero diagnostics.
+#[test]
+fn golden_dmu_cascade_shape_is_spotless() {
+    use mp_core::run::Precision;
+    use mp_core::{CascadePolicy, PipelineTiming};
+
+    let topo = FinnTopology::paper();
+    let timing = PipelineTiming::new(1.0 / 21_900.0, 1.0 / 91.0, 64);
+    let shape = CascadePolicy::dmu(0.7).shape(&Precision::OneBit, &timing);
+    let target =
+        VerifyTarget::from_topology("dmu-cascade", &topo, Device::zc702()).with_cascade(shape);
+    let report = verify(&target);
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.code.starts_with("MP05")),
+        "{}",
+        report.render_human()
+    );
+}
+
+/// Gate on the terminal stage / missing gate on a non-final stage →
+/// MP0502; out-of-range gate → MP0503.
+#[test]
+fn golden_cascade_gate_misplacement_is_mp0502_mp0503() {
+    use mp_core::{CascadeShape, StageShape};
+
+    let topo = FinnTopology::paper();
+    let broken = CascadeShape {
+        stages: vec![
+            StageShape {
+                label: "1bit".into(),
+                gate: None,
+                unit_cost_s: 0.002,
+            },
+            StageShape {
+                label: "a4w4-x8".into(),
+                gate: Some(1.7),
+                unit_cost_s: 0.008,
+            },
+            StageShape {
+                label: "float32".into(),
+                gate: Some(0.5),
+                unit_cost_s: 0.033,
+            },
+        ],
+    };
+    let target =
+        VerifyTarget::from_topology("broken-cascade", &topo, Device::zc702()).with_cascade(broken);
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::CASCADE_GATE_PLACEMENT),
+        "{}",
+        report.render_human()
+    );
+    assert!(
+        report.has_code(codes::CASCADE_GATE_RANGE),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_errors());
+}
+
+/// Dead downstream stages (gate 0.0) and an inverted cost ordering are
+/// warnings — the chain runs, but the configuration is wasteful →
+/// MP0504 + MP0506, no errors.
+#[test]
+fn golden_cascade_dead_stage_and_cost_order_warn() {
+    use mp_core::{CascadeShape, StageShape};
+
+    let topo = FinnTopology::paper();
+    let wasteful = CascadeShape {
+        stages: vec![
+            StageShape {
+                label: "a4w4-x8".into(),
+                gate: Some(0.0),
+                unit_cost_s: 0.008,
+            },
+            StageShape {
+                label: "1bit".into(),
+                gate: Some(0.5),
+                unit_cost_s: 0.002,
+            },
+            StageShape {
+                label: "float32".into(),
+                gate: None,
+                unit_cost_s: 0.033,
+            },
+        ],
+    };
+    let target = VerifyTarget::from_topology("wasteful-cascade", &topo, Device::zc702())
+        .with_cascade(wasteful);
+    let report = verify(&target);
+    assert!(
+        report.has_code(codes::CASCADE_UNREACHABLE),
+        "{}",
+        report.render_human()
+    );
+    assert!(
+        report.has_code(codes::CASCADE_COST_ORDER),
+        "{}",
+        report.render_human()
+    );
+    assert!(!report.has_errors(), "{}", report.render_human());
+}

@@ -12,7 +12,7 @@
 //! ```
 
 use multiprec::core::experiment::{ExperimentConfig, TrainedSystem};
-use multiprec::core::{MultiPrecisionPipeline, RunOptions};
+use multiprec::core::{CascadePolicy, MultiPrecisionPipeline, RunOptions};
 use multiprec::host::zoo::ModelId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -42,12 +42,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter_mut()
         .find(|(id, _, _)| *id == ModelId::A)
         .expect("Model A present");
-    // One pipeline, one options value; the sweep is a per-run threshold
-    // override — the point of the unified `execute` API.
+    // One pipeline, one options value; the sweep is a per-run decision
+    // policy — each threshold is the 2-stage cascade `dmu(t)`.
     let pipeline = MultiPrecisionPipeline::new(&hw, &dmu, 0.5);
     let base_opts = RunOptions::new(timing).with_host_accuracy(global_acc);
     for threshold in [0.0f32, 0.3, 0.5, 0.7, 0.84, 0.95, 1.0] {
-        let r = pipeline.execute(host, &test, &base_opts.clone().with_threshold(threshold))?;
+        let r = pipeline.execute(
+            host,
+            &test,
+            &base_opts
+                .clone()
+                .with_cascade(CascadePolicy::dmu(threshold)),
+        )?;
         println!(
             "{:>9.2}  {:>7.1}%  {:>8.1}%  {:>11.1}  {:>9.1}%",
             threshold,

@@ -129,6 +129,15 @@ fn schema_names_are_golden() {
     assert_eq!(schema::SPAN_HOST_LAYER_PREFIX, "host.layer");
     assert_eq!(schema::SPAN_STREAM_STAGE_PREFIX, "stream.stage");
     assert_eq!(schema::CTR_FLEET_REPLICA_PREFIX, "fleet.replica");
+    assert_eq!(schema::SPAN_CASCADE_STAGE_PREFIX, "cascade.stage");
+    assert_eq!(schema::CTR_CASCADE_STAGE_PREFIX, "cascade.stage");
+    // The per-stage helper names are part of the exported contract too.
+    assert_eq!(schema::cascade_stage_span(0), "cascade.stage0");
+    assert_eq!(schema::cascade_entered_counter(1), "cascade.stage1.entered");
+    assert_eq!(
+        schema::cascade_accepted_counter(2),
+        "cascade.stage2.accepted"
+    );
 }
 
 #[test]
@@ -155,6 +164,11 @@ fn bucket_edges_are_golden() {
 }
 
 fn tiny_system(images: usize) -> (HardwareBnn, Dmu, Dataset, Network) {
+    let (_, hw, dmu, data, host) = tiny_system_full(images);
+    (hw, dmu, data, host)
+}
+
+fn tiny_system_full(images: usize) -> (BnnClassifier, HardwareBnn, Dmu, Dataset, Network) {
     let mut rng = TensorRng::seed_from(2018);
     let mut bnn = BnnClassifier::new(FinnTopology::scaled(8, 8, 8), &mut rng).unwrap();
     for _ in 0..3 {
@@ -172,7 +186,51 @@ fn tiny_system(images: usize) -> (HardwareBnn, Dmu, Dataset, Network) {
         .linear(10, &mut rng)
         .unwrap()
         .build();
-    (hw, dmu, data, host)
+    (bnn, hw, dmu, data, host)
+}
+
+/// A multi-stage cascade run must emit `cascade.stage<i>` spans and
+/// `cascade.stage<i>.{entered,accepted}` counters that pass schema
+/// validation and mirror the run's own `stage_traffic` accounting.
+#[test]
+fn cascade_report_validates_and_mirrors_traffic() {
+    use multiprec::core::{CascadePolicy, CascadeStage, StageClassifier};
+    use multiprec::int::{NetworkPrecision, QuantBnn};
+    use std::sync::Arc;
+
+    let (bnn, hw, dmu, data, host) = tiny_system_full(40);
+    let layers = bnn.export_latent().len();
+    let quant =
+        QuantBnn::from_classifier(&bnn, NetworkPrecision::uniform(layers, 4, 4).unwrap()).unwrap();
+    let policy = CascadePolicy::try_new(vec![
+        CascadeStage::gated(StageClassifier::Primary, 0.6),
+        CascadeStage::gated(StageClassifier::Quantized(Arc::new(quant)), 0.4),
+        CascadeStage::terminal(StageClassifier::HostFloat),
+    ])
+    .unwrap();
+    let rec = SharedRecorder::new();
+    let opts = RunOptions::new(PipelineTiming::new(1.0 / 430.0, 1.0 / 30.0, 10))
+        .with_host_accuracy(0.5)
+        .with_cascade(policy)
+        .with_recorder(&rec);
+    let result = MultiPrecisionPipeline::new(&hw, &dmu, 0.7)
+        .execute(&host, &data, &opts)
+        .unwrap();
+    let report = rec.report();
+    schema::validate_report(&report).unwrap();
+    assert_eq!(result.stage_traffic.len(), 3);
+    for (s, traffic) in result.stage_traffic.iter().enumerate() {
+        assert_eq!(
+            report.counter(&schema::cascade_entered_counter(s)),
+            traffic.entered as u64,
+            "stage {s} entered"
+        );
+        assert_eq!(
+            report.counter(&schema::cascade_accepted_counter(s)),
+            traffic.accepted as u64,
+            "stage {s} accepted"
+        );
+    }
 }
 
 #[test]

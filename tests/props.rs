@@ -13,7 +13,7 @@ use multiprec::core::fault::{
     silence_injected_panics, DegradationPolicy, FaultPlan, FleetFaultPlan,
 };
 use multiprec::core::model;
-use multiprec::core::{MultiPrecisionPipeline, PipelineTiming, RunOptions};
+use multiprec::core::{CascadePolicy, MultiPrecisionPipeline, PipelineTiming, RunOptions};
 use multiprec::dataset::{Dataset, SynthSpec};
 use multiprec::fleet::{FleetConfig, FleetSim, PredictionCache, ReplicaSpec, RoutingPolicy};
 use multiprec::fpga::cycle_model::{divisors, engine_cycles};
@@ -330,6 +330,52 @@ proptest! {
         // minus the rerun fraction bounds any run from below.
         let rerun_frac = faulty.rerun_count as f64 / n;
         prop_assert!(faulty.accuracy >= faulty.bnn_accuracy - rerun_frac - 1e-9);
+    }
+
+    /// The cascade API's subsumption contract under chaos:
+    /// `CascadePolicy::dmu(t)` must be bit-identical to the legacy
+    /// constructor threshold `t` — predictions, flags, degradation and
+    /// fault accounting alike — for any threshold and fault plan. The
+    /// cascade run deliberately uses a *different* constructor threshold
+    /// to prove the policy, not the constructor, decides.
+    #[test]
+    fn chaos_dmu_cascade_bit_identical_to_legacy_threshold(
+        error_rate in 0.0f64..1.0,
+        spike_rate in 0.0f64..0.5,
+        threshold in 0.0f32..1.0,
+        seed in any::<u64>()
+    ) {
+        let (hw, dmu, data) = chaos_fixture();
+        let policy = DegradationPolicy::default();
+        let plan = FaultPlan::seeded(seed)
+            .with_host_error_rate(error_rate)
+            .with_host_spikes(spike_rate, 10.0);
+        let host = chaos_host();
+        let legacy = MultiPrecisionPipeline::new(hw, dmu, threshold)
+            .execute(&host, data, &chaos_opts(plan.clone(), policy))
+            .unwrap();
+        let host = chaos_host();
+        let cascade = MultiPrecisionPipeline::new(hw, dmu, 0.5)
+            .execute(
+                &host,
+                data,
+                &chaos_opts(plan, policy).with_cascade(CascadePolicy::dmu(threshold)),
+            )
+            .unwrap();
+        prop_assert_eq!(&legacy.predictions, &cascade.predictions);
+        prop_assert_eq!(&legacy.flagged, &cascade.flagged);
+        prop_assert_eq!(legacy.accuracy, cascade.accuracy);
+        prop_assert_eq!(legacy.rerun_count, cascade.rerun_count);
+        prop_assert_eq!(legacy.degraded_count, cascade.degraded_count);
+        prop_assert_eq!(legacy.retries, cascade.retries);
+        prop_assert_eq!(legacy.host_attempts, cascade.host_attempts);
+        prop_assert_eq!(legacy.breaker_trips, cascade.breaker_trips);
+        prop_assert_eq!(legacy.modeled_time_s, cascade.modeled_time_s);
+        prop_assert_eq!(
+            serde_json::to_string(&legacy.fault_log).unwrap(),
+            serde_json::to_string(&cascade.fault_log).unwrap()
+        );
+        prop_assert_eq!(&legacy.stage_traffic, &cascade.stage_traffic);
     }
 
     #[test]
