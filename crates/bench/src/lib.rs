@@ -52,6 +52,10 @@ pub struct CliOptions {
     /// Fail (exit non-zero) if the observability overhead gate trips;
     /// only the throughput bench reads this.
     pub gate_overhead: bool,
+    /// Fail (exit non-zero) if the overlapped-executor gates trip
+    /// (wall-clock vs serial two-phase, BNN single-core speedup); only
+    /// the throughput bench reads this.
+    pub gate_overlap: bool,
 }
 
 impl Default for CliOptions {
@@ -60,6 +64,7 @@ impl Default for CliOptions {
             smoke: false,
             seed: 2018,
             gate_overhead: false,
+            gate_overlap: false,
         }
     }
 }
@@ -78,6 +83,7 @@ impl CliOptions {
             match arg.as_str() {
                 "--smoke" => opts.smoke = true,
                 "--gate-overhead" => opts.gate_overhead = true,
+                "--gate-overlap" => opts.gate_overlap = true,
                 "--seed" => {
                     if let Some(v) = iter.next() {
                         opts.seed = v.parse().unwrap_or(opts.seed);
@@ -210,12 +216,19 @@ mod tests {
     #[test]
     fn cli_parses_flags() {
         let o = CliOptions::parse_from(
-            ["--seed", "42", "--smoke", "--gate-overhead"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--seed",
+                "42",
+                "--smoke",
+                "--gate-overhead",
+                "--gate-overlap",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert!(o.smoke);
         assert!(o.gate_overhead);
+        assert!(o.gate_overlap);
         assert_eq!(o.seed, 42);
         assert_eq!(o.experiment_config().seed, 42);
     }

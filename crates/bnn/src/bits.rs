@@ -280,12 +280,52 @@ impl BitMatrix {
     ///
     /// Panics if `x.len() != self.num_cols()`.
     pub fn xnor_matvec_into(&self, x: &BitVec, out: &mut Vec<i32>) {
+        out.clear();
+        out.reserve(self.rows.len());
+        self.xnor_matvec_for_each(x, |_, dot| out.push(dot));
+    }
+
+    /// Row-by-row XNOR matvec, invoking `f(row, dot)` for each row in
+    /// ascending row order. Rows are processed four at a time through
+    /// [`xnor_dot_words_x4`], so each word of `x` is loaded once per four
+    /// output rows instead of once per row — this is the software analogue
+    /// of a FINN PE folding four output channels onto one SIMD lane. The
+    /// callback style lets callers fuse the per-row threshold comparison
+    /// directly into the accumulate loop instead of round-tripping an
+    /// `i32` accumulator vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_cols()`.
+    pub fn xnor_matvec_for_each(&self, x: &BitVec, mut f: impl FnMut(usize, i32)) {
+        assert_eq!(x.len(), self.cols, "xnor_matvec length mismatch");
         debug_assert!(
             x.tail_is_clear() && self.rows.iter().all(BitVec::tail_is_clear),
-            "xnor_matvec_into operand violates the tail-bit invariant"
+            "xnor_matvec_for_each operand violates the tail-bit invariant"
         );
-        out.clear();
-        out.extend(self.rows.iter().map(|row| row.xnor_dot(x)));
+        let xw = x.words();
+        let mut quads = self.rows.chunks_exact(4);
+        let mut r = 0usize;
+        for quad in &mut quads {
+            let dots = xnor_dot_words_x4(
+                [
+                    quad[0].words(),
+                    quad[1].words(),
+                    quad[2].words(),
+                    quad[3].words(),
+                ],
+                xw,
+                self.cols,
+            );
+            for (lane, dot) in dots.into_iter().enumerate() {
+                f(r + lane, dot);
+            }
+            r += 4;
+        }
+        for row in quads.remainder() {
+            f(r, xnor_dot_words(row.words(), xw, self.cols));
+            r += 1;
+        }
     }
 
     /// Total storage bits (the quantity FINN places in on-chip memory).
@@ -298,11 +338,26 @@ impl BitMatrix {
 /// [`BitVec::xnor_dot`] and the crate's word-level fast paths. Bits at
 /// and above `len` in the last word are ignored via the tail mask, so
 /// callers only need `len` valid bits per buffer.
+///
+/// The full-word loop runs four independent u64 lanes per iteration so
+/// the popcounts pipeline instead of serialising on one accumulator.
+/// Integer addition is associative, so the widened loop is bit-identical
+/// to the scalar reference (pinned by `widened_dot_matches_scalar_reference`).
 pub(crate) fn xnor_dot_words(a: &[u64], b: &[u64], len: usize) -> i32 {
-    let mut matches = 0u32;
     let full_words = len / 64;
-    for w in 0..full_words {
+    let (mut m0, mut m1, mut m2, mut m3) = (0u32, 0u32, 0u32, 0u32);
+    let mut w = 0;
+    while w + 4 <= full_words {
+        m0 += (!(a[w] ^ b[w])).count_ones();
+        m1 += (!(a[w + 1] ^ b[w + 1])).count_ones();
+        m2 += (!(a[w + 2] ^ b[w + 2])).count_ones();
+        m3 += (!(a[w + 3] ^ b[w + 3])).count_ones();
+        w += 4;
+    }
+    let mut matches = m0 + m1 + m2 + m3;
+    while w < full_words {
         matches += (!(a[w] ^ b[w])).count_ones();
+        w += 1;
     }
     let tail = len % 64;
     if tail > 0 {
@@ -310,6 +365,35 @@ pub(crate) fn xnor_dot_words(a: &[u64], b: &[u64], len: usize) -> i32 {
         matches += ((!(a[full_words] ^ b[full_words])) & mask).count_ones();
     }
     2 * matches as i32 - len as i32
+}
+
+/// Four XNOR dot products sharing one traversal of `b`: each word of the
+/// activation vector is loaded once and XNOR-popcounted against four
+/// weight rows. This is the row-folded kernel behind
+/// [`BitMatrix::xnor_matvec_for_each`] and the binary-conv output-channel
+/// loop in `hardware.rs`. All four `a` slices must carry at least `len`
+/// valid bits with the tail-bit invariant; results are bit-identical to
+/// four independent [`xnor_dot_words`] calls.
+pub(crate) fn xnor_dot_words_x4(a: [&[u64]; 4], b: &[u64], len: usize) -> [i32; 4] {
+    let full_words = len / 64;
+    let mut m = [0u32; 4];
+    for w in 0..full_words {
+        let x = b[w];
+        m[0] += (!(a[0][w] ^ x)).count_ones();
+        m[1] += (!(a[1][w] ^ x)).count_ones();
+        m[2] += (!(a[2][w] ^ x)).count_ones();
+        m[3] += (!(a[3][w] ^ x)).count_ones();
+    }
+    let tail = len % 64;
+    if tail > 0 {
+        let mask = (1u64 << tail) - 1;
+        let x = b[full_words];
+        m[0] += ((!(a[0][full_words] ^ x)) & mask).count_ones();
+        m[1] += ((!(a[1][full_words] ^ x)) & mask).count_ones();
+        m[2] += ((!(a[2][full_words] ^ x)) & mask).count_ones();
+        m[3] += ((!(a[3][full_words] ^ x)) & mask).count_ones();
+    }
+    m.map(|matches| 2 * matches as i32 - len as i32)
 }
 
 #[cfg(test)]
@@ -538,6 +622,104 @@ mod tests {
                 BitVec::from_bools(&bools).tail_is_clear(),
                 "from_bools({n})"
             );
+        }
+    }
+
+    /// Scalar reference kernel the widened loops are pinned against:
+    /// the original single-accumulator word loop, kept verbatim.
+    fn xnor_dot_words_reference(a: &[u64], b: &[u64], len: usize) -> i32 {
+        let mut matches = 0u32;
+        let full_words = len / 64;
+        for w in 0..full_words {
+            matches += (!(a[w] ^ b[w])).count_ones();
+        }
+        let tail = len % 64;
+        if tail > 0 {
+            let mask = (1u64 << tail) - 1;
+            matches += ((!(a[full_words] ^ b[full_words])) & mask).count_ones();
+        }
+        2 * matches as i32 - len as i32
+    }
+
+    fn pseudo_random_bits(len: usize, seed: u64) -> BitVec {
+        // splitmix64 stream — deterministic, no external RNG dep.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let bools: Vec<bool> = (0..len).map(|_| next() & 1 == 1).collect();
+        BitVec::from_bools(&bools)
+    }
+
+    #[test]
+    fn widened_dot_matches_scalar_reference() {
+        // Lengths straddle the 4-word unroll boundary (256 bits) and the
+        // word boundary, plus tails of every phase.
+        for len in [
+            0usize, 1, 63, 64, 65, 127, 128, 255, 256, 257, 300, 515, 1024,
+        ] {
+            let a = pseudo_random_bits(len, 0xA5A5 + len as u64);
+            let b = pseudo_random_bits(len, 0x5A5A + len as u64);
+            assert_eq!(
+                xnor_dot_words(a.words(), b.words(), len),
+                xnor_dot_words_reference(a.words(), b.words(), len),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn x4_dot_matches_four_scalar_dots() {
+        for len in [1usize, 64, 65, 130, 256, 257, 515] {
+            let rows: Vec<BitVec> = (0..4)
+                .map(|r| pseudo_random_bits(len, 0xC0FFEE + r as u64 * 97 + len as u64))
+                .collect();
+            let x = pseudo_random_bits(len, 0xBEEF + len as u64);
+            let quad = xnor_dot_words_x4(
+                [
+                    rows[0].words(),
+                    rows[1].words(),
+                    rows[2].words(),
+                    rows[3].words(),
+                ],
+                x.words(),
+                len,
+            );
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    quad[r],
+                    xnor_dot_words_reference(row.words(), x.words(), len),
+                    "len={len} lane={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_for_each_visits_rows_in_order_and_matches_rowwise() {
+        // Row counts cover 4-row quads plus every remainder phase.
+        for (nrows, cols) in [
+            (0usize, 5usize),
+            (1, 70),
+            (3, 130),
+            (4, 33),
+            (6, 64),
+            (9, 257),
+        ] {
+            let values: Vec<f32> = (0..nrows * cols)
+                .map(|i| if (i * 2654435761) % 7 < 3 { 1.0 } else { -1.0 })
+                .collect();
+            let m = BitMatrix::from_signs(nrows, cols, &values);
+            let x = pseudo_random_bits(cols, 0xDEAD + cols as u64);
+            let mut visited = Vec::new();
+            m.xnor_matvec_for_each(&x, |r, dot| visited.push((r, dot)));
+            let expect: Vec<(usize, i32)> =
+                (0..nrows).map(|r| (r, m.row(r).xnor_dot(&x))).collect();
+            assert_eq!(visited, expect, "nrows={nrows} cols={cols}");
         }
     }
 

@@ -601,7 +601,9 @@ impl HardwareBnn {
         };
         let chunks = par.chunks(n);
         if chunks.len() <= 1 {
-            let data = self.infer_range_inner(xv, obs_ref)?;
+            let mut ctx = HwInferCtx::default();
+            let mut data = Vec::with_capacity(n * classes);
+            self.infer_range_inner(xv, &mut ctx, obs_ref, &mut data)?;
             return Tensor::from_vec(Shape::matrix(n, classes), data);
         }
         let parts: Vec<Result<Vec<f32>, ShapeError>> = std::thread::scope(|scope| {
@@ -609,7 +611,12 @@ impl HardwareBnn {
                 .iter()
                 .map(|&(start, end)| {
                     let slice = &xv[start * image_len..end * image_len];
-                    scope.spawn(move || self.infer_range_inner(slice, obs_ref))
+                    scope.spawn(move || {
+                        let mut ctx = HwInferCtx::default();
+                        let mut part = Vec::new();
+                        self.infer_range_inner(slice, &mut ctx, obs_ref, &mut part)?;
+                        Ok(part)
+                    })
                 })
                 .collect();
             handles
@@ -622,6 +629,17 @@ impl HardwareBnn {
             data.extend(part?);
         }
         Tensor::from_vec(Shape::matrix(n, classes), data)
+    }
+
+    /// Creates a reusable single-thread block-inference stream: the
+    /// producer side of the overlapped stage-graph executor. See
+    /// [`BnnBlockStream`].
+    pub fn block_stream(&self) -> BnnBlockStream<'_> {
+        BnnBlockStream {
+            hw: self,
+            ctx: HwInferCtx::default(),
+            names: self.stage_span_names(),
+        }
     }
 
     /// Stable per-stage span names: `bnn.stage<i>.<kind>`.
@@ -641,24 +659,14 @@ impl HardwareBnn {
             .collect()
     }
 
-    /// Runs a contiguous run of images (raw `C·H·W` planes) through the
-    /// accelerator with shared scratch state, appending `classes` float
-    /// scores per image. With `obs` present, every stage's wall time is
-    /// recorded as a span (the names indexed by global stage position).
-    fn infer_range_inner(
-        &self,
-        images: &[f32],
-        obs: Option<(&dyn Recorder, &[String])>,
-    ) -> Result<Vec<f32>, ShapeError> {
+    /// Builds the first engine's tap-offset tables: the ±1 dot of a
+    /// patch equals `2 * (sum at positive-weight taps) - (sum over all
+    /// taps)`, so each output channel only needs its positive-tap
+    /// offsets into the quantised image plane — no patch gather, no
+    /// multiplies. Depends only on the topology, so a [`BnnBlockStream`]
+    /// builds it once and reuses it across every block.
+    fn build_first_conv_plan(&self, plan: &mut FirstConvPlan) {
         let (h, w) = (self.topology.height(), self.topology.width());
-        let image_len = self.topology.channels() * h * w;
-        let n = images.len() / image_len;
-        // Precompute the first engine's tap-offset tables once for the
-        // whole run: the ±1 dot of a patch equals
-        // `2 * (sum at positive-weight taps) - (sum over all taps)`, so
-        // each output channel only needs its positive-tap offsets into
-        // the quantised image plane — no patch gather, no multiplies.
-        let mut plan = FirstConvPlan::default();
         if let Some(HwStage::FirstConv {
             weights,
             in_channels,
@@ -685,8 +693,37 @@ impl HardwareBnn {
                 plan.pos_start.push(plan.pos.len() as u32);
             }
         }
-        let mut scratch = HwScratch::default();
-        let mut out = Vec::with_capacity(n * self.topology.classes());
+    }
+
+    /// Runs a contiguous run of images (raw `C·H·W` planes) through the
+    /// accelerator, appending `classes` float scores per image to `out`.
+    /// All scratch state (tap plan, activation planes, lane buffers)
+    /// lives in `ctx`, so repeated calls on one context are
+    /// allocation-free in steady state. With `obs` present, every
+    /// stage's wall time is recorded as a span (the names indexed by
+    /// global stage position).
+    fn infer_range_inner(
+        &self,
+        images: &[f32],
+        ctx: &mut HwInferCtx,
+        obs: Option<(&dyn Recorder, &[String])>,
+        out: &mut Vec<f32>,
+    ) -> Result<(), ShapeError> {
+        let (h, w) = (self.topology.height(), self.topology.width());
+        let image_len = self.topology.channels() * h * w;
+        let n = images.len() / image_len;
+        if !ctx.plan_ready {
+            self.build_first_conv_plan(&mut ctx.plan);
+            ctx.plan_ready = true;
+        }
+        let HwInferCtx {
+            plan,
+            scratch,
+            qt,
+            bits_block,
+            ..
+        } = ctx;
+        out.reserve(n * self.topology.classes());
         if let Some(HwStage::FirstConv {
             weights,
             thresholds,
@@ -699,19 +736,10 @@ impl HardwareBnn {
             let (oh, ow) = (h - k + 1, w - k + 1);
             let od = weights.num_rows();
             let plane = od * oh * ow;
-            let mut qt = Vec::new();
-            let mut bits_block = Vec::new();
             for block in images.chunks(IMG_BLOCK * image_len) {
                 let b = block.len() / image_len;
                 let t0 = obs.map(|_| now_ns());
-                self.first_conv_block(
-                    thresholds,
-                    &plan,
-                    block,
-                    (c, h, w, k, od),
-                    &mut qt,
-                    &mut bits_block,
-                );
+                self.first_conv_block(thresholds, plan, block, (c, h, w, k, od), qt, bits_block);
                 // One span per block for the first engine's compute…
                 if let (Some((rec, names)), Some(start)) = (obs, t0) {
                     rec.record_span(&names[0], start, now_ns());
@@ -732,7 +760,7 @@ impl HardwareBnn {
                     if let (Some((rec, names)), Some(start)) = (obs, tc) {
                         rec.record_span(&names[0], start, now_ns());
                     }
-                    self.infer_tail(&self.stages[1..], dims, &mut scratch, &mut out, obs, 1)?;
+                    self.infer_tail(&self.stages[1..], dims, scratch, out, obs, 1)?;
                 }
             }
         } else {
@@ -742,10 +770,10 @@ impl HardwareBnn {
             let dims = (self.topology.channels(), h, w);
             for _ in 0..n {
                 scratch.bits.clear();
-                self.infer_tail(&self.stages, dims, &mut scratch, &mut out, obs, 0)?;
+                self.infer_tail(&self.stages, dims, scratch, out, obs, 0)?;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// First-engine pass over a block of `b <= IMG_BLOCK` images.
@@ -894,13 +922,36 @@ impl HardwareBnn {
                                     off += k;
                                 }
                             }
-                            for oc in 0..od {
+                            // Output channels four at a time: one traversal
+                            // of the patch words feeds four weight rows
+                            // (shared loads), with each lane's threshold
+                            // comparison fused directly after its popcount.
+                            let mut oc = 0;
+                            while oc + 4 <= od {
+                                let dots = crate::bits::xnor_dot_words_x4(
+                                    [
+                                        weights.row(oc).words(),
+                                        weights.row(oc + 1).words(),
+                                        weights.row(oc + 2).words(),
+                                        weights.row(oc + 3).words(),
+                                    ],
+                                    patch_words,
+                                    fan_in,
+                                );
+                                for (lane, dot) in dots.into_iter().enumerate() {
+                                    next[((oc + lane) * oh + oy) * ow + ox] =
+                                        thresholds[oc + lane].fires(i64::from(dot));
+                                }
+                                oc += 4;
+                            }
+                            while oc < od {
                                 let dot = i64::from(crate::bits::xnor_dot_words(
                                     weights.row(oc).words(),
                                     patch_words,
                                     fan_in,
                                 ));
                                 next[(oc * oh + oy) * ow + ox] = thresholds[oc].fires(dot);
+                                oc += 1;
                             }
                         }
                     }
@@ -916,13 +967,16 @@ impl HardwareBnn {
                     thresholds,
                 } => {
                     patch_bits.refill_from_bools(bits);
-                    weights.xnor_matvec_into(patch_bits, acc);
-                    bits.clear();
-                    bits.extend(
-                        acc.iter()
-                            .zip(thresholds)
-                            .map(|(&a, t)| t.fires(i64::from(a))),
-                    );
+                    // Threshold comparison fused into the accumulate loop:
+                    // each ×4 popcount lane feeds its comparator directly,
+                    // writing activation bools without the i32 accumulator
+                    // round trip of the reference path.
+                    next.clear();
+                    next.reserve(weights.num_rows());
+                    weights.xnor_matvec_for_each(patch_bits, |r, dot| {
+                        next.push(thresholds[r].fires(i64::from(dot)));
+                    });
+                    std::mem::swap(bits, next);
                     dims = (bits.len(), 1, 1);
                 }
                 HwStage::OutputFc { weights } => {
@@ -993,6 +1047,83 @@ impl Default for HwScratch {
             patch_bits: BitVec::zeros(0),
             acc: Vec::new(),
         }
+    }
+}
+
+/// Reusable per-thread inference context: the first engine's tap plan
+/// plus every scratch buffer. Built once per shard or [`BnnBlockStream`]
+/// so steady-state block inference performs no heap allocation and never
+/// rebuilds the plan.
+#[derive(Debug, Default)]
+struct HwInferCtx {
+    plan: FirstConvPlan,
+    plan_ready: bool,
+    scratch: HwScratch,
+    /// Transposed quantised pixel lanes (`qt[pixel][image]`).
+    qt: Vec<i32>,
+    /// First-engine output bits for the whole block.
+    bits_block: Vec<bool>,
+}
+
+/// A reusable single-thread block-inference stream: the FPGA side of the
+/// overlapped stage-graph executor (`Concurrency::Threaded`).
+///
+/// Holds the first engine's tap plan, the per-stage span names, and all
+/// scratch buffers across calls, so inferring block after block of one
+/// workload is allocation-free in steady state. Scores land in a
+/// caller-owned buffer and are bit-identical per image to
+/// [`HardwareBnn::infer_batch`] — batching never changes results.
+pub struct BnnBlockStream<'a> {
+    hw: &'a HardwareBnn,
+    ctx: HwInferCtx,
+    names: Vec<String>,
+}
+
+impl BnnBlockStream<'_> {
+    /// Runs images `start..end` of a `[N, C, H, W]` batch through the
+    /// accelerator, replacing the contents of `out` with
+    /// `(end - start) * classes` float scores. With `rec` enabled,
+    /// per-stage spans are recorded exactly as
+    /// [`HardwareBnn::infer_batch_obs`] records them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the batch does not match the topology
+    /// or the range falls outside it.
+    pub fn infer_block_into(
+        &mut self,
+        images: &Tensor,
+        start: usize,
+        end: usize,
+        rec: &dyn Recorder,
+        out: &mut Vec<f32>,
+    ) -> Result<(), ShapeError> {
+        let shape = images.shape();
+        let topo = self.hw.topology();
+        let (c, h, w) = (topo.channels(), topo.height(), topo.width());
+        if shape.rank() != 4 || (shape.dim(1), shape.dim(2), shape.dim(3)) != (c, h, w) {
+            return Err(ShapeError::new(
+                "BnnBlockStream::infer_block_into",
+                format!("expected [N,{c},{h},{w}] batch, got {shape}"),
+            ));
+        }
+        let n = shape.dim(0);
+        if start > end || end > n {
+            return Err(ShapeError::new(
+                "BnnBlockStream::infer_block_into",
+                format!("image range {start}..{end} outside batch of {n}"),
+            ));
+        }
+        let image_len = c * h * w;
+        let obs_ref: Option<(&dyn Recorder, &[String])> = if rec.enabled() {
+            Some((rec, self.names.as_slice()))
+        } else {
+            None
+        };
+        out.clear();
+        let slice = &images.as_slice()[start * image_len..end * image_len];
+        self.hw
+            .infer_range_inner(slice, &mut self.ctx, obs_ref, out)
     }
 }
 
@@ -1117,6 +1248,45 @@ mod tests {
                 assert_eq!(reference.as_slice(), got.as_slice());
             }
         }
+    }
+
+    #[test]
+    fn block_stream_matches_infer_batch_across_splits() {
+        let bnn = trained_tiny(80);
+        let hw = HardwareBnn::from_classifier(&bnn).unwrap();
+        let mut rng = TensorRng::seed_from(84);
+        let n = 21;
+        let batch = rng.normal(Shape::nchw(n, 3, 8, 8), 0.0, 1.0);
+        let reference = hw.infer_batch(&batch).unwrap();
+        // One stream reused across every split: exercises plan + scratch
+        // reuse across block sizes that straddle IMG_BLOCK and n.
+        let mut stream = hw.block_stream();
+        let mut scores = Vec::new();
+        for block in [1usize, 3, IMG_BLOCK, 10, n, n + 5] {
+            let mut got = Vec::new();
+            let mut start = 0;
+            while start < n {
+                let end = (start + block).min(n);
+                stream
+                    .infer_block_into(&batch, start, end, &mp_obs::NULL_RECORDER, &mut scores)
+                    .unwrap();
+                got.extend_from_slice(&scores);
+                start = end;
+            }
+            assert_eq!(got.as_slice(), reference.as_slice(), "block={block}");
+        }
+        // Empty range is well-formed and clears the output buffer.
+        stream
+            .infer_block_into(&batch, 5, 5, &mp_obs::NULL_RECORDER, &mut scores)
+            .unwrap();
+        assert!(scores.is_empty());
+        // Out-of-bounds and inverted ranges are rejected.
+        assert!(stream
+            .infer_block_into(&batch, 0, n + 1, &mp_obs::NULL_RECORDER, &mut scores)
+            .is_err());
+        assert!(stream
+            .infer_block_into(&batch, 4, 2, &mp_obs::NULL_RECORDER, &mut scores)
+            .is_err());
     }
 
     #[test]

@@ -709,65 +709,111 @@ impl<'a> MultiPrecisionPipeline<'a> {
                 let worker = scope.spawn(move || -> Result<HostWorkerOutput, CoreError> {
                     host_worker_loop(host, rx, injector_ref, &policy, par, depth_obs)
                 });
-                // "FPGA" side: classify image i, flag, send to the host.
+                // "FPGA" side: the block-pipelined stage graph. The BNN
+                // runs the batched `IMG_BLOCK` fast path over one block
+                // of `timing.batch_size` images, publishes that block's
+                // flagged subset to the host worker, then starts on the
+                // next block while the worker re-infers — the real-thread
+                // mirror of `modeled_batch_time`'s `async(1)`/`wait(1)`
+                // overlap. Flagged images are still sent one at a time in
+                // index order, so the worker loop, fault arrival order,
+                // and channel backpressure semantics are unchanged.
                 let mut stage = StageOutput::with_capacity(n);
                 let mut backpressure_events = 0usize;
                 let mut worker_gone = false;
-                for i in 0..n {
-                    let image = data.images().batch_item(i)?;
-                    let t_img = rec.enabled().then(now_ns);
-                    let scores = self.hw.infer_image(&image).map_err(CoreError::fpga)?;
-                    if let Some(t0) = t_img {
-                        rec.observe(
-                            schema::HIST_BNN_IMAGE_S,
-                            (now_ns().saturating_sub(t0)) as f64 * 1e-9,
-                        );
-                    }
-                    let scores_f: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
-                    // Satellite fix: the old local argmax silently predicted
-                    // class 0 for an all-NaN row; use the shared NaN-aware
-                    // helper and surface the failure instead.
-                    let pred = nan_aware_argmax(&scores_f).ok_or_else(|| {
-                        CoreError::fpga(ShapeError::new(
-                            "pipeline",
-                            format!("image {i}: BNN scores have no comparable maximum"),
-                        ))
-                    })?;
-                    let p = self.dmu.predict(&scores_f);
-                    let keep = p >= threshold;
-                    stage.push(pred, keep);
-                    if !keep && !worker_gone {
-                        // Count the item before it becomes visible to the
-                        // worker; incrementing after delivery races the
-                        // worker's decrement and the mirror goes negative.
-                        if let Some((_, depth)) = depth_obs {
-                            depth.fetch_add(1, Ordering::Relaxed);
-                        }
-                        let delivered = match tx.try_send((i, image)) {
-                            Ok(()) => true,
-                            Err(TrySendError::Full(msg)) => {
-                                backpressure_events += 1;
-                                // The worker died; stop feeding it. Its
-                                // fate is classified at join below.
-                                worker_gone = tx.send(msg).is_err();
-                                !worker_gone
-                            }
-                            Err(TrySendError::Disconnected(_)) => {
-                                worker_gone = true;
-                                false
-                            }
-                        };
-                        if let Some((rec, depth)) = depth_obs {
-                            if delivered {
-                                // The worker may already have consumed the
-                                // item, so clamp: depth was ≥ 1 at delivery.
-                                let d = depth.load(Ordering::Relaxed).max(1);
-                                rec.observe(schema::HIST_QUEUE_DEPTH, d as f64);
-                            } else {
-                                depth.fetch_sub(1, Ordering::Relaxed);
-                            }
+                let classes = self.hw.topology().classes();
+                let block = timing.batch_size;
+                // Steady-state scratch, reused across every block and
+                // image: block scores, DMU features, BNN plan + planes.
+                let mut stream = self.hw.block_stream();
+                let mut scores: Vec<f32> = Vec::new();
+                let mut feats: Vec<f32> = Vec::new();
+                let mut block_start = 0usize;
+                while block_start < n {
+                    let block_end = (block_start + block).min(n);
+                    let b = block_end - block_start;
+                    let t_blk = rec.enabled().then(now_ns);
+                    stream
+                        .infer_block_into(data.images(), block_start, block_end, rec, &mut scores)
+                        .map_err(CoreError::fpga)?;
+                    if let Some(t0) = t_blk {
+                        let t1 = now_ns();
+                        // The block span is pure BNN compute: flagged
+                        // sends (and any backpressure stall) happen after
+                        // it closes, so queue waits never inflate it.
+                        rec.record_span(schema::SPAN_PIPELINE_BNN_BLOCK, t0, t1);
+                        let per_image_s = t1.saturating_sub(t0) as f64 * 1e-9 / b as f64;
+                        for _ in 0..b {
+                            rec.observe(schema::HIST_BNN_IMAGE_S, per_image_s);
                         }
                     }
+                    for j in 0..b {
+                        let i = block_start + j;
+                        let row = &scores[j * classes..(j + 1) * classes];
+                        // Satellite fix (kept from the per-image path): a
+                        // local argmax would silently predict class 0 for
+                        // an all-NaN row; the shared NaN-aware helper
+                        // surfaces the failure instead.
+                        let pred = nan_aware_argmax(row).ok_or_else(|| {
+                            CoreError::fpga(ShapeError::new(
+                                "pipeline",
+                                format!("image {i}: BNN scores have no comparable maximum"),
+                            ))
+                        })?;
+                        let p = self.dmu.predict_with_scratch(row, &mut feats);
+                        let keep = gate_accepts(p, threshold);
+                        stage.push(pred, keep);
+                        if !keep && !worker_gone {
+                            let image = data.images().batch_item(i)?;
+                            // Count the item before it becomes visible to
+                            // the worker; incrementing after delivery races
+                            // the worker's decrement and the mirror goes
+                            // negative.
+                            if let Some((_, depth)) = depth_obs {
+                                depth.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let delivered = match tx.try_send((i, image)) {
+                                Ok(()) => true,
+                                Err(TrySendError::Full(msg)) => {
+                                    backpressure_events += 1;
+                                    // Satellite fix: the blocking wait on a
+                                    // full host queue is backpressure, not
+                                    // BNN time — record it in its own
+                                    // histogram (one entry per event, so
+                                    // its count matches the counter).
+                                    let t_stall = rec.enabled().then(now_ns);
+                                    let sent = tx.send(msg).is_ok();
+                                    if let Some(t0) = t_stall {
+                                        rec.observe(
+                                            schema::HIST_BACKPRESSURE_WAIT_S,
+                                            now_ns().saturating_sub(t0) as f64 * 1e-9,
+                                        );
+                                    }
+                                    // On a send error the worker died; stop
+                                    // feeding it. Its fate is classified at
+                                    // join below.
+                                    worker_gone = !sent;
+                                    sent
+                                }
+                                Err(TrySendError::Disconnected(_)) => {
+                                    worker_gone = true;
+                                    false
+                                }
+                            };
+                            if let Some((rec, depth)) = depth_obs {
+                                if delivered {
+                                    // The worker may already have consumed
+                                    // the item, so clamp: depth was ≥ 1 at
+                                    // delivery.
+                                    let d = depth.load(Ordering::Relaxed).max(1);
+                                    rec.observe(schema::HIST_QUEUE_DEPTH, d as f64);
+                                } else {
+                                    depth.fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    block_start = block_end;
                 }
                 drop(tx);
                 // Satellite fix: no `expect` — a worker panic becomes a
@@ -2224,6 +2270,24 @@ mod tests {
         assert_eq!(
             report.histogram(schema::HIST_BNN_IMAGE_S).unwrap().count,
             40
+        );
+        // Overlapped executor: one pure-compute span per BNN block
+        // (40 images / batch_size 10).
+        assert_eq!(
+            report.span(schema::SPAN_PIPELINE_BNN_BLOCK).unwrap().count,
+            4
+        );
+        // Backpressure stalls are charged to their own histogram, one
+        // entry per counted event — never folded into BNN span time.
+        assert_eq!(
+            report
+                .histogram(schema::HIST_BACKPRESSURE_WAIT_S)
+                .map_or(0, |h| h.count),
+            report.counter(schema::CTR_BACKPRESSURE),
+        );
+        assert_eq!(
+            report.counter(schema::CTR_BACKPRESSURE),
+            obs.backpressure_events as u64
         );
         assert!(report.histogram(schema::HIST_QUEUE_DEPTH).is_some());
         assert!(report.histogram(schema::HIST_BACKOFF_S).is_some());

@@ -218,7 +218,14 @@ impl<'r> RunOptions<'r> {
         self
     }
 
-    /// Selects the two-thread executor ([`Concurrency::Threaded`]).
+    /// Selects the two-thread executor ([`Concurrency::Threaded`]): a
+    /// block-pipelined stage graph in which the BNN thread runs the
+    /// batched fast path over blocks of
+    /// [`PipelineTiming::batch_size`](crate::pipeline::PipelineTiming)
+    /// images and publishes each block's flagged subset to the host
+    /// worker, which re-infers it while the BNN processes the next
+    /// block. Predictions, flags, and fault accounting are bit-identical
+    /// to [`Concurrency::Modeled`].
     #[must_use]
     pub fn threaded(mut self) -> Self {
         self.concurrency = Concurrency::Threaded;

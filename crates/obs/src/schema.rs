@@ -12,6 +12,10 @@ pub const SCHEMA_VERSION: u32 = 1;
 pub const SPAN_PIPELINE_EXECUTE: &str = "pipeline.execute";
 /// Span: the BNN + DMU classification stage (batched executor).
 pub const SPAN_PIPELINE_BNN_STAGE: &str = "pipeline.bnn_stage";
+/// Span: one BNN inference block in the overlapped threaded executor
+/// (pure compute — host-queue backpressure waits are excluded and land
+/// in [`HIST_BACKPRESSURE_WAIT_S`] instead).
+pub const SPAN_PIPELINE_BNN_BLOCK: &str = "pipeline.bnn_block";
 /// Span: one host re-inference batch (deferred flush of flagged images).
 pub const SPAN_PIPELINE_HOST_RERUN: &str = "pipeline.host_rerun";
 /// Span-name prefix for per-stage BNN timing: `bnn.stage<i>.<kind>`
@@ -98,7 +102,11 @@ pub const CTR_QUANT_IMAGES: &str = "quant.images";
 /// (each engine's MACs times its shift-add decomposition width).
 pub const CTR_QUANT_PLANE_MACS: &str = "quant.plane_macs";
 
-/// Histogram: per-image BNN inference latency (threaded executor).
+/// Histogram: per-image BNN inference latency (threaded executor). The
+/// overlapped executor infers whole blocks, so each image of a block
+/// observes the block's amortised per-image latency (block wall time
+/// divided by block size) — the histogram count stays one entry per
+/// image.
 pub const HIST_BNN_IMAGE_S: &str = "pipeline.bnn_image_s";
 /// Histogram: host re-inference latency per deferred batch.
 pub const HIST_HOST_BATCH_S: &str = "pipeline.host_batch_s";
@@ -106,6 +114,11 @@ pub const HIST_HOST_BATCH_S: &str = "pipeline.host_batch_s";
 pub const HIST_BACKOFF_S: &str = "pipeline.backoff_s";
 /// Histogram: bounded-channel occupancy observed at each producer send.
 pub const HIST_QUEUE_DEPTH: &str = "pipeline.queue_depth";
+/// Histogram: producer wall time spent blocked on a full host queue
+/// (one entry per backpressure stall, matching [`CTR_BACKPRESSURE`]),
+/// so host-queue waits are attributed to backpressure rather than
+/// silently inflating BNN stage time.
+pub const HIST_BACKPRESSURE_WAIT_S: &str = "pipeline.backpressure_wait_s";
 /// Histogram: per-image virtual latency through the stream simulator.
 pub const HIST_STREAM_LATENCY_S: &str = "stream.latency_s";
 /// Histogram: per-request virtual wait in the admission queue.

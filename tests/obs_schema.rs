@@ -18,9 +18,10 @@ use multiprec::tensor::{Parallelism, Shape};
 /// The golden names. These literals are duplicated from `mp_obs::schema`
 /// ON PURPOSE: if a constant over there is renamed, this test — not a
 /// downstream dashboard — is what breaks.
-const GOLDEN_SPANS: [(&str, &str); 5] = [
+const GOLDEN_SPANS: [(&str, &str); 6] = [
     ("SPAN_PIPELINE_EXECUTE", "pipeline.execute"),
     ("SPAN_PIPELINE_BNN_STAGE", "pipeline.bnn_stage"),
+    ("SPAN_PIPELINE_BNN_BLOCK", "pipeline.bnn_block"),
     ("SPAN_PIPELINE_HOST_RERUN", "pipeline.host_rerun"),
     ("SPAN_SERVE_BATCH", "serve.batch"),
     ("SPAN_FLEET_BATCH", "fleet.batch"),
@@ -51,11 +52,12 @@ const GOLDEN_COUNTERS: [(&str, &str); 22] = [
     ("CTR_FLEET_RECOVERIES", "fleet.recoveries"),
 ];
 
-const GOLDEN_HISTOGRAMS: [(&str, &str); 11] = [
+const GOLDEN_HISTOGRAMS: [(&str, &str); 12] = [
     ("HIST_BNN_IMAGE_S", "pipeline.bnn_image_s"),
     ("HIST_HOST_BATCH_S", "pipeline.host_batch_s"),
     ("HIST_BACKOFF_S", "pipeline.backoff_s"),
     ("HIST_QUEUE_DEPTH", "pipeline.queue_depth"),
+    ("HIST_BACKPRESSURE_WAIT_S", "pipeline.backpressure_wait_s"),
     ("HIST_STREAM_LATENCY_S", "stream.latency_s"),
     ("HIST_SERVE_QUEUE_WAIT_S", "serve.queue_wait_s"),
     ("HIST_SERVE_LATENCY_S", "serve.latency_s"),
@@ -75,6 +77,7 @@ fn schema_names_are_golden() {
     let actual_spans = [
         schema::SPAN_PIPELINE_EXECUTE,
         schema::SPAN_PIPELINE_BNN_STAGE,
+        schema::SPAN_PIPELINE_BNN_BLOCK,
         schema::SPAN_PIPELINE_HOST_RERUN,
         schema::SPAN_SERVE_BATCH,
         schema::SPAN_FLEET_BATCH,
@@ -114,6 +117,7 @@ fn schema_names_are_golden() {
         schema::HIST_HOST_BATCH_S,
         schema::HIST_BACKOFF_S,
         schema::HIST_QUEUE_DEPTH,
+        schema::HIST_BACKPRESSURE_WAIT_S,
         schema::HIST_STREAM_LATENCY_S,
         schema::HIST_SERVE_QUEUE_WAIT_S,
         schema::HIST_SERVE_LATENCY_S,

@@ -272,6 +272,46 @@ fn chaos_opts(plan: FaultPlan, policy: DegradationPolicy) -> RunOptions<'static>
         .with_degradation(policy)
 }
 
+/// Deterministic edges of the overlapped executor: an empty dataset and
+/// one smaller than both the pipeline block and the BNN's internal
+/// `IMG_BLOCK` (8) stay bit-identical to Modeled.
+#[test]
+fn overlapped_executor_handles_empty_and_sub_block_datasets() {
+    let (hw, dmu, data) = chaos_fixture();
+    let pipeline = MultiPrecisionPipeline::new(hw, dmu, 0.9);
+    let policy = DegradationPolicy::default();
+    for n in [0usize, 5] {
+        let subset = data.take(n).unwrap();
+        let host = chaos_host();
+        let modeled = pipeline
+            .execute(
+                &host,
+                &subset,
+                &RunOptions::new(chaos_timing())
+                    .with_host_accuracy(0.5)
+                    .modeled(),
+            )
+            .unwrap();
+        let host = chaos_host();
+        let threaded = pipeline
+            .execute(
+                &host,
+                &subset,
+                &RunOptions::new(chaos_timing())
+                    .with_host_accuracy(0.5)
+                    .with_faults(FaultPlan::none())
+                    .with_degradation(policy),
+            )
+            .unwrap();
+        assert_eq!(threaded.total_images, n);
+        assert_eq!(threaded.predictions, modeled.predictions, "n={n}");
+        assert_eq!(threaded.flagged, modeled.flagged, "n={n}");
+        assert_eq!(threaded.rerun_count, modeled.rerun_count, "n={n}");
+        assert_eq!(threaded.degraded_count, 0);
+        assert!(threaded.fault_log.is_empty());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -376,6 +416,91 @@ proptest! {
             serde_json::to_string(&cascade.fault_log).unwrap()
         );
         prop_assert_eq!(&legacy.stage_traffic, &cascade.stage_traffic);
+    }
+
+    /// ROADMAP item 4's executor contract: the overlapped block-pipelined
+    /// Threaded executor is bit-identical to Modeled — predictions,
+    /// flags, rerun/degraded partition, stage traffic — for any
+    /// threshold and block size (including blocks that do not divide n
+    /// and blocks larger than n), and under faults it still degrades
+    /// only flagged images while keeping a deterministic fault log.
+    #[test]
+    fn chaos_overlapped_threaded_bit_identical_to_modeled(
+        threshold in 0.0f32..1.0,
+        block in 1usize..48,
+        error_rate in 0.0f64..1.0,
+        death in proptest::option::of(0usize..30),
+        seed in any::<u64>()
+    ) {
+        silence_injected_panics();
+        let (hw, dmu, data) = chaos_fixture();
+        let timing = PipelineTiming::new(1.0 / 430.0, 1.0 / 30.0, block);
+        let pipeline = MultiPrecisionPipeline::new(hw, dmu, threshold);
+        let policy = DegradationPolicy::default();
+        let host = chaos_host();
+        let modeled = pipeline
+            .execute(
+                &host,
+                data,
+                &RunOptions::new(timing).with_host_accuracy(0.5).modeled(),
+            )
+            .unwrap();
+        // Fault-free overlapped run: fully bit-identical to Modeled.
+        let host = chaos_host();
+        let clean = pipeline
+            .execute(
+                &host,
+                data,
+                &RunOptions::new(timing)
+                    .with_host_accuracy(0.5)
+                    .with_faults(FaultPlan::none())
+                    .with_degradation(policy),
+            )
+            .unwrap();
+        prop_assert_eq!(&clean.predictions, &modeled.predictions);
+        prop_assert_eq!(&clean.flagged, &modeled.flagged);
+        prop_assert_eq!(clean.rerun_count, modeled.rerun_count);
+        prop_assert_eq!(clean.degraded_count, 0);
+        prop_assert_eq!(clean.accuracy, modeled.accuracy);
+        prop_assert_eq!(clean.bnn_accuracy, modeled.bnn_accuracy);
+        prop_assert_eq!(clean.host_subset_accuracy, modeled.host_subset_accuracy);
+        prop_assert_eq!(clean.quadrants, modeled.quadrants);
+        prop_assert_eq!(&clean.stage_traffic, &modeled.stage_traffic);
+        prop_assert!(clean.fault_log.is_empty());
+        // Faulted overlapped run: the flags are BNN+DMU state computed
+        // before any host fault can act, so they never change; the
+        // flagged set partitions exactly into reruns and degradations;
+        // kept images keep their modeled predictions; and the whole run
+        // — fault log included — is deterministic per plan.
+        let mut plan = FaultPlan::seeded(seed).with_host_error_rate(error_rate);
+        if let Some(after) = death {
+            plan = plan.with_host_death_after(after);
+        }
+        let faulted_opts = || RunOptions::new(timing)
+            .with_host_accuracy(0.5)
+            .with_faults(plan.clone())
+            .with_degradation(policy);
+        let host = chaos_host();
+        let faulty = pipeline.execute(&host, data, &faulted_opts()).unwrap();
+        prop_assert_eq!(&faulty.flagged, &modeled.flagged);
+        let flagged_count = faulty.flagged.iter().filter(|&&f| f).count();
+        prop_assert_eq!(faulty.rerun_count + faulty.degraded_count, flagged_count);
+        for i in 0..faulty.predictions.len() {
+            if !faulty.flagged[i] {
+                prop_assert_eq!(
+                    faulty.predictions[i], modeled.predictions[i],
+                    "kept image {} must keep its BNN prediction", i
+                );
+            }
+        }
+        let host = chaos_host();
+        let again = pipeline.execute(&host, data, &faulted_opts()).unwrap();
+        prop_assert_eq!(&again.predictions, &faulty.predictions);
+        prop_assert_eq!(again.degraded_count, faulty.degraded_count);
+        prop_assert_eq!(
+            serde_json::to_string(&again.fault_log).unwrap(),
+            serde_json::to_string(&faulty.fault_log).unwrap()
+        );
     }
 
     #[test]
